@@ -1,0 +1,100 @@
+//! Ablation: NTI threshold sensitivity (§III-A).
+//!
+//! "Setting the threshold value too high yields the inference of too many
+//! taint markings, which causes false positives. On the other hand,
+//! setting the threshold value too low yields too few taint markings,
+//! which causes false negatives. Selecting an optimum threshold value for
+//! an application or across a set of applications is not straightforward."
+//!
+//! For each threshold this sweep measures, NTI-only:
+//!  * detection of the 53 original testbed exploits;
+//!  * evasion rate of quote-stuffing/whitespace mutants *sized for that
+//!    threshold* (the paper's point: evasion works at every threshold);
+//!  * false positives on benign inputs that coincidentally resemble query
+//!    structure (sort columns like `orders` vs the `ORDER` keyword).
+
+use joza_bench::report::render_table;
+use joza_core::{Joza, JozaConfig};
+use joza_lab::nti_evasion::mutate_for_nti;
+use joza_lab::verify::request_for;
+use joza_lab::{build_lab, Lab};
+use joza_nti::{NtiAnalyzer, NtiConfig};
+
+fn detected(lab: &mut Lab, joza: &Joza, plugin: &joza_lab::VulnPlugin, payload: &str) -> bool {
+    let mut gate = joza.gate();
+    let resp = lab.server.handle_gated(&request_for(plugin, payload), &mut gate);
+    resp.blocked || resp.executed < resp.queries.len()
+}
+
+/// Benign (input, query) pairs where the input *approximately* matches a
+/// critical region of the query without ever flowing into it — the
+/// false-positive fuel for loose thresholds. Each pair is annotated with
+/// the edit distance / match length so the FP onset threshold is visible.
+fn coincidental_benign() -> Vec<(&'static str, String)> {
+    vec![
+        // sort column `orders` vs the ORDER keyword: distance 1 over 5.
+        ("orders", "SELECT id FROM wp_posts ORDER BY post_date DESC".to_string()),
+        // `selects` vs SELECT: distance 1 over 6.
+        ("selects", "SELECT id FROM wp_posts WHERE post_status = 'publish'".to_string()),
+        // `groupe` (a user-supplied slug) vs GROUP: distance 1 over 5.
+        ("groupe", "SELECT post_author FROM wp_posts GROUP BY post_author".to_string()),
+        // `limite` vs LIMIT.
+        ("limite", "SELECT id FROM wp_posts LIMIT 10".to_string()),
+        // `wheres` vs WHERE.
+        ("wheres", "SELECT id FROM wp_posts WHERE 1".to_string()),
+        // `unionx` vs UNION in a legitimate two-part query.
+        ("unionx", "SELECT a FROM t UNION SELECT a FROM u".to_string()),
+    ]
+}
+
+fn main() {
+    let mut lab = build_lab();
+    let plugins = lab.plugins.clone();
+    let cms = lab.cms_cases.clone();
+    let all: Vec<_> = plugins.iter().chain(cms.iter()).cloned().collect();
+
+    println!("ABLATION: NTI threshold sensitivity (NTI-only detection)\n");
+    let mut rows = Vec::new();
+    for threshold in [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40] {
+        let mut cfg = JozaConfig::nti_only();
+        cfg.nti.threshold = threshold;
+        let joza = Joza::install(&lab.server.app, cfg);
+
+        let mut orig_detected = 0;
+        let mut mutants_evaded = 0;
+        for p in &all {
+            if detected(&mut lab, &joza, p, p.exploit.primary_payload()) {
+                orig_detected += 1;
+            }
+            let mutant = mutate_for_nti(p, threshold);
+            if !detected(&mut lab, &joza, p, mutant.primary_payload()) {
+                mutants_evaded += 1;
+            }
+        }
+
+        // Analyzer-level false positives on coincidental benign inputs.
+        let nti = NtiAnalyzer::new(NtiConfig { threshold, ..NtiConfig::default() });
+        let fps = coincidental_benign()
+            .iter()
+            .filter(|(input, query)| nti.analyze(&[input], query).is_attack())
+            .count();
+
+        rows.push(vec![
+            format!("{threshold:.2}"),
+            format!("{orig_detected}/{}", all.len()),
+            format!("{mutants_evaded}/{}", all.len()),
+            format!("{fps}/{}", coincidental_benign().len()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Threshold", "Originals detected", "Sized mutants evading", "Coincidental-benign FPs"],
+            &rows
+        )
+    );
+    println!("\nReading: mutants sized for the threshold evade at *every* setting (raising");
+    println!("the threshold is not a remedy, §V-A), while loose thresholds start flagging");
+    println!("benign near-keyword inputs — the no-good-setting dilemma of §III-A that");
+    println!("motivates the hybrid.");
+}

@@ -1,0 +1,44 @@
+//! Figure 7: PTI per-request time breakdown, unoptimized vs. optimized
+//! daemon.
+//!
+//! The paper reports that running PTI as a reusable daemon with the MRU
+//! fragment cache and parse-first token matching cuts PTI processing time
+//! by ~66% on a WordPress read request.
+
+use joza_bench::report::{pct, render_table};
+use joza_bench::workload::{crawl_requests, measure_steady, Setup};
+
+fn main() {
+    let n = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60);
+    let reads = crawl_requests(n);
+
+    println!("FIGURE 7: PTI time breakdown for WordPress read requests\n");
+    let plain = measure_steady(&reads, None, 3);
+    let unopt = measure_steady(&reads, Some(Setup::Unoptimized), 3);
+    let opt = measure_steady(&reads, Some(Setup::DaemonNoCache), 3);
+
+    let base = plain.per_request();
+    let mut rows = Vec::new();
+    for (label, s) in [("unoptimized", &unopt), ("optimized daemon", &opt)] {
+        let pti = s.pti_time / s.requests as u32;
+        let nti = s.nti_time / s.requests as u32;
+        let rest = s.per_request().saturating_sub(pti).saturating_sub(nti);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:?}", s.per_request()),
+            format!("{pti:?}"),
+            format!("{nti:?}"),
+            format!("{rest:?}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Configuration", "Request total", "PTI", "NTI", "Rest"], &rows)
+    );
+    println!("plain (unprotected) request: {base:?}");
+
+    let unopt_pti = unopt.pti_time.as_secs_f64() / unopt.requests as f64;
+    let opt_pti = opt.pti_time.as_secs_f64() / opt.requests as f64;
+    let reduction = 1.0 - opt_pti / unopt_pti;
+    println!("\nPTI processing reduction from optimizations: {} (paper: ~66%)", pct(reduction));
+}

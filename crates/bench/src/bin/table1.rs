@@ -1,0 +1,18 @@
+//! Table I: classification of WP-SQLI-LAB attack types.
+
+use joza_bench::report::render_table;
+use joza_lab::corpus::{corpus, AttackType};
+
+fn main() {
+    let plugins = corpus();
+    let count = |t: AttackType| plugins.iter().filter(|p| p.attack_type == t).count();
+    let rows = vec![
+        vec!["Union Based".to_string(), count(AttackType::UnionBased).to_string()],
+        vec!["Standard Blind".to_string(), count(AttackType::StandardBlind).to_string()],
+        vec!["Double Blind".to_string(), count(AttackType::DoubleBlind).to_string()],
+        vec!["Tautology".to_string(), count(AttackType::Tautology).to_string()],
+    ];
+    println!("TABLE I: Classification of WP-SQLI-LAB attack types\n");
+    println!("{}", render_table(&["Attack Type", "NO. of Plugins"], &rows));
+    println!("(paper: 15 / 17 / 14 / 4)");
+}

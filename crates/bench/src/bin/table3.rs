@@ -1,0 +1,34 @@
+//! Table III: sample fragments extracted from WordPress (and plugins).
+
+use joza_lab::build_lab;
+use joza_phpsim::fragments::FragmentSet;
+
+fn main() {
+    let lab = build_lab();
+    let mut set = FragmentSet::new();
+    for src in lab.server.app.all_sources() {
+        set.add_source(src);
+    }
+    println!("TABLE III: Sample fragments in WordPress\n");
+    println!("Fragment vocabulary size: {}\n", set.len());
+
+    // The paper's sampled fragments — report whether each is available to
+    // an attacker (present verbatim or inside a larger fragment).
+    let samples = [
+        "UNION", "AND", "OR", "SELECT", "CHAR", "#", "\"", "'", "`", "GROUP BY", "ORDER BY",
+        "CAST", "WHERE 1",
+    ];
+    println!("| {:<10} | {:<9} |", "Fragment", "Available");
+    println!("|{}|{}|", "-".repeat(12), "-".repeat(11));
+    for s in samples {
+        let available = set.iter().any(|f| f.contains(s));
+        println!("| {:<10} | {:<9} |", s, if available { "yes" } else { "no" });
+    }
+
+    println!("\nShortest 20 fragments (the PTI attack surface):");
+    let mut frags: Vec<&str> = set.iter().collect();
+    frags.sort_by_key(|f| f.len());
+    for f in frags.iter().take(20) {
+        println!("  {f:?}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Table VI: overall overhead across read/write workload mixes.
+
+use joza_bench::report::{pct, render_table};
+use joza_bench::workload::{measure_mix, Setup};
+
+fn main() {
+    let total = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    println!("TABLE VI: Overhead of Joza on different workloads\n");
+    let mut rows = Vec::new();
+    for writes_pct in [50usize, 10, 5, 1] {
+        let m = measure_mix(writes_pct, total, Setup::DaemonFullCache, 5);
+        rows.push(vec![
+            format!("{writes_pct}%"),
+            format!("{}%", 100 - writes_pct),
+            format!("{:?}", m.plain),
+            format!("{:?}", m.protected),
+            pct(m.overhead),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Writes", "Reads", "Plain Time", "Protected Time", "Overhead"], &rows)
+    );
+    println!("(paper: 50/50: 8.96%, 10/90: 5.16%, 5/95: 4.53%, 1/99: 4.03%)");
+}

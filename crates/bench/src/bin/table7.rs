@@ -1,0 +1,35 @@
+//! Table VII: Wordpress.com workload statistics and the predicted
+//! deployment overhead.
+
+use joza_bench::report::{pct, render_table};
+use joza_bench::workload::{
+    crawl_requests, measure_steady_gen, measure_type, measure_type_gen, write_requests_pass,
+    Setup,
+};
+use joza_bench::wpcom::five_year_average;
+
+fn main() {
+    let s = five_year_average();
+    println!("TABLE VII: Wordpress.com workload statistics (annual averages, millions)\n");
+    let rows = vec![
+        vec!["New blog posts".to_string(), format!("{:.0}", s.posts_m)],
+        vec!["New pages".to_string(), format!("{:.0}", s.pages_m)],
+        vec!["New comments".to_string(), format!("{:.0}", s.comments_m)],
+        vec!["RPC posts".to_string(), format!("{:.0}", s.rpc_posts_m)],
+        vec!["Page views".to_string(), format!("{:.0}", s.pageviews_m)],
+        vec!["Write requests total".to_string(), format!("{:.0}", s.writes_m())],
+        vec!["Write fraction".to_string(), pct(s.write_fraction())],
+    ];
+    println!("{}", render_table(&["Statistic", "Value (M/yr)"], &rows));
+
+    // Predicted overhead from measured read/write overheads.
+    let reads = crawl_requests(150);
+    let r = measure_type(&reads, Setup::DaemonFullCache, 5);
+    let write_gen = |p: usize| write_requests_pass(50, p);
+    let write_plain = measure_steady_gen(None, 5, write_gen);
+    let w = measure_type_gen(Setup::DaemonFullCache, 5, write_gen, &write_plain);
+    let predicted = s.expected_overhead(r.overhead, w.overhead);
+    println!("measured read overhead:  {}", pct(r.overhead));
+    println!("measured write overhead: {}", pct(w.overhead));
+    println!("predicted wordpress.com overhead: {} (paper: <4%)", pct(predicted));
+}

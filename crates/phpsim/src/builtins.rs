@@ -1,0 +1,777 @@
+//! PHP standard-library subset used by the WP-SQLI-LAB plugins.
+//!
+//! The transformation functions here are exactly the application-level
+//! input manipulations the paper's NTI evasions exploit (§III-A):
+//! `addslashes` (WordPress magic quotes), `trim` (whitespace stripping),
+//! `base64_decode` (the one testbed plugin NTI missed), `urldecode`,
+//! `str_replace`, and `preg_replace` character-class sanitizers.
+
+use crate::interp::{Interp, PhpError, QueryOutcome, ResultSet};
+use crate::value::{is_numeric, PArray, PKey, PValue};
+
+/// Dispatches a call to a built-in function.
+///
+/// # Errors
+///
+/// [`PhpError::Runtime`] for unknown functions or invalid arguments;
+/// [`PhpError::Terminated`] when a `mysql_query` is killed by the host.
+pub fn call_builtin(
+    interp: &mut Interp<'_>,
+    name: &str,
+    args: Vec<PValue>,
+) -> Result<PValue, PhpError> {
+    let lower = name.to_ascii_lowercase();
+    let arg = |i: usize| -> PValue { args.get(i).cloned().unwrap_or_default() };
+    let sarg = |i: usize| -> String { arg(i).to_php_string() };
+
+    match lower.as_str() {
+        // ---- MySQL client API ----
+        "mysql_query" | "mysqli_query" => {
+            let sql = sarg(if lower == "mysqli_query" { 1 } else { 0 });
+            // mysqli_query($link, $sql): tolerate the 1-arg legacy shape too.
+            let sql = if sql.is_empty() && lower == "mysqli_query" { sarg(0) } else { sql };
+            match interp.host.query(&sql) {
+                QueryOutcome::Rows(rows) => {
+                    interp.resources.push(ResultSet { rows, cursor: 0 });
+                    interp.last_error.clear();
+                    Ok(PValue::Resource(interp.resources.len() - 1))
+                }
+                QueryOutcome::Error(msg) => {
+                    interp.last_error = msg;
+                    Ok(PValue::Bool(false))
+                }
+                QueryOutcome::Terminated => Err(PhpError::Terminated),
+            }
+        }
+        // ---- Drupal-style database layer (prepared statements) ----
+        "db_query" => {
+            // db_query($sql, $args): named placeholders. Array-valued
+            // arguments go through Drupal 7's `expandArguments`: the
+            // placeholder expands to one placeholder per element, with
+            // names derived from the *array keys* — the behaviour
+            // CVE-2014-3704 exploits, reproduced faithfully here.
+            let sql = sarg(0);
+            let mut text = sql;
+            let mut bindings: Vec<(String, String)> = Vec::new();
+            if let PValue::Array(args_arr) = arg(1) {
+                for (k, v) in args_arr.iter() {
+                    let name = match k {
+                        PKey::Str(s) => s.clone(),
+                        PKey::Int(i) => i.to_string(),
+                    };
+                    match v {
+                        PValue::Array(items) => {
+                            let mut expanded = Vec::with_capacity(items.len());
+                            for (ik, iv) in items.iter() {
+                                let suffix = match ik {
+                                    PKey::Int(i) => i.to_string(),
+                                    PKey::Str(s) => s.clone(),
+                                };
+                                let new_name = format!("{name}_{suffix}");
+                                bindings.push((new_name.clone(), iv.to_php_string()));
+                                expanded.push(new_name);
+                            }
+                            text = text.replace(&name, &expanded.join(", "));
+                        }
+                        scalar => bindings.push((name, scalar.to_php_string())),
+                    }
+                }
+            }
+            match interp.host.query_prepared(&text, &bindings) {
+                QueryOutcome::Rows(rows) => {
+                    interp.resources.push(ResultSet { rows, cursor: 0 });
+                    interp.last_error.clear();
+                    Ok(PValue::Resource(interp.resources.len() - 1))
+                }
+                QueryOutcome::Error(msg) => {
+                    interp.last_error = msg;
+                    Ok(PValue::Bool(false))
+                }
+                QueryOutcome::Terminated => Err(PhpError::Terminated),
+            }
+        }
+        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysqli_fetch_assoc" => {
+            match arg(0) {
+                PValue::Resource(id) => {
+                    let rs = interp
+                        .resources
+                        .get_mut(id)
+                        .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
+                    if rs.cursor >= rs.rows.len() {
+                        return Ok(PValue::Bool(false));
+                    }
+                    let row = &rs.rows[rs.cursor];
+                    rs.cursor += 1;
+                    let mut a = PArray::new();
+                    for (col, val) in row {
+                        a.set(PKey::Str(col.clone()), PValue::Str(val.clone()));
+                    }
+                    Ok(PValue::Array(a))
+                }
+                _ => Ok(PValue::Bool(false)),
+            }
+        }
+        "mysql_fetch_row" => match arg(0) {
+            PValue::Resource(id) => {
+                let rs = interp
+                    .resources
+                    .get_mut(id)
+                    .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
+                if rs.cursor >= rs.rows.len() {
+                    return Ok(PValue::Bool(false));
+                }
+                let row = &rs.rows[rs.cursor];
+                rs.cursor += 1;
+                let mut a = PArray::new();
+                for (_, val) in row {
+                    a.push(PValue::Str(val.clone()));
+                }
+                Ok(PValue::Array(a))
+            }
+            _ => Ok(PValue::Bool(false)),
+        },
+        "mysql_num_rows" | "mysqli_num_rows" => match arg(0) {
+            PValue::Resource(id) => Ok(PValue::Int(
+                interp.resources.get(id).map_or(0, |rs| rs.rows.len()) as i64,
+            )),
+            _ => Ok(PValue::Bool(false)),
+        },
+        "mysql_result" => match arg(0) {
+            PValue::Resource(id) => {
+                let row_idx = arg(1).to_php_int() as usize;
+                let rs = interp
+                    .resources
+                    .get(id)
+                    .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
+                let row = rs.rows.get(row_idx);
+                Ok(match row {
+                    Some(cols) => {
+                        let field = arg(2);
+                        let cell = match &field {
+                            PValue::Null => cols.first(),
+                            PValue::Str(name) => cols.iter().find(|(c, _)| c == name),
+                            other => cols.get(other.to_php_int() as usize),
+                        };
+                        cell.map_or(PValue::Bool(false), |(_, v)| PValue::Str(v.clone()))
+                    }
+                    None => PValue::Bool(false),
+                })
+            }
+            _ => Ok(PValue::Bool(false)),
+        },
+        "mysql_error" | "mysqli_error" => Ok(PValue::Str(interp.last_error.clone())),
+        "mysql_real_escape_string" | "mysqli_real_escape_string" | "esc_sql" | "addslashes" => {
+            Ok(PValue::Str(addslashes(&sarg(if lower.ends_with("real_escape_string") && args.len() > 1 { 1 } else { 0 }))))
+        }
+        "stripslashes" => Ok(PValue::Str(stripslashes(&sarg(0)))),
+
+        // ---- string transformations ----
+        "trim" => Ok(PValue::Str(sarg(0).trim().to_string())),
+        "ltrim" => Ok(PValue::Str(sarg(0).trim_start().to_string())),
+        "rtrim" | "chop" => Ok(PValue::Str(sarg(0).trim_end().to_string())),
+        "strtolower" => Ok(PValue::Str(sarg(0).to_ascii_lowercase())),
+        "strtoupper" => Ok(PValue::Str(sarg(0).to_ascii_uppercase())),
+        "strlen" => Ok(PValue::Int(sarg(0).len() as i64)),
+        "strrev" => Ok(PValue::Str(sarg(0).chars().rev().collect())),
+        "str_replace" => {
+            let search = arg(0);
+            let replace = sarg(1);
+            let mut subject = sarg(2);
+            match search {
+                PValue::Array(a) => {
+                    for (_, s) in a.iter() {
+                        subject = subject.replace(&s.to_php_string(), &replace);
+                    }
+                }
+                other => subject = subject.replace(&other.to_php_string(), &replace),
+            }
+            Ok(PValue::Str(subject))
+        }
+        "substr" => {
+            let s = sarg(0);
+            let start = arg(1).to_php_int();
+            let len = args.get(2).map(|v| v.to_php_int());
+            Ok(PValue::Str(php_substr(&s, start, len)))
+        }
+        "strpos" => {
+            let hay = sarg(0);
+            let needle = sarg(1);
+            match hay.find(&needle) {
+                Some(i) => Ok(PValue::Int(i as i64)),
+                None => Ok(PValue::Bool(false)),
+            }
+        }
+        "str_repeat" => Ok(PValue::Str(sarg(0).repeat(arg(1).to_php_int().max(0) as usize))),
+        "implode" | "join" => {
+            // implode(glue, pieces) or implode(pieces)
+            let (glue, pieces) = if args.len() >= 2 {
+                (sarg(0), arg(1))
+            } else {
+                (String::new(), arg(0))
+            };
+            match pieces {
+                PValue::Array(a) => {
+                    let parts: Vec<String> =
+                        a.iter().map(|(_, v)| v.to_php_string()).collect();
+                    Ok(PValue::Str(parts.join(&glue)))
+                }
+                _ => Ok(PValue::Str(String::new())),
+            }
+        }
+        "explode" => {
+            let sep = sarg(0);
+            let s = sarg(1);
+            let mut a = PArray::new();
+            if sep.is_empty() {
+                return Ok(PValue::Bool(false));
+            }
+            for piece in s.split(&sep) {
+                a.push(PValue::Str(piece.to_string()));
+            }
+            Ok(PValue::Array(a))
+        }
+        "sprintf" => Ok(PValue::Str(php_sprintf(&sarg(0), &args[1..]))),
+        "number_format" => {
+            let n = arg(0).to_php_float();
+            Ok(PValue::Str(format!("{}", n.round() as i64)))
+        }
+        "htmlspecialchars" | "esc_html" | "esc_attr" => {
+            let s = sarg(0)
+                .replace('&', "&amp;")
+                .replace('<', "&lt;")
+                .replace('>', "&gt;")
+                .replace('"', "&quot;");
+            Ok(PValue::Str(s))
+        }
+        "urldecode" | "rawurldecode" => Ok(PValue::Str(urldecode(&sarg(0)))),
+        "urlencode" | "rawurlencode" => Ok(PValue::Str(urlencode(&sarg(0)))),
+        "base64_decode" => Ok(PValue::Str(
+            base64_decode(&sarg(0)).unwrap_or_default(),
+        )),
+        "base64_encode" => Ok(PValue::Str(base64_encode(sarg(0).as_bytes()))),
+        "md5" => Ok(PValue::Str(pseudo_md5(&sarg(0)))),
+        "preg_replace" => {
+            let pattern = sarg(0);
+            let replacement = sarg(1);
+            let subject = sarg(2);
+            preg_replace(&pattern, &replacement, &subject)
+                .map(PValue::Str)
+                .ok_or_else(|| {
+                    PhpError::Runtime(format!("unsupported preg_replace pattern {pattern}"))
+                })
+        }
+        "preg_match" => {
+            let pattern = sarg(0);
+            let subject = sarg(1);
+            preg_match(&pattern, &subject)
+                .map(|m| PValue::Int(i64::from(m)))
+                .ok_or_else(|| {
+                    PhpError::Runtime(format!("unsupported preg_match pattern {pattern}"))
+                })
+        }
+
+        // ---- numeric / type functions ----
+        "intval" | "absint" => {
+            let v = arg(0).to_php_int();
+            Ok(PValue::Int(if lower == "absint" { v.abs() } else { v }))
+        }
+        "floatval" | "doubleval" => Ok(PValue::Float(arg(0).to_php_float())),
+        "strval" => Ok(PValue::Str(sarg(0))),
+        "abs" => Ok(PValue::Float(arg(0).to_php_float().abs())),
+        "is_numeric" => Ok(PValue::Bool(is_numeric(&sarg(0)))),
+        "is_array" => Ok(PValue::Bool(matches!(arg(0), PValue::Array(_)))),
+        "is_string" => Ok(PValue::Bool(matches!(arg(0), PValue::Str(_)))),
+        "count" | "sizeof" => match arg(0) {
+            PValue::Array(a) => Ok(PValue::Int(a.len() as i64)),
+            PValue::Null => Ok(PValue::Int(0)),
+            _ => Ok(PValue::Int(1)),
+        },
+        "array_keys" => match arg(0) {
+            PValue::Array(a) => {
+                let mut out = PArray::new();
+                for (k, _) in a.iter() {
+                    out.push(match k {
+                        PKey::Int(i) => PValue::Int(*i),
+                        PKey::Str(s) => PValue::Str(s.clone()),
+                    });
+                }
+                Ok(PValue::Array(out))
+            }
+            _ => Ok(PValue::Bool(false)),
+        },
+        "array_map" => {
+            // Only the (callable-name, array) shape with a builtin callable.
+            let callable = sarg(0);
+            match arg(1) {
+                PValue::Array(a) => {
+                    let mut out = PArray::new();
+                    for (k, v) in a.iter() {
+                        let mapped = call_builtin(interp, &callable, vec![v.clone()])?;
+                        out.set(k.clone(), mapped);
+                    }
+                    Ok(PValue::Array(out))
+                }
+                _ => Ok(PValue::Bool(false)),
+            }
+        }
+        "in_array" => {
+            let needle = arg(0);
+            match arg(1) {
+                PValue::Array(a) => {
+                    Ok(PValue::Bool(a.iter().any(|(_, v)| v.loose_eq(&needle))))
+                }
+                _ => Ok(PValue::Bool(false)),
+            }
+        }
+
+        // ---- misc WordPress-flavoured helpers ----
+        "wp_magic_quotes" | "magic_quotes" => Ok(PValue::Str(addslashes(&sarg(0)))),
+        "sanitize_text_field" => Ok(PValue::Str(sarg(0).trim().to_string())),
+        "current_time" | "time" => Ok(PValue::Int(1_400_000_000)),
+        "rand" | "mt_rand" => Ok(PValue::Int(4)), // deterministic for tests
+        "error_log" | "header" | "setcookie" | "session_start" | "ob_start" => {
+            Ok(PValue::Null)
+        }
+
+        _ => Err(PhpError::Runtime(format!("call to undefined function {name}()"))),
+    }
+}
+
+/// PHP `addslashes`: backslash-escape quotes, double quotes, backslashes
+/// and NUL — the magic-quotes transformation WordPress applies to all
+/// request input.
+pub fn addslashes(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\'' | '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            '\0' => out.push_str("\\0"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// PHP `stripslashes`.
+pub fn stripslashes(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn php_substr(s: &str, start: i64, len: Option<i64>) -> String {
+    let n = s.len() as i64;
+    let mut begin = if start < 0 { (n + start).max(0) } else { start.min(n) };
+    let mut end = match len {
+        None => n,
+        Some(l) if l < 0 => (n + l).max(begin),
+        Some(l) => (begin + l).min(n),
+    };
+    begin = begin.clamp(0, n);
+    end = end.clamp(begin, n);
+    s.get(begin as usize..end as usize).unwrap_or("").to_string()
+}
+
+/// Minimal `sprintf`: `%s`, `%d`, `%f`, `%%` and `%0Nd`.
+pub fn php_sprintf(format: &str, args: &[PValue]) -> String {
+    let mut out = String::with_capacity(format.len());
+    let mut ai = 0;
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Collect optional zero-pad width.
+        let mut width = String::new();
+        while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+            width.push(chars.next().unwrap());
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('s') => {
+                out.push_str(&args.get(ai).cloned().unwrap_or_default().to_php_string());
+                ai += 1;
+            }
+            Some('d') => {
+                let v = args.get(ai).cloned().unwrap_or_default().to_php_int();
+                ai += 1;
+                if let Ok(w) = width.parse::<usize>() {
+                    out.push_str(&format!("{v:0w$}"));
+                } else {
+                    out.push_str(&v.to_string());
+                }
+            }
+            Some('f') => {
+                let v = args.get(ai).cloned().unwrap_or_default().to_php_float();
+                ai += 1;
+                out.push_str(&format!("{v:.6}"));
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+/// Percent-decoding (PHP `urldecode`, including `+` as space).
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if i + 2 < bytes.len() {
+                    if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                        out.push(v);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encoding (PHP `urlencode`).
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+const B64_ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Base64 encoding (RFC 4648, with padding).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let idx = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
+        out.push(B64_ALPHABET[idx[0] as usize] as char);
+        out.push(B64_ALPHABET[idx[1] as usize] as char);
+        out.push(if chunk.len() > 1 { B64_ALPHABET[idx[2] as usize] as char } else { '=' });
+        out.push(if chunk.len() > 2 { B64_ALPHABET[idx[3] as usize] as char } else { '=' });
+    }
+    out
+}
+
+/// Base64 decoding; `None` on invalid input. Lenient about whitespace,
+/// like PHP.
+pub fn base64_decode(s: &str) -> Option<String> {
+    let mut vals = Vec::with_capacity(s.len());
+    for c in s.bytes() {
+        if c.is_ascii_whitespace() || c == b'=' {
+            continue;
+        }
+        let v = B64_ALPHABET.iter().position(|&a| a == c)?;
+        vals.push(v as u32);
+    }
+    let mut out = Vec::with_capacity(vals.len() * 3 / 4);
+    for chunk in vals.chunks(4) {
+        let mut n = 0u32;
+        for (i, &v) in chunk.iter().enumerate() {
+            n |= v << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Some(String::from_utf8_lossy(&out).into_owned())
+}
+
+/// A deterministic stand-in for `md5` (not cryptographic — the testbed
+/// only needs a stable 32-hex-digit digest).
+pub fn pseudo_md5(s: &str) -> String {
+    let mut h1: u64 = 0xcbf29ce484222325;
+    let mut h2: u64 = 0x9e3779b97f4a7c15;
+    for &b in s.as_bytes() {
+        h1 = (h1 ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        h2 = h2.rotate_left(7) ^ u64::from(b).wrapping_mul(0x2545F4914F6CDD1D);
+    }
+    format!("{h1:016x}{h2:016x}")
+}
+
+/// Supported `preg_replace` subset: `/[charclass]/` and `/[charclass]+/`
+/// patterns with optional `i` flag, plus plain literal patterns
+/// (`/literal/`). Returns `None` for unsupported patterns.
+pub fn preg_replace(pattern: &str, replacement: &str, subject: &str) -> Option<String> {
+    let (body, ci) = split_pattern(pattern)?;
+    if let Some(class) = parse_char_class(body) {
+        let mut out = String::with_capacity(subject.len());
+        let mut i = 0;
+        let chars: Vec<char> = subject.chars().collect();
+        while i < chars.len() {
+            if class.matches(chars[i], ci) {
+                // A `+` quantifier collapses a run into one replacement.
+                if class.plus {
+                    while i < chars.len() && class.matches(chars[i], ci) {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+                out.push_str(replacement);
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        return Some(out);
+    }
+    // Literal pattern (no metacharacters).
+    if body.chars().all(|c| !"[](){}.*+?^$|\\".contains(c)) {
+        if ci {
+            // Case-insensitive literal replace.
+            let mut out = String::new();
+            let lower_subj = subject.to_lowercase();
+            let lower_pat = body.to_lowercase();
+            let mut start = 0;
+            while let Some(pos) = lower_subj[start..].find(&lower_pat) {
+                let abs = start + pos;
+                out.push_str(&subject[start..abs]);
+                out.push_str(replacement);
+                start = abs + body.len();
+            }
+            out.push_str(&subject[start..]);
+            return Some(out);
+        }
+        return Some(subject.replace(body, replacement));
+    }
+    None
+}
+
+/// Supported `preg_match` subset: same patterns as [`preg_replace`];
+/// returns whether the subject matches anywhere.
+pub fn preg_match(pattern: &str, subject: &str) -> Option<bool> {
+    let (body, ci) = split_pattern(pattern)?;
+    if let Some(class) = parse_char_class(body) {
+        return Some(subject.chars().any(|c| class.matches(c, ci)));
+    }
+    if body.chars().all(|c| !"[](){}.*+?^$|\\".contains(c)) {
+        if ci {
+            return Some(subject.to_lowercase().contains(&body.to_lowercase()));
+        }
+        return Some(subject.contains(body));
+    }
+    None
+}
+
+fn split_pattern(pattern: &str) -> Option<(&str, bool)> {
+    let delim = pattern.chars().next()?;
+    if delim != '/' && delim != '#' && delim != '~' {
+        return None;
+    }
+    let rest = &pattern[1..];
+    let close = rest.rfind(delim)?;
+    let body = &rest[..close];
+    let flags = &rest[close + 1..];
+    if flags.chars().any(|f| f != 'i' && f != 'u' && f != 's') {
+        return None;
+    }
+    Some((body, flags.contains('i')))
+}
+
+struct CharClass {
+    negated: bool,
+    singles: Vec<char>,
+    ranges: Vec<(char, char)>,
+    plus: bool,
+}
+
+impl CharClass {
+    fn matches(&self, c: char, ci: bool) -> bool {
+        let test = |c: char| {
+            self.singles.contains(&c)
+                || self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi)
+        };
+        let mut hit = test(c);
+        if ci && !hit {
+            hit = test(c.to_ascii_lowercase()) || test(c.to_ascii_uppercase());
+        }
+        hit != self.negated
+    }
+}
+
+fn parse_char_class(body: &str) -> Option<CharClass> {
+    // Bare shorthand classes: `\d`, `\w`, `\s` (with optional `+`).
+    let body = match body {
+        "\\d" => "[0-9]",
+        "\\d+" => "[0-9]+",
+        "\\w" => "[a-zA-Z0-9_]",
+        "\\w+" => "[a-zA-Z0-9_]+",
+        "\\s" => "[ \t\n\r]",
+        "\\s+" => "[ \t\n\r]+",
+        other => other,
+    };
+    let stripped = body.strip_prefix('[')?;
+    let (inner, plus) = if let Some(i) = stripped.strip_suffix("]+") {
+        (i, true)
+    } else if let Some(i) = stripped.strip_suffix(']') {
+        (i, false)
+    } else {
+        return None;
+    };
+    let (negated, inner) = match inner.strip_prefix('^') {
+        Some(rest) => (true, rest),
+        None => (false, inner),
+    };
+    let mut singles = Vec::new();
+    let mut ranges = Vec::new();
+    let chars: Vec<char> = inner.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            match chars[i] {
+                'd' => {
+                    ranges.push(('0', '9'));
+                    i += 1;
+                    continue;
+                }
+                'w' => {
+                    ranges.push(('a', 'z'));
+                    ranges.push(('A', 'Z'));
+                    ranges.push(('0', '9'));
+                    singles.push('_');
+                    i += 1;
+                    continue;
+                }
+                's' => {
+                    singles.extend([' ', '\t', '\n', '\r']);
+                    i += 1;
+                    continue;
+                }
+                other => other,
+            }
+        } else {
+            chars[i]
+        };
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            ranges.push((c, chars[i + 2]));
+            i += 3;
+        } else {
+            singles.push(c);
+            i += 1;
+        }
+    }
+    Some(CharClass { negated, singles, ranges, plus })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addslashes_roundtrip() {
+        let s = r#"it's "quoted" \ back"#;
+        assert_eq!(stripslashes(&addslashes(s)), s);
+        assert_eq!(addslashes("a'b"), r"a\'b");
+    }
+
+    #[test]
+    fn substr_semantics() {
+        assert_eq!(php_substr("abcdef", 1, Some(3)), "bcd");
+        assert_eq!(php_substr("abcdef", -2, None), "ef");
+        assert_eq!(php_substr("abcdef", 0, Some(-2)), "abcd");
+        assert_eq!(php_substr("abc", 10, None), "");
+    }
+
+    #[test]
+    fn sprintf_basic() {
+        assert_eq!(
+            php_sprintf("SELECT * FROM t WHERE id=%d AND name='%s'", &[
+                PValue::Str("7x".into()),
+                PValue::Str("bob".into())
+            ]),
+            "SELECT * FROM t WHERE id=7 AND name='bob'"
+        );
+        assert_eq!(php_sprintf("%05d%%", &[PValue::Int(42)]), "00042%");
+    }
+
+    #[test]
+    fn url_roundtrip() {
+        let s = "a b&c=1'--";
+        assert_eq!(urldecode(&urlencode(s)), s);
+        assert_eq!(urldecode("%27%20OR%201%3D1"), "' OR 1=1");
+    }
+
+    #[test]
+    fn base64_roundtrip() {
+        for s in ["", "a", "ab", "abc", "-1 UNION SELECT user_pass FROM wp_users"] {
+            assert_eq!(base64_decode(&base64_encode(s.as_bytes())).unwrap(), s);
+        }
+        assert!(base64_decode("!!!").is_none());
+    }
+
+    #[test]
+    fn md5_stable_and_hexlike() {
+        let h = pseudo_md5("hello");
+        assert_eq!(h.len(), 32);
+        assert_eq!(h, pseudo_md5("hello"));
+        assert_ne!(h, pseudo_md5("hellp"));
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn preg_replace_charclass() {
+        assert_eq!(preg_replace("/[^0-9]/", "", "a1b2c3").unwrap(), "123");
+        assert_eq!(preg_replace("/[^a-zA-Z0-9_]/", "", "x'; DROP--").unwrap(), "xDROP");
+        assert_eq!(preg_replace("/[0-9]+/", "N", "a12b345").unwrap(), "aNbN");
+        assert_eq!(preg_replace("/\\d/", "#", "a1b2").unwrap(), "a#b#");
+    }
+
+    #[test]
+    fn preg_replace_literal() {
+        assert_eq!(preg_replace("/foo/", "bar", "a foo b").unwrap(), "a bar b");
+        assert_eq!(preg_replace("/FOO/i", "bar", "a foo b").unwrap(), "a bar b");
+        assert!(preg_replace("/(a|b)*/", "x", "ab").is_none()); // unsupported
+    }
+
+    #[test]
+    fn preg_match_subset() {
+        assert_eq!(preg_match("/[0-9]/", "abc1"), Some(true));
+        assert_eq!(preg_match("/[0-9]/", "abc"), Some(false));
+        assert_eq!(preg_match("/union/i", "UNION SELECT"), Some(true));
+    }
+}

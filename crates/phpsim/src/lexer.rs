@@ -1,0 +1,434 @@
+//! Lexer for the PHP subset.
+//!
+//! Input is a plain PHP script (an optional `<?php` opener and `?>` closer
+//! are tolerated and skipped). Double-quoted strings are lexed into
+//! *parts* — literal runs and `$variable` interpolations — because both the
+//! interpreter (concatenation semantics) and the fragment extractor
+//! (placeholder splitting, §IV-A) need the split.
+
+use std::fmt;
+
+/// One component of a double-quoted string literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrPart {
+    /// A literal run of characters (escapes already processed).
+    Lit(String),
+    /// An interpolated `$name` or `{$name}` variable.
+    Interp(String),
+}
+
+/// A lexed PHP token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PTok {
+    /// `$name`.
+    Var(String),
+    /// A bare identifier or keyword (case preserved; keywords are matched
+    /// case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// A string literal, already split into parts. Single-quoted strings
+    /// always produce a single `Lit` part.
+    Str(Vec<StrPart>),
+    /// An operator or punctuation lexeme (`.`, `.=`, `==`, `(`, `;`, …).
+    Op(&'static str),
+}
+
+impl fmt::Display for PTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PTok::Var(v) => write!(f, "${v}"),
+            PTok::Ident(i) => f.write_str(i),
+            PTok::Int(i) => write!(f, "{i}"),
+            PTok::Float(x) => write!(f, "{x}"),
+            PTok::Str(_) => f.write_str("<string>"),
+            PTok::Op(o) => f.write_str(o),
+        }
+    }
+}
+
+/// An error produced while lexing PHP source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PHP lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Operators, longest first so that maximal munch works.
+static OPS: &[&str] = &[
+    "===", "!==", "<=>", "<<=", ">>=", "**=", "&&", "||", "==", "!=", "<>", "<=", ">=", "=>",
+    "->", "++", "--", "+=", "-=", "*=", "/=", ".=", "%=", "??", "<<", ">>", "(", ")", "[", "]",
+    "{", "}", ",", ";", ".", "+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", "&", "|",
+    "^", "~", "@",
+];
+
+/// Lexes PHP source into tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings or unexpected bytes —
+/// plugin sources are authored, not attacker-controlled, so strictness is
+/// appropriate here (unlike the SQL lexer, which must be total).
+pub fn lex_php(src: &str) -> Result<Vec<PTok>, LexError> {
+    let mut lx = PhpLexer { src: src.as_bytes(), pos: 0, out: Vec::new() };
+    lx.skip_open_tag();
+    lx.run(src)?;
+    Ok(lx.out)
+}
+
+struct PhpLexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    out: Vec<PTok>,
+}
+
+impl<'a> PhpLexer<'a> {
+    fn skip_open_tag(&mut self) {
+        let rest = &self.src[self.pos..];
+        if rest.starts_with(b"<?php") {
+            self.pos += 5;
+        } else if rest.starts_with(b"<?") {
+            self.pos += 2;
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn run(&mut self, src_str: &str) -> Result<(), LexError> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'?' if self.peek(1) == Some(b'>') => {
+                    // Closing tag: ignore the rest (no HTML mode).
+                    self.pos = self.src.len();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'#' => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment()?,
+                b'$' => self.variable()?,
+                b'\'' => self.single_quoted()?,
+                b'"' => self.double_quoted()?,
+                b'0'..=b'9' => self.number(),
+                b'.' if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => self.number(),
+                _ if b.is_ascii_alphabetic() || b == b'_' => self.ident(src_str),
+                _ => self.operator()?,
+            }
+        }
+        Ok(())
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        self.pos += 2;
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                self.pos += 2;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        self.pos = start;
+        Err(self.err("unterminated block comment"))
+    }
+
+    fn variable(&mut self) -> Result<(), LexError> {
+        self.pos += 1; // `$`
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected variable name after $"));
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("non-UTF8 variable name"))?
+            .to_string();
+        self.out.push(PTok::Var(name));
+        Ok(())
+    }
+
+    fn single_quoted(&mut self) -> Result<(), LexError> {
+        self.pos += 1;
+        let mut lit = String::new();
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b == b'\\' {
+                match self.peek(1) {
+                    Some(b'\'') => {
+                        lit.push('\'');
+                        self.pos += 2;
+                    }
+                    Some(b'\\') => {
+                        lit.push('\\');
+                        self.pos += 2;
+                    }
+                    _ => {
+                        lit.push('\\');
+                        self.pos += 1;
+                    }
+                }
+            } else if b == b'\'' {
+                self.pos += 1;
+                self.out.push(PTok::Str(vec![StrPart::Lit(lit)]));
+                return Ok(());
+            } else {
+                lit.push(b as char);
+                self.pos += 1;
+            }
+        }
+        Err(self.err("unterminated single-quoted string"))
+    }
+
+    fn double_quoted(&mut self) -> Result<(), LexError> {
+        self.pos += 1;
+        let mut parts: Vec<StrPart> = Vec::new();
+        let mut lit = String::new();
+        let flush = |parts: &mut Vec<StrPart>, lit: &mut String| {
+            if !lit.is_empty() {
+                parts.push(StrPart::Lit(std::mem::take(lit)));
+            }
+        };
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\\' => {
+                    let esc = self.peek(1);
+                    self.pos += 2;
+                    match esc {
+                        Some(b'n') => lit.push('\n'),
+                        Some(b't') => lit.push('\t'),
+                        Some(b'r') => lit.push('\r'),
+                        Some(b'"') => lit.push('"'),
+                        Some(b'\\') => lit.push('\\'),
+                        Some(b'$') => lit.push('$'),
+                        Some(other) => {
+                            lit.push('\\');
+                            lit.push(other as char);
+                        }
+                        None => return Err(self.err("unterminated string escape")),
+                    }
+                }
+                b'$' if self.peek(1).is_some_and(is_ident_start_byte) => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    flush(&mut parts, &mut lit);
+                    parts.push(StrPart::Interp(name));
+                }
+                b'{' if self.peek(1) == Some(b'$') => {
+                    // `{$name}` form.
+                    self.pos += 2;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    if self.peek(0) != Some(b'}') {
+                        return Err(self.err("expected } after {$var"));
+                    }
+                    self.pos += 1;
+                    flush(&mut parts, &mut lit);
+                    parts.push(StrPart::Interp(name));
+                }
+                b'"' => {
+                    self.pos += 1;
+                    flush(&mut parts, &mut lit);
+                    self.out.push(PTok::Str(parts));
+                    return Ok(());
+                }
+                _ => {
+                    lit.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        Err(self.err("unterminated double-quoted string"))
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else if b == b'.' && !is_float && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("0");
+        if is_float {
+            self.out.push(PTok::Float(text.parse().unwrap_or(0.0)));
+        } else {
+            self.out.push(PTok::Int(text.parse().unwrap_or(0)));
+        }
+    }
+
+    fn ident(&mut self, src_str: &str) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_byte(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.out.push(PTok::Ident(src_str[start..self.pos].to_string()));
+    }
+
+    fn operator(&mut self) -> Result<(), LexError> {
+        let rest = &self.src[self.pos..];
+        for op in OPS {
+            if rest.starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.out.push(PTok::Op(op));
+                return Ok(());
+            }
+        }
+        Err(self.err(format!("unexpected byte {:?}", rest[0] as char)))
+    }
+}
+
+fn is_ident_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_assignment() {
+        let toks = lex_php("$x = 5;").unwrap();
+        assert_eq!(
+            toks,
+            vec![PTok::Var("x".into()), PTok::Op("="), PTok::Int(5), PTok::Op(";")]
+        );
+    }
+
+    #[test]
+    fn open_close_tags_skipped() {
+        let toks = lex_php("<?php $x = 1; ?>").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn single_quoted_no_interpolation() {
+        let toks = lex_php(r"$q = 'WHERE id=$id';").unwrap();
+        assert_eq!(toks[2], PTok::Str(vec![StrPart::Lit("WHERE id=$id".into())]));
+    }
+
+    #[test]
+    fn single_quoted_escapes() {
+        let toks = lex_php(r"$q = 'it\'s \\ \n';").unwrap();
+        // `\n` stays literal in single quotes.
+        assert_eq!(toks[2], PTok::Str(vec![StrPart::Lit(r"it's \ \n".into())]));
+    }
+
+    #[test]
+    fn double_quoted_interpolation_splits() {
+        let toks = lex_php(r#"$q = "SELECT * FROM t WHERE id=$id LIMIT 5";"#).unwrap();
+        assert_eq!(
+            toks[2],
+            PTok::Str(vec![
+                StrPart::Lit("SELECT * FROM t WHERE id=".into()),
+                StrPart::Interp("id".into()),
+                StrPart::Lit(" LIMIT 5".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn braced_interpolation() {
+        let toks = lex_php(r#"$q = "a{$x}b";"#).unwrap();
+        assert_eq!(
+            toks[2],
+            PTok::Str(vec![
+                StrPart::Lit("a".into()),
+                StrPart::Interp("x".into()),
+                StrPart::Lit("b".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn double_quoted_escapes() {
+        let toks = lex_php(r#"$q = "a\"b\n\$x";"#).unwrap();
+        assert_eq!(toks[2], PTok::Str(vec![StrPart::Lit("a\"b\n$x".into())]));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex_php("// line\n# hash\n/* block */ $x = 1;").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn array_access_tokens() {
+        let toks = lex_php("$id = $_GET['id'];").unwrap();
+        assert_eq!(toks[0], PTok::Var("id".into()));
+        assert_eq!(toks[2], PTok::Var("_GET".into()));
+        assert_eq!(toks[3], PTok::Op("["));
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        let toks = lex_php("$a .= $b === $c;").unwrap();
+        assert_eq!(toks[1], PTok::Op(".="));
+        assert_eq!(toks[3], PTok::Op("==="));
+    }
+
+    #[test]
+    fn concat_vs_float() {
+        let toks = lex_php("$a = $b . 'x'; $c = 1.5;").unwrap();
+        assert!(toks.contains(&PTok::Op(".")));
+        assert!(toks.contains(&PTok::Float(1.5)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex_php("$q = 'unterminated").is_err());
+        assert!(lex_php("$q = \"unterminated").is_err());
+        assert!(lex_php("/* unterminated").is_err());
+        assert!(lex_php("$ = 5;").is_err());
+    }
+
+    #[test]
+    fn arrow_and_ternary() {
+        let toks = lex_php("$a = $c ? $x : $y; $m => $n;").unwrap();
+        assert!(toks.contains(&PTok::Op("?")));
+        assert!(toks.contains(&PTok::Op(":")));
+        assert!(toks.contains(&PTok::Op("=>")));
+    }
+}

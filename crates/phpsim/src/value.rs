@@ -1,0 +1,343 @@
+//! PHP runtime values with PHP's type-juggling semantics.
+
+use std::fmt;
+
+/// A PHP array: insertion-ordered key/value pairs with PHP's implicit
+/// integer key assignment for `$a[] = v`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PArray {
+    entries: Vec<(PKey, PValue)>,
+    next_index: i64,
+}
+
+/// A PHP array key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PKey {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+}
+
+impl PKey {
+    /// Converts a value to a key the way PHP does: integral strings and
+    /// floats become integer keys.
+    pub fn from_value(v: &PValue) -> PKey {
+        match v {
+            PValue::Int(i) => PKey::Int(*i),
+            PValue::Float(f) => PKey::Int(*f as i64),
+            PValue::Bool(b) => PKey::Int(i64::from(*b)),
+            PValue::Null => PKey::Str(String::new()),
+            PValue::Str(s) => match s.parse::<i64>() {
+                Ok(i) if i.to_string() == *s => PKey::Int(i),
+                _ => PKey::Str(s.clone()),
+            },
+            other => PKey::Str(other.to_php_string()),
+        }
+    }
+}
+
+impl PArray {
+    /// Creates an empty array.
+    pub fn new() -> Self {
+        PArray::default()
+    }
+
+    /// Inserts or replaces the value at `key`.
+    pub fn set(&mut self, key: PKey, value: PValue) {
+        if let PKey::Int(i) = key {
+            if i >= self.next_index {
+                self.next_index = i + 1;
+            }
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Appends with the next integer key (`$a[] = v`).
+    pub fn push(&mut self, value: PValue) {
+        let key = PKey::Int(self.next_index);
+        self.next_index += 1;
+        self.entries.push((key, value));
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &PKey) -> Option<&PValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(PKey, PValue)> {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<(PKey, PValue)> for PArray {
+    fn from_iter<T: IntoIterator<Item = (PKey, PValue)>>(iter: T) -> Self {
+        let mut a = PArray::new();
+        for (k, v) in iter {
+            a.set(k, v);
+        }
+        a
+    }
+}
+
+/// A PHP value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PValue {
+    /// `null`.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(PArray),
+    /// An opaque resource handle (MySQL result sets).
+    Resource(usize),
+}
+
+impl PValue {
+    /// PHP string conversion (`(string)$v`).
+    pub fn to_php_string(&self) -> String {
+        match self {
+            PValue::Null => String::new(),
+            PValue::Bool(true) => "1".into(),
+            PValue::Bool(false) => String::new(),
+            PValue::Int(i) => i.to_string(),
+            PValue::Float(f) => {
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            PValue::Str(s) => s.clone(),
+            PValue::Array(_) => "Array".into(),
+            PValue::Resource(id) => format!("Resource id #{id}"),
+        }
+    }
+
+    /// PHP boolean conversion.
+    pub fn to_php_bool(&self) -> bool {
+        match self {
+            PValue::Null => false,
+            PValue::Bool(b) => *b,
+            PValue::Int(i) => *i != 0,
+            PValue::Float(f) => *f != 0.0,
+            PValue::Str(s) => !s.is_empty() && s != "0",
+            PValue::Array(a) => !a.is_empty(),
+            PValue::Resource(_) => true,
+        }
+    }
+
+    /// PHP float conversion (numeric prefix for strings).
+    pub fn to_php_float(&self) -> f64 {
+        match self {
+            PValue::Null => 0.0,
+            PValue::Bool(b) => f64::from(*b),
+            PValue::Int(i) => *i as f64,
+            PValue::Float(f) => *f,
+            PValue::Str(s) => numeric_prefix(s),
+            PValue::Array(a) => f64::from(!a.is_empty()),
+            PValue::Resource(id) => *id as f64,
+        }
+    }
+
+    /// PHP integer conversion (`intval`).
+    pub fn to_php_int(&self) -> i64 {
+        self.to_php_float() as i64
+    }
+
+    /// PHP loose equality (`==`). Implements the numeric-comparison rules
+    /// injections exploit (`'1abc' == 1` is true in the PHP 5 era).
+    pub fn loose_eq(&self, other: &PValue) -> bool {
+        use PValue::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(_), _) | (_, Bool(_)) => self.to_php_bool() == other.to_php_bool(),
+            (Null, _) | (_, Null) => !self.to_php_bool() && !other.to_php_bool(),
+            (Str(a), Str(b)) => {
+                if is_numeric(a) && is_numeric(b) {
+                    numeric_prefix(a) == numeric_prefix(b)
+                } else {
+                    a == b
+                }
+            }
+            (Array(a), Array(b)) => a == b,
+            (Array(_), _) | (_, Array(_)) => false,
+            _ => self.to_php_float() == other.to_php_float(),
+        }
+    }
+
+    /// PHP strict equality (`===`).
+    pub fn strict_eq(&self, other: &PValue) -> bool {
+        use PValue::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Resource(a), Resource(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_php_string())
+    }
+}
+
+impl From<&str> for PValue {
+    fn from(s: &str) -> Self {
+        PValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for PValue {
+    fn from(s: String) -> Self {
+        PValue::Str(s)
+    }
+}
+
+impl From<i64> for PValue {
+    fn from(i: i64) -> Self {
+        PValue::Int(i)
+    }
+}
+
+impl From<bool> for PValue {
+    fn from(b: bool) -> Self {
+        PValue::Bool(b)
+    }
+}
+
+/// PHP `is_numeric`.
+pub fn is_numeric(s: &str) -> bool {
+    let t = s.trim();
+    !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+fn numeric_prefix(s: &str) -> f64 {
+    let t = s.trim_start();
+    let bytes = t.as_bytes();
+    let mut end = 0;
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while end < bytes.len() {
+        let b = bytes[end];
+        if b.is_ascii_digit() {
+            seen_digit = true;
+        } else if (b == b'-' || b == b'+') && end == 0 {
+        } else if b == b'.' && !seen_dot && !seen_exp {
+            seen_dot = true;
+        } else if (b == b'e' || b == b'E')
+            && seen_digit
+            && !seen_exp
+            && bytes.get(end + 1).is_some_and(|c| c.is_ascii_digit() || *c == b'-' || *c == b'+')
+        {
+            seen_exp = true;
+        } else {
+            break;
+        }
+        end += 1;
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_conversions() {
+        assert_eq!(PValue::Null.to_php_string(), "");
+        assert_eq!(PValue::Bool(true).to_php_string(), "1");
+        assert_eq!(PValue::Bool(false).to_php_string(), "");
+        assert_eq!(PValue::Int(-3).to_php_string(), "-3");
+        assert_eq!(PValue::Float(2.0).to_php_string(), "2");
+        assert_eq!(PValue::Float(2.5).to_php_string(), "2.5");
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert!(!PValue::Str("0".into()).to_php_bool());
+        assert!(!PValue::Str("".into()).to_php_bool());
+        assert!(PValue::Str("0.0".into()).to_php_bool()); // PHP quirk: "0.0" is true
+        assert!(PValue::Str("false".into()).to_php_bool());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(PValue::Str("42abc".into()).to_php_int(), 42);
+        assert_eq!(PValue::Str("-1 UNION".into()).to_php_int(), -1);
+        assert_eq!(PValue::Str("abc".into()).to_php_int(), 0);
+        assert_eq!(PValue::Str("3.5".into()).to_php_float(), 3.5);
+        assert_eq!(PValue::Str("1e2".into()).to_php_float(), 100.0);
+    }
+
+    #[test]
+    fn loose_vs_strict_equality() {
+        let one = PValue::Int(1);
+        let one_s = PValue::Str("1".into());
+        assert!(one.loose_eq(&one_s));
+        assert!(!one.strict_eq(&one_s));
+        assert!(PValue::Str("1.0".into()).loose_eq(&PValue::Str("1".into())));
+        assert!(!PValue::Str("abc".into()).loose_eq(&PValue::Str("abd".into())));
+        assert!(PValue::Null.loose_eq(&PValue::Str("".into())));
+    }
+
+    #[test]
+    fn array_int_key_autoindex() {
+        let mut a = PArray::new();
+        a.push(PValue::Int(10));
+        a.set(PKey::Int(5), PValue::Int(20));
+        a.push(PValue::Int(30)); // gets key 6
+        assert_eq!(a.get(&PKey::Int(0)), Some(&PValue::Int(10)));
+        assert_eq!(a.get(&PKey::Int(6)), Some(&PValue::Int(30)));
+    }
+
+    #[test]
+    fn array_string_int_key_unification() {
+        let mut a = PArray::new();
+        a.set(PKey::from_value(&PValue::Str("3".into())), PValue::Int(1));
+        assert_eq!(a.get(&PKey::Int(3)), Some(&PValue::Int(1)));
+        a.set(PKey::from_value(&PValue::Str("03".into())), PValue::Int(2));
+        assert_eq!(a.get(&PKey::Str("03".into())), Some(&PValue::Int(2)));
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let mut a = PArray::new();
+        a.set(PKey::Str("k".into()), PValue::Int(1));
+        a.set(PKey::Str("k".into()), PValue::Int(2));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(&PKey::Str("k".into())), Some(&PValue::Int(2)));
+    }
+}

@@ -1,0 +1,200 @@
+//! PTI caches: the query cache (§IV-C2) and the query structure cache
+//! (§IV-C1, §VI-A).
+
+use joza_sqlparse::fingerprint::fingerprint;
+use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Statistics shared by both caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The PTI query cache: remembers exact queries that were analyzed safe.
+///
+/// "Because many queries of a web application are constant and do not rely
+/// on any user-input, caching improves performance significantly" (§IV-C2).
+/// Only *safe* verdicts are cached — an attack must always re-trigger full
+/// analysis and reporting.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    safe: HashSet<u64>,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether this exact query was previously found safe.
+    pub fn lookup(&mut self, query: &str) -> bool {
+        let hit = self.safe.contains(&hash_str(query));
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Records a safe query.
+    pub fn insert_safe(&mut self, query: &str) {
+        if self.safe.insert(hash_str(query)) {
+            self.stats.inserts += 1;
+        }
+    }
+
+    /// Number of cached safe queries.
+    pub fn len(&self) -> usize {
+        self.safe.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.safe.is_empty()
+    }
+
+    /// Lookup/insert statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// The query structure cache: remembers the *shape* of safe queries — the
+/// AST skeleton with data-node contents erased.
+///
+/// "This caching mechanism caches the safety result of all queries except
+/// those dynamically generated inside the application" (§VI-A): two
+/// queries that differ only in literal contents share a fingerprint, so a
+/// comment INSERT pays full analysis once per shape rather than once per
+/// comment. An injected token necessarily changes the shape and therefore
+/// misses the cache.
+#[derive(Debug, Default)]
+pub struct StructureCache {
+    safe: HashSet<u64>,
+    stats: CacheStats,
+}
+
+impl StructureCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a query with this structure was previously found safe.
+    pub fn lookup(&mut self, query: &str) -> bool {
+        let hit = self.safe.contains(&fingerprint(query));
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Records a safe query's structure.
+    pub fn insert_safe(&mut self, query: &str) {
+        if self.safe.insert(fingerprint(query)) {
+            self.stats.inserts += 1;
+        }
+    }
+
+    /// Number of cached safe shapes.
+    pub fn len(&self) -> usize {
+        self.safe.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.safe.is_empty()
+    }
+
+    /// Lookup/insert statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_cache_exact_match_only() {
+        let mut c = QueryCache::new();
+        assert!(!c.lookup("SELECT 1"));
+        c.insert_safe("SELECT 1");
+        assert!(c.lookup("SELECT 1"));
+        assert!(!c.lookup("SELECT 2"));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn structure_cache_matches_same_shape() {
+        let mut c = StructureCache::new();
+        c.insert_safe("INSERT INTO comments (body) VALUES ('first comment')");
+        // Different literal contents, same shape: hit.
+        assert!(c.lookup("INSERT INTO comments (body) VALUES ('a totally different comment')"));
+        // Injected structure: miss.
+        assert!(!c.lookup("INSERT INTO comments (body) VALUES ('x'), ((SELECT user_pass FROM users))"));
+    }
+
+    #[test]
+    fn structure_cache_misses_on_tautology() {
+        let mut c = StructureCache::new();
+        c.insert_safe("SELECT * FROM t WHERE id=5");
+        assert!(c.lookup("SELECT * FROM t WHERE id=123456"));
+        assert!(!c.lookup("SELECT * FROM t WHERE id=5 OR 1=1"));
+        assert!(!c.lookup("SELECT * FROM t WHERE id=5 -- c"));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = QueryCache::new();
+        c.insert_safe("q");
+        c.lookup("q");
+        c.lookup("q");
+        c.lookup("other");
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let empty = QueryCache::new();
+        assert_eq!(empty.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_insert_counted_once() {
+        let mut c = QueryCache::new();
+        c.insert_safe("q");
+        c.insert_safe("q");
+        assert_eq!(c.stats().inserts, 1);
+        assert_eq!(c.len(), 1);
+    }
+}

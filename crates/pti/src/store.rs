@@ -1,0 +1,149 @@
+//! Fragment storage and compiled matchers.
+
+use joza_phpsim::fragments::FragmentSet;
+use joza_strmatch::ahocorasick::AhoCorasick;
+use joza_strmatch::mru::{Match, MruScanner, NaiveScanner};
+use parking_lot::Mutex;
+
+/// Which multi-pattern matching strategy the store uses. The paper's
+/// unoptimized prototype corresponds to [`MatcherKind::Naive`]; its first
+/// optimization (§VI-A) to [`MatcherKind::Mru`]; [`MatcherKind::AhoCorasick`]
+/// is the asymptotically better alternative used for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherKind {
+    /// Scan every fragment for every query.
+    Naive,
+    /// Scan fragments in most-recently-matched order (the paper's
+    /// fragment-cache optimization).
+    Mru,
+    /// A single Aho–Corasick automaton over all fragments.
+    #[default]
+    AhoCorasick,
+}
+
+/// An immutable fragment vocabulary with a compiled matcher.
+///
+/// Fragment indices are stable: `occurrences` reports matches by fragment
+/// index into [`FragmentStore::fragments`].
+#[derive(Debug)]
+pub struct FragmentStore {
+    fragments: Vec<String>,
+    kind: MatcherKind,
+    ac: Option<AhoCorasick>,
+    naive: Option<NaiveScanner>,
+    mru: Option<Mutex<MruScanner>>,
+}
+
+impl FragmentStore {
+    /// Compiles a store from any fragment iterator.
+    pub fn new<I, S>(fragments: I, kind: MatcherKind) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let fragments: Vec<String> =
+            fragments.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut store = FragmentStore { fragments, kind, ac: None, naive: None, mru: None };
+        match kind {
+            MatcherKind::Naive => store.naive = Some(NaiveScanner::new(&store.fragments)),
+            MatcherKind::Mru => store.mru = Some(Mutex::new(MruScanner::new(&store.fragments))),
+            MatcherKind::AhoCorasick => store.ac = Some(AhoCorasick::new(&store.fragments)),
+        }
+        store
+    }
+
+    /// Compiles a store from an extracted [`FragmentSet`].
+    pub fn from_set(set: &FragmentSet, kind: MatcherKind) -> Self {
+        Self::new(set.iter(), kind)
+    }
+
+    /// The fragment vocabulary, in index order.
+    pub fn fragments(&self) -> &[String] {
+        &self.fragments
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Whether the store has no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// The configured matcher strategy.
+    pub fn kind(&self) -> MatcherKind {
+        self.kind
+    }
+
+    /// All fragment occurrences in `query`, as `(fragment index, start,
+    /// end)` spans.
+    pub fn occurrences(&self, query: &str) -> Vec<Match> {
+        let hay = query.as_bytes();
+        match self.kind {
+            MatcherKind::Naive => self.naive.as_ref().expect("built in new").find_all(hay),
+            MatcherKind::Mru => self.mru.as_ref().expect("built in new").lock().find_all(hay),
+            MatcherKind::AhoCorasick => self.ac.as_ref().expect("built in new").find_all(hay),
+        }
+    }
+
+    /// Fragment occurrences with early exit: scanning stops as soon as
+    /// `done` returns `true` on the matches collected so far. Only the MRU
+    /// matcher can exit early (that is the point of the paper's combined
+    /// MRU + parse-first optimization, §VI-A); the other strategies fall
+    /// back to a full scan.
+    pub fn occurrences_until<F>(&self, query: &str, done: F) -> Vec<Match>
+    where
+        F: Fn(&[Match]) -> bool,
+    {
+        match self.kind {
+            MatcherKind::Mru => self
+                .mru
+                .as_ref()
+                .expect("built in new")
+                .lock()
+                .find_all_until(query.as_bytes(), done),
+            _ => self.occurrences(query),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_matchers_agree() {
+        let frags = ["SELECT * FROM t WHERE id=", " LIMIT 1", "OR", "="];
+        let q = "SELECT * FROM t WHERE id=5 OR 1=1 LIMIT 1";
+        let mut results: Vec<Vec<(usize, usize, usize)>> = Vec::new();
+        for kind in [MatcherKind::Naive, MatcherKind::Mru, MatcherKind::AhoCorasick] {
+            let store = FragmentStore::new(frags, kind);
+            let mut occ: Vec<(usize, usize, usize)> =
+                store.occurrences(q).iter().map(|m| (m.pattern, m.start, m.end)).collect();
+            occ.sort_unstable();
+            results.push(occ);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+        assert!(!results[0].is_empty());
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = FragmentStore::new(Vec::<&str>::new(), MatcherKind::AhoCorasick);
+        assert!(store.is_empty());
+        assert!(store.occurrences("SELECT 1").is_empty());
+    }
+
+    #[test]
+    fn from_set_roundtrip() {
+        let mut set = FragmentSet::new();
+        set.insert("SELECT");
+        set.insert("FROM");
+        let store = FragmentStore::from_set(&set, MatcherKind::Naive);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.occurrences("SELECT x FROM t").len(), 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Typed abstract syntax tree for the MySQL subset Joza executes.
+//!
+//! The AST serves two consumers: the in-memory database engine (`joza-db`)
+//! evaluates it, and the [structure cache](mod@crate::fingerprint) hashes its
+//! shape with literal contents erased.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT …` (possibly a `UNION` chain).
+    Select(SelectStatement),
+    /// `INSERT INTO …`
+    Insert(InsertStatement),
+    /// `UPDATE … SET …`
+    Update(UpdateStatement),
+    /// `DELETE FROM …`
+    Delete(DeleteStatement),
+}
+
+impl Statement {
+    /// Whether executing this statement can modify data.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+}
+
+/// A `SELECT` statement, including any `UNION`/`UNION ALL` continuations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub projections: Vec<Projection>,
+    /// `FROM` table (absent for `SELECT 1`-style queries).
+    pub from: Option<TableRef>,
+    /// `JOIN` clauses, in order.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT` clause.
+    pub limit: Option<Limit>,
+    /// `UNION`/`UNION ALL` continuations applied to this query's rows.
+    pub set_ops: Vec<(SetOp, SelectStatement)>,
+}
+
+/// One projection in a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Alias, if any.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (backticks stripped).
+    pub name: String,
+    /// `AS` alias, if any.
+    pub alias: Option<String>,
+}
+
+/// A join clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join flavor.
+    pub kind: JoinKind,
+    /// Joined table.
+    pub table: TableRef,
+    /// `ON` predicate (absent for `CROSS JOIN`).
+    pub on: Option<Expr>,
+}
+
+/// Join flavors supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    Left,
+    /// `CROSS JOIN`
+    Cross,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// `DESC` if true, `ASC` otherwise.
+    pub desc: bool,
+}
+
+/// A `LIMIT [offset,] count` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Limit {
+    /// Row offset (0 when unspecified).
+    pub offset: Option<Expr>,
+    /// Maximum number of rows.
+    pub count: Expr,
+}
+
+/// Set operations chaining `SELECT`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `UNION` (dedups).
+    Union,
+    /// `UNION ALL`.
+    UnionAll,
+}
+
+/// An `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStatement {
+    /// Target table.
+    pub table: String,
+    /// Column list (may be empty: positional insert).
+    pub columns: Vec<String>,
+    /// One expression row per `VALUES` tuple.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// An `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStatement {
+    /// Target table.
+    pub table: String,
+    /// `SET col = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `LIMIT` clause.
+    pub limit: Option<Limit>,
+}
+
+/// A `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStatement {
+    /// Target table.
+    pub table: String,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `LIMIT` clause.
+    pub limit: Option<Limit>,
+}
+
+/// A column reference, optionally qualified by table or alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Qualifier (`t` in `t.id`), if present.
+    pub table: Option<String>,
+    /// Column name (backticks stripped).
+    pub name: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(ColumnRef),
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator application.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A function call.
+    Function {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments; `COUNT(*)` is represented with a single
+        /// [`Expr::Wildcard`] argument.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside an aggregate, e.g. `COUNT(DISTINCT x)`.
+        distinct: bool,
+    },
+    /// `*` used as a function argument (`COUNT(*)`).
+    Wildcard,
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list…)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery.
+        subquery: Box<SelectStatement>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// `NOT BETWEEN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The `%`/`_` pattern.
+        pattern: Box<Expr>,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// A scalar subquery `(SELECT …)`.
+    Subquery(Box<SelectStatement>),
+    /// `EXISTS (SELECT …)`.
+    Exists(Box<SelectStatement>),
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Operand for the simple form (`CASE x WHEN v THEN …`).
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` arm.
+        else_arm: Option<Box<Expr>>,
+    },
+    /// `?` or `:name` placeholder (prepared statements).
+    Placeholder(String),
+    /// `@var` / `@@sysvar`.
+    Variable(String),
+}
+
+impl Expr {
+    /// Convenience constructor for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Convenience constructor for an unqualified column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(ColumnRef { table: None, name: name.to_string() })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical `NOT` / `!`.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// Unary plus (no-op).
+    Plus,
+}
+
+/// Binary operators in precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `OR` / `||`.
+    Or,
+    /// `XOR`.
+    Xor,
+    /// `AND` / `&&`.
+    And,
+    /// `=`.
+    Eq,
+    /// `<>` / `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `REGEXP` / `RLIKE`.
+    Regexp,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%` / `MOD`.
+    Mod,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_write_classification() {
+        let sel = Statement::Select(SelectStatement::default());
+        assert!(!sel.is_write());
+        let ins = Statement::Insert(InsertStatement {
+            table: "t".into(),
+            columns: vec![],
+            rows: vec![],
+        });
+        assert!(ins.is_write());
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let c = ColumnRef { table: Some("t".into()), name: "id".into() };
+        assert_eq!(c.to_string(), "t.id");
+        let c = ColumnRef { table: None, name: "id".into() };
+        assert_eq!(c.to_string(), "id");
+    }
+
+    #[test]
+    fn expr_constructors() {
+        assert_eq!(Expr::lit(5i64), Expr::Literal(Value::Int(5)));
+        assert_eq!(
+            Expr::col("x"),
+            Expr::Column(ColumnRef { table: None, name: "x".into() })
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Critical-token classification.
+//!
+//! The threat model (§II): "An SQL injection occurs when attacker-controlled
+//! inputs are interpreted as SQL keywords, built-in functions, or
+//! delimiters, or when they change the programmer-intended syntactic
+//! structure of a command." Accordingly the paper's analyses check whether
+//! *critical tokens* — keywords, function names, operators, and comments —
+//! are tainted (NTI) or not positively covered (PTI).
+//!
+//! The paper deliberately adopts a pragmatic stance that tolerates common
+//! practices such as passing field and table names through inputs, so bare
+//! identifiers and literals are not critical. [`CriticalPolicy`] makes each
+//! category adjustable ("the techniques presented can be easily adjusted to
+//! enforce a user's desired policy").
+
+use crate::keywords::is_builtin_function;
+use crate::token::{Token, TokenKind};
+
+/// Selects which token categories count as security-critical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPolicy {
+    /// Reserved keywords (`SELECT`, `UNION`, `OR`, …).
+    pub keywords: bool,
+    /// Function-call heads (an identifier immediately followed by `(`).
+    /// When [`CriticalPolicy::builtin_functions_only`] is set, only names
+    /// in the built-in table count.
+    pub functions: bool,
+    /// Restrict function criticality to known built-ins.
+    pub builtin_functions_only: bool,
+    /// Operators (`=`, `<>`, `||`, …).
+    pub operators: bool,
+    /// Comments (each comment is a single critical token, per §III-B).
+    pub comments: bool,
+    /// Structural punctuation: parens, commas, semicolons. Off by default,
+    /// matching the paper's pragmatic threat model (advanced-search style
+    /// inputs like `1,2,3` are permitted).
+    pub punctuation: bool,
+    /// Bytes the lexer could not classify (stray quotes, control bytes).
+    /// These usually indicate an escape from a string literal.
+    pub unknown: bool,
+}
+
+impl Default for CriticalPolicy {
+    fn default() -> Self {
+        CriticalPolicy {
+            keywords: true,
+            functions: true,
+            builtin_functions_only: false,
+            operators: true,
+            comments: true,
+            punctuation: false,
+            unknown: true,
+        }
+    }
+}
+
+impl CriticalPolicy {
+    /// The strict policy from Ray & Ligatti that the paper *rejects* as too
+    /// brittle, provided for comparison experiments: everything except
+    /// literal data is critical.
+    pub fn strict() -> Self {
+        CriticalPolicy {
+            keywords: true,
+            functions: true,
+            builtin_functions_only: false,
+            operators: true,
+            comments: true,
+            punctuation: true,
+            unknown: true,
+        }
+    }
+
+    /// Decides whether token `i` of `tokens` is critical.
+    pub fn is_critical(&self, tokens: &[Token], i: usize, source: &str) -> bool {
+        let t = tokens[i];
+        match t.kind {
+            TokenKind::Keyword => self.keywords,
+            TokenKind::Operator => self.operators,
+            TokenKind::Comment => self.comments,
+            TokenKind::Unknown => self.unknown,
+            TokenKind::LParen | TokenKind::RParen | TokenKind::Comma | TokenKind::Semicolon => {
+                self.punctuation
+            }
+            TokenKind::Identifier => {
+                // A function call head: identifier immediately followed by `(`.
+                self.functions
+                    && tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::LParen)
+                    && (!self.builtin_functions_only || is_builtin_function(t.text(source)))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Extracts the critical tokens of `source`'s lexed `tokens` under `policy`.
+///
+/// # Examples
+///
+/// ```
+/// use joza_sqlparse::{lex, critical_tokens, CriticalPolicy};
+///
+/// let q = "SELECT * FROM data WHERE ID=1 OR TRUE";
+/// let crit = critical_tokens(q, &lex(q), &CriticalPolicy::default());
+/// let texts: Vec<&str> = crit.iter().map(|t| t.text(q)).collect();
+/// assert_eq!(texts, ["SELECT", "*", "FROM", "WHERE", "=", "OR", "TRUE"]);
+/// ```
+pub fn critical_tokens(source: &str, tokens: &[Token], policy: &CriticalPolicy) -> Vec<Token> {
+    (0..tokens.len())
+        .filter(|&i| policy.is_critical(tokens, i, source))
+        .map(|i| tokens[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn crit_texts(q: &str) -> Vec<String> {
+        let toks = lex(q);
+        critical_tokens(q, &toks, &CriticalPolicy::default())
+            .iter()
+            .map(|t| t.text(q).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn benign_query_criticals() {
+        let texts = crit_texts("SELECT * FROM records WHERE ID=5 LIMIT 5");
+        assert_eq!(texts, ["SELECT", "*", "FROM", "WHERE", "=", "LIMIT"]);
+    }
+
+    #[test]
+    fn union_attack_criticals() {
+        let texts = crit_texts("SELECT * FROM r WHERE ID=-1 UNION SELECT username()");
+        assert!(texts.contains(&"UNION".to_string()));
+        assert!(texts.contains(&"username".to_string()));
+    }
+
+    #[test]
+    fn comment_is_critical() {
+        let texts = crit_texts("SELECT 1 -- tail");
+        assert!(texts.contains(&"-- tail".to_string()));
+    }
+
+    #[test]
+    fn literals_and_identifiers_not_critical() {
+        let texts = crit_texts("SELECT name FROM users WHERE id=42 AND tag='x'");
+        assert!(!texts.contains(&"name".to_string()));
+        assert!(!texts.contains(&"42".to_string()));
+        assert!(!texts.contains(&"'x'".to_string()));
+    }
+
+    #[test]
+    fn punctuation_only_critical_under_strict() {
+        let q = "SELECT a, b FROM t";
+        let toks = lex(q);
+        let default = critical_tokens(q, &toks, &CriticalPolicy::default());
+        assert!(!default.iter().any(|t| t.text(q) == ","));
+        let strict = critical_tokens(q, &toks, &CriticalPolicy::strict());
+        assert!(strict.iter().any(|t| t.text(q) == ","));
+    }
+
+    #[test]
+    fn builtin_only_mode() {
+        let q = "SELECT my_custom_fn(1), sleep(5)";
+        let toks = lex(q);
+        let policy = CriticalPolicy { builtin_functions_only: true, ..Default::default() };
+        let crit = critical_tokens(q, &toks, &policy);
+        let texts: Vec<&str> = crit.iter().map(|t| t.text(q)).collect();
+        assert!(!texts.contains(&"my_custom_fn"));
+        assert!(texts.contains(&"sleep"));
+    }
+
+    #[test]
+    fn identifier_without_call_not_critical() {
+        let texts = crit_texts("SELECT sleep FROM naps");
+        assert!(!texts.contains(&"sleep".to_string()));
+    }
+}

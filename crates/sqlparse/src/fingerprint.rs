@@ -1,0 +1,150 @@
+//! Query structure fingerprints — the paper's *query structure cache* key.
+//!
+//! §IV-C1/§VI-A: "the query structure cache caches abstract syntax trees of
+//! parsed queries without storing contents of data nodes". A fingerprint is
+//! a hash of the token structure of a query with every data literal erased.
+//! Two queries share a fingerprint exactly when they differ only in literal
+//! *contents*; any injected token (keyword, operator, comment, or an escape
+//! out of a string) changes the structure and therefore the fingerprint.
+//!
+//! The caches in `joza-pti` use fingerprints so that a write query like
+//! `INSERT INTO comments VALUES ('…user text…')` only pays full analysis
+//! once per *shape*, not once per comment.
+
+use crate::lexer::lex;
+use crate::token::TokenKind;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Renders the structural skeleton of a query: every token in order, with
+/// literal contents replaced by `?` and keywords/identifiers normalized.
+///
+/// # Examples
+///
+/// ```
+/// use joza_sqlparse::fingerprint::skeleton;
+///
+/// let a = skeleton("SELECT * FROM t WHERE id = 42");
+/// let b = skeleton("select  *  from t where id = 99");
+/// assert_eq!(a, b);
+///
+/// let attacked = skeleton("SELECT * FROM t WHERE id = 42 OR 1=1");
+/// assert_ne!(a, attacked);
+/// ```
+pub fn skeleton(query: &str) -> String {
+    let tokens = lex(query);
+    let mut out = String::with_capacity(query.len());
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match t.kind {
+            TokenKind::Number | TokenKind::StringLit => out.push('?'),
+            TokenKind::Keyword => out.push_str(&t.text(query).to_ascii_uppercase()),
+            TokenKind::Comment => out.push_str("/*c*/"),
+            TokenKind::QuotedIdentifier => {
+                out.push_str(t.text(query).trim_matches('`'));
+            }
+            _ => out.push_str(t.text(query)),
+        }
+    }
+    out
+}
+
+/// Hashes the [`skeleton`] of a query to a 64-bit fingerprint.
+///
+/// # Examples
+///
+/// ```
+/// use joza_sqlparse::fingerprint::fingerprint;
+///
+/// assert_eq!(
+///     fingerprint("SELECT * FROM t WHERE id = 1"),
+///     fingerprint("SELECT * FROM t WHERE id = 2"),
+/// );
+/// assert_ne!(
+///     fingerprint("SELECT * FROM t WHERE id = 1"),
+///     fingerprint("SELECT * FROM t WHERE id = 1 -- x"),
+/// );
+/// ```
+pub fn fingerprint(query: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    skeleton(query).hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_values_erased() {
+        assert_eq!(
+            skeleton("SELECT * FROM t WHERE a='x' AND b=1"),
+            skeleton("SELECT * FROM t WHERE a='yyyy' AND b=234"),
+        );
+    }
+
+    #[test]
+    fn whitespace_and_case_normalized() {
+        assert_eq!(
+            skeleton("select\t*\nfrom t"),
+            skeleton("SELECT * FROM t"),
+        );
+    }
+
+    #[test]
+    fn identifiers_not_erased() {
+        assert_ne!(
+            skeleton("SELECT a FROM t"),
+            skeleton("SELECT b FROM t"),
+        );
+    }
+
+    #[test]
+    fn injected_tautology_changes_structure() {
+        assert_ne!(
+            fingerprint("SELECT * FROM t WHERE id=5"),
+            fingerprint("SELECT * FROM t WHERE id=5 OR 1=1"),
+        );
+    }
+
+    #[test]
+    fn injected_union_changes_structure() {
+        assert_ne!(
+            fingerprint("SELECT * FROM t WHERE id=5"),
+            fingerprint("SELECT * FROM t WHERE id=-1 UNION SELECT user()"),
+        );
+    }
+
+    #[test]
+    fn injected_comment_changes_structure() {
+        assert_ne!(
+            fingerprint("SELECT * FROM t WHERE id=5"),
+            fingerprint("SELECT * FROM t WHERE id=5 -- tail"),
+        );
+    }
+
+    #[test]
+    fn string_breakout_changes_structure() {
+        // Escaping a string literal necessarily introduces new tokens.
+        assert_ne!(
+            fingerprint("SELECT * FROM t WHERE name='bob'"),
+            fingerprint("SELECT * FROM t WHERE name='bob' OR 'a'='a'"),
+        );
+    }
+
+    #[test]
+    fn backticks_normalize() {
+        assert_eq!(
+            skeleton("SELECT `id` FROM `t`"),
+            skeleton("SELECT id FROM t"),
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let q = "SELECT a, b FROM t WHERE x IN (1,2,3) ORDER BY a DESC LIMIT 5";
+        assert_eq!(fingerprint(q), fingerprint(q));
+    }
+}

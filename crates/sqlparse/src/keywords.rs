@@ -1,0 +1,198 @@
+//! MySQL keyword and built-in function tables.
+
+/// Reserved and significant MySQL keywords, uppercase, sorted for binary
+/// search. This list follows the MySQL 5.x grammar the paper's WordPress
+/// testbed runs against, restricted to words that matter syntactically.
+pub static KEYWORDS: &[&str] = &[
+    "ALL",
+    "ALTER",
+    "AND",
+    "AS",
+    "ASC",
+    "BEGIN",
+    "BENCHMARK",
+    "BETWEEN",
+    "BY",
+    "CASE",
+    "COLLATE",
+    "COMMIT",
+    "CREATE",
+    "CROSS",
+    "DATABASE",
+    "DEFAULT",
+    "DELETE",
+    "DESC",
+    "DISTINCT",
+    "DIV",
+    "DROP",
+    "ELSE",
+    "END",
+    "ESCAPE",
+    "EXISTS",
+    "FALSE",
+    "FOR",
+    "FROM",
+    "GROUP",
+    "HAVING",
+    "IN",
+    "INNER",
+    "INSERT",
+    "INTERVAL",
+    "INTO",
+    "IS",
+    "JOIN",
+    "KEY",
+    "LEFT",
+    "LIKE",
+    "LIMIT",
+    "LOCK",
+    "MOD",
+    "NOT",
+    "NULL",
+    "OFFSET",
+    "ON",
+    "OR",
+    "ORDER",
+    "OUTER",
+    "OUTFILE",
+    "PRIMARY",
+    "PROCEDURE",
+    "REGEXP",
+    "REPLACE",
+    "RIGHT",
+    "RLIKE",
+    "ROLLBACK",
+    "SELECT",
+    "SET",
+    "SHOW",
+    "TABLE",
+    "THEN",
+    "TRUE",
+    "TRUNCATE",
+    "UNION",
+    "UPDATE",
+    "USING",
+    "VALUES",
+    "WHEN",
+    "WHERE",
+    "XOR",
+];
+
+/// Built-in MySQL function names (uppercase, sorted) that commonly appear
+/// in injection payloads or WordPress queries. Used to classify
+/// `name(`-style calls; unknown call targets are *also* treated as
+/// functions by the critical-token policy since attackers may invoke any
+/// function.
+pub static BUILTIN_FUNCTIONS: &[&str] = &[
+    "ABS",
+    "ASCII",
+    "AVG",
+    "BENCHMARK",
+    "CAST",
+    "CHAR",
+    "CHAR_LENGTH",
+    "COALESCE",
+    "CONCAT",
+    "CONCAT_WS",
+    "CONVERT",
+    "COUNT",
+    "CURRENT_USER",
+    "DATABASE",
+    "EXTRACTVALUE",
+    "FLOOR",
+    "GROUP_CONCAT",
+    "HEX",
+    "IF",
+    "IFNULL",
+    "INSTR",
+    "LENGTH",
+    "LOAD_FILE",
+    "LOWER",
+    "LPAD",
+    "MAX",
+    "MD5",
+    "MID",
+    "MIN",
+    "NOW",
+    "ORD",
+    "RAND",
+    "REPLACE",
+    "ROUND",
+    "RPAD",
+    "SCHEMA",
+    "SLEEP",
+    "SUBSTR",
+    "SUBSTRING",
+    "SUM",
+    "TRIM",
+    "UNHEX",
+    "UPDATEXML",
+    "UPPER",
+    "USER",
+    "USERNAME",
+    "VERSION",
+];
+
+/// Returns `true` if `word` (any case) is a reserved SQL keyword.
+///
+/// # Examples
+///
+/// ```
+/// use joza_sqlparse::keywords::is_keyword;
+///
+/// assert!(is_keyword("select"));
+/// assert!(is_keyword("UNION"));
+/// assert!(!is_keyword("wp_posts"));
+/// ```
+pub fn is_keyword(word: &str) -> bool {
+    lookup(KEYWORDS, word)
+}
+
+/// Returns `true` if `word` (any case) is a known built-in function name.
+pub fn is_builtin_function(word: &str) -> bool {
+    lookup(BUILTIN_FUNCTIONS, word)
+}
+
+fn lookup(table: &[&str], word: &str) -> bool {
+    if word.len() > 24 {
+        return false;
+    }
+    let upper = word.to_ascii_uppercase();
+    table.binary_search(&upper.as_str()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_sorted_and_unique() {
+        for table in [KEYWORDS, BUILTIN_FUNCTIONS] {
+            for w in table.windows(2) {
+                assert!(w[0] < w[1], "{} >= {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_lookup_case_insensitive() {
+        assert!(is_keyword("Union"));
+        assert!(is_keyword("uNiOn"));
+        assert!(is_keyword("where"));
+        assert!(!is_keyword(""));
+        assert!(!is_keyword("unions"));
+    }
+
+    #[test]
+    fn function_lookup() {
+        assert!(is_builtin_function("sleep"));
+        assert!(is_builtin_function("CHAR"));
+        assert!(is_builtin_function("group_concat"));
+        assert!(!is_builtin_function("my_custom_fn"));
+    }
+
+    #[test]
+    fn long_words_rejected_quickly() {
+        assert!(!is_keyword(&"a".repeat(100)));
+    }
+}

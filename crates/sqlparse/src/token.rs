@@ -1,0 +1,151 @@
+//! Token representation produced by the [lexer](crate::lexer).
+
+use std::fmt;
+use std::ops::Range;
+
+/// The syntactic category of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A reserved SQL keyword (`SELECT`, `UNION`, `OR`, …), matched
+    /// case-insensitively against [`crate::keywords::is_keyword`].
+    Keyword,
+    /// A bare identifier (table/column name) not recognized as a keyword.
+    Identifier,
+    /// A backtick-quoted identifier, e.g. `` `wp_posts` ``. The span
+    /// includes the backticks.
+    QuotedIdentifier,
+    /// A numeric literal (integer, decimal, or `0x` hex).
+    Number,
+    /// A single- or double-quoted string literal, span includes quotes.
+    StringLit,
+    /// An operator such as `=`, `<>`, `||`, `+`.
+    Operator,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.` between qualified-name parts.
+    Dot,
+    /// A comment of any style (`-- …`, `# …`, `/* … */`, `/*! … */`).
+    /// The paper treats each comment as a single critical token.
+    Comment,
+    /// A parameter placeholder: `?` or `:name`.
+    Placeholder,
+    /// A user/session variable such as `@foo` or `@@version`.
+    Variable,
+    /// A byte sequence the lexer could not classify. The lexer is total,
+    /// so garbage (or a truncated injection) still produces tokens.
+    Unknown,
+}
+
+impl TokenKind {
+    /// Whether this kind represents a data literal (a "data node" in the
+    /// paper's structure-cache terminology).
+    pub fn is_literal(self) -> bool {
+        matches!(self, TokenKind::Number | TokenKind::StringLit)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Keyword => "keyword",
+            TokenKind::Identifier => "identifier",
+            TokenKind::QuotedIdentifier => "quoted identifier",
+            TokenKind::Number => "number",
+            TokenKind::StringLit => "string",
+            TokenKind::Operator => "operator",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Semicolon => ";",
+            TokenKind::Dot => ".",
+            TokenKind::Comment => "comment",
+            TokenKind::Placeholder => "placeholder",
+            TokenKind::Variable => "variable",
+            TokenKind::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A lexed token: a kind plus the byte span it occupies in the query.
+///
+/// Tokens borrow nothing; use [`Token::text`] with the original query to
+/// recover the lexeme. Spans are what the taint components intersect with
+/// inferred markings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Syntactic category.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's span as a byte range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// The token's length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the token is empty (never produced by the lexer).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The lexeme: the slice of `source` this token covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token's span is out of bounds for `source`, i.e. the
+    /// token was produced from a different string.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_kinds() {
+        assert!(TokenKind::Number.is_literal());
+        assert!(TokenKind::StringLit.is_literal());
+        assert!(!TokenKind::Keyword.is_literal());
+        assert!(!TokenKind::Comment.is_literal());
+    }
+
+    #[test]
+    fn token_text_and_range() {
+        let t = Token { kind: TokenKind::Keyword, start: 0, end: 6 };
+        assert_eq!(t.text("SELECT 1"), "SELECT");
+        assert_eq!(t.range(), 0..6);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let kinds = [
+            TokenKind::Keyword,
+            TokenKind::Identifier,
+            TokenKind::Comment,
+            TokenKind::Unknown,
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Levenshtein edit distance.
+//!
+//! The paper's NTI component uses PHP's built-in `levenshtein` for short
+//! strings and a linear-memory variant for long strings (§VI-B). Both are
+//! reproduced here, plus a banded early-exit variant used when the caller
+//! only cares whether the distance is below a cutoff.
+
+/// Computes the Levenshtein edit distance between `a` and `b` using the
+/// classic two-row dynamic program (linear memory, `O(|a|·|b|)` time).
+///
+/// Insertions, deletions and substitutions all cost 1.
+///
+/// # Examples
+///
+/// ```
+/// use joza_strmatch::levenshtein::distance;
+///
+/// assert_eq!(distance(b"kitten", b"sitting"), 3);
+/// assert_eq!(distance(b"", b"abc"), 3);
+/// assert_eq!(distance(b"same", b"same"), 0);
+/// ```
+pub fn distance(a: &[u8], b: &[u8]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Iterate over the shorter string in the inner loop to minimize memory.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ic) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oc != ic);
+            let del = prev[j + 1] + 1;
+            let ins = cur[j] + 1;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+/// Computes the Levenshtein distance between `a` and `b`, giving up early.
+///
+/// Returns `Some(d)` if the distance `d` is at most `cutoff`, and `None`
+/// otherwise. Uses Ukkonen's banded dynamic program: only a diagonal band of
+/// width `2·cutoff + 1` is evaluated, so the cost is `O(cutoff · min(|a|,
+/// |b|))` — much cheaper than [`distance`] for small cutoffs.
+///
+/// # Examples
+///
+/// ```
+/// use joza_strmatch::levenshtein::bounded_distance;
+///
+/// assert_eq!(bounded_distance(b"kitten", b"sitting", 3), Some(3));
+/// assert_eq!(bounded_distance(b"kitten", b"sitting", 2), None);
+/// ```
+pub fn bounded_distance(a: &[u8], b: &[u8], cutoff: usize) -> Option<usize> {
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (a.len(), b.len());
+    if m - n > cutoff {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // Row over positions of `b` (the longer string), banded around the
+    // diagonal. prev[j] = distance for prefix a[..i], b[..j].
+    let mut prev = vec![BIG; m + 1];
+    let mut cur = vec![BIG; m + 1];
+    for (j, slot) in prev.iter_mut().enumerate().take(cutoff.min(m) + 1) {
+        *slot = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(cutoff);
+        let hi = (i + cutoff).min(m);
+        cur[lo.saturating_sub(1)] = BIG;
+        let mut row_min = BIG;
+        for j in lo.max(1)..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = if prev[j] < BIG { prev[j] + 1 } else { BIG };
+            let ins = if j > lo.max(1) || (lo == 0 && j == 1) {
+                cur[j - 1].saturating_add(1)
+            } else {
+                BIG
+            };
+            let best = sub.min(del).min(ins);
+            cur[j] = best;
+            row_min = row_min.min(best);
+        }
+        if lo == 0 {
+            cur[0] = i;
+            row_min = row_min.min(i);
+        }
+        if row_min > cutoff {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        // Clear stale cells outside the next band.
+        for slot in cur.iter_mut() {
+            *slot = BIG;
+        }
+    }
+    let d = prev[m];
+    (d <= cutoff).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_vs_empty() {
+        assert_eq!(distance(b"", b""), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(distance(b"", b"abc"), 3);
+        assert_eq!(distance(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn identical() {
+        assert_eq!(distance(b"SELECT * FROM t", b"SELECT * FROM t"), 0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        assert_eq!(distance(b"cat", b"car"), 1);
+    }
+
+    #[test]
+    fn single_insertion() {
+        assert_eq!(distance(b"cat", b"cart"), 1);
+    }
+
+    #[test]
+    fn single_deletion() {
+        assert_eq!(distance(b"cart", b"cat"), 1);
+    }
+
+    #[test]
+    fn classic_kitten() {
+        assert_eq!(distance(b"kitten", b"sitting"), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(distance(b"abcdef", b"azced"), distance(b"azced", b"abcdef"));
+    }
+
+    #[test]
+    fn magic_quotes_example() {
+        // The paper's Fig. 2C scenario: magic quotes add one backslash per
+        // quote, so the distance equals the number of quotes in the input.
+        let input = "-1' OR '1'='1' OR '1'='1";
+        let escaped = input.replace('\'', "\\'");
+        let quotes = input.matches('\'').count();
+        assert_eq!(distance(input.as_bytes(), escaped.as_bytes()), quotes);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_within() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"", b"abc"),
+            (b"same", b"same"),
+            (b"a", b"b"),
+            (b"SELECT", b"SELEKT"),
+        ];
+        for &(a, b) in cases {
+            let d = distance(a, b);
+            assert_eq!(bounded_distance(a, b, d), Some(d), "{a:?} vs {b:?}");
+            assert_eq!(bounded_distance(a, b, d + 2), Some(d));
+            if d > 0 {
+                assert_eq!(bounded_distance(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_length_gap() {
+        assert_eq!(bounded_distance(b"ab", b"abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn bounded_zero_cutoff() {
+        assert_eq!(bounded_distance(b"abc", b"abc", 0), Some(0));
+        assert_eq!(bounded_distance(b"abc", b"abd", 0), None);
+    }
+}

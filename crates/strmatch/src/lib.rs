@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Approximate and multi-pattern string matching substrate for Joza.
+//!
+//! The Joza paper (DSN 2015) relies on two string-matching workhorses:
+//!
+//! * **Negative taint inference (NTI)** needs *approximate substring
+//!   matching*: for each application input it finds the substring of an
+//!   intercepted SQL query with the smallest edit distance to the input
+//!   (§III-A of the paper). This crate provides classic
+//!   [Levenshtein distance](levenshtein::distance) along with
+//!   [Sellers' semi-global alignment](sellers::substring_distance), a
+//!   linear-memory variant, a banded early-exit variant, and a
+//!   [q-gram prefilter](qgram) used to skip implausible comparisons.
+//!
+//! * **Positive taint inference (PTI)** needs *exact multi-pattern
+//!   matching*: finding every occurrence of every program string fragment
+//!   inside a query (§III-B). This crate provides a from-scratch
+//!   [Aho–Corasick automaton](ahocorasick::AhoCorasick) as well as the
+//!   paper's original optimization — a [naive scanner with most-recently-used
+//!   fragment reordering](mru::MruScanner) — so the Figure 7 ablation can
+//!   compare both.
+//!
+//! All matchers operate on bytes; case folding and whitespace normalization
+//! are the caller's responsibility and provided as small helpers in
+//! [`normalize`].
+//!
+//! # Examples
+//!
+//! ```
+//! use joza_strmatch::sellers::substring_distance;
+//!
+//! // The attack input appears verbatim inside the query: distance 0.
+//! let m = substring_distance(b"-1 OR 1=1", b"SELECT * FROM t WHERE id=-1 OR 1=1");
+//! assert_eq!(m.distance, 0);
+//! assert_eq!(m.range(), 25..34);
+//! ```
+
+pub mod ahocorasick;
+pub mod levenshtein;
+pub mod mru;
+pub mod normalize;
+pub mod qgram;
+pub mod sellers;
+
+pub use ahocorasick::{AhoCorasick, Match};
+pub use levenshtein::{bounded_distance, distance};
+pub use sellers::{substring_distance, SubstringMatch};

@@ -1,0 +1,187 @@
+//! Naive multi-pattern scanning with most-recently-used reordering.
+//!
+//! The paper's first PTI optimization (§VI-A) is "a most-recently-used
+//! caching policy for fragments that match a query to take advantage of the
+//! SQL query working set of a Web application". This module implements both
+//! the unoptimized scanner (try every fragment in insertion order) and the
+//! MRU variant (recently matched fragments float to the front), so Figure 7
+//! can be regenerated as an ablation.
+
+/// A pattern occurrence reported by the scanners (same shape as
+/// [`crate::ahocorasick::Match`]).
+pub use crate::ahocorasick::Match;
+
+/// A naive scanner that checks each pattern against the haystack in order.
+///
+/// `find_all` is `O(patterns · |haystack| · avg_len)` — the cost profile the
+/// paper calls "computationally expensive" for PTI before optimization.
+#[derive(Debug, Clone)]
+pub struct NaiveScanner {
+    patterns: Vec<Vec<u8>>,
+}
+
+impl NaiveScanner {
+    /// Builds a scanner over the given patterns.
+    pub fn new<I, P>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        NaiveScanner { patterns: patterns.into_iter().map(|p| p.as_ref().to_vec()).collect() }
+    }
+
+    /// Number of patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Finds all occurrences of all patterns.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        for (pi, pat) in self.patterns.iter().enumerate() {
+            find_one(pi, pat, haystack, &mut out);
+        }
+        out.sort_unstable_by_key(|m| (m.end, m.start, m.pattern));
+        out
+    }
+}
+
+/// A scanner that keeps patterns in most-recently-matched order.
+///
+/// Matching is identical to [`NaiveScanner`] but patterns that matched the
+/// previous query are tried first, and scanning for a *coverage* query (does
+/// fragment X cover token span Y) can stop early. The win materializes in
+/// [`find_all_until`](MruScanner::find_all_until), which stops as soon as the supplied predicate says
+/// the caller has seen enough — mirroring the daemon's "benign queries are
+/// quickly matched" behaviour.
+#[derive(Debug, Clone)]
+pub struct MruScanner {
+    /// (original pattern id, bytes), maintained in MRU order.
+    order: Vec<(usize, Vec<u8>)>,
+}
+
+impl MruScanner {
+    /// Builds a scanner over the given patterns.
+    pub fn new<I, P>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        MruScanner {
+            order: patterns.into_iter().map(|p| p.as_ref().to_vec()).enumerate().collect(),
+        }
+    }
+
+    /// Number of patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Finds all occurrences, promoting matching patterns to the front.
+    pub fn find_all(&mut self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.scan(haystack, &mut out, |_| false);
+        out.sort_unstable_by_key(|m| (m.end, m.start, m.pattern));
+        out
+    }
+
+    /// Scans patterns in MRU order, stopping as soon as `done` returns true
+    /// when passed the matches collected so far. Matching patterns are
+    /// promoted regardless of early exit.
+    pub fn find_all_until<F>(&mut self, haystack: &[u8], done: F) -> Vec<Match>
+    where
+        F: Fn(&[Match]) -> bool,
+    {
+        let mut out = Vec::new();
+        self.scan(haystack, &mut out, |ms| done(ms));
+        out
+    }
+
+    fn scan<F>(&mut self, haystack: &[u8], out: &mut Vec<Match>, done: F)
+    where
+        F: Fn(&[Match]) -> bool,
+    {
+        let mut promote: Vec<usize> = Vec::new();
+        for (pos, (pi, pat)) in self.order.iter().enumerate() {
+            let before = out.len();
+            find_one(*pi, pat, haystack, out);
+            if out.len() > before {
+                promote.push(pos);
+            }
+            if done(out) {
+                break;
+            }
+        }
+        // Promote matched patterns to the front, preserving their relative
+        // order (stable MRU).
+        for (shift, pos) in promote.into_iter().enumerate() {
+            let item = self.order.remove(pos);
+            self.order.insert(shift, item);
+        }
+    }
+}
+
+fn find_one(id: usize, pat: &[u8], haystack: &[u8], out: &mut Vec<Match>) {
+    if pat.is_empty() || pat.len() > haystack.len() {
+        return;
+    }
+    let mut i = 0;
+    while i + pat.len() <= haystack.len() {
+        if &haystack[i..i + pat.len()] == pat {
+            out.push(Match { pattern: id, start: i, end: i + pat.len() });
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ahocorasick::AhoCorasick;
+
+    #[test]
+    fn naive_agrees_with_aho_corasick() {
+        let pats = ["SELECT", "FROM", "OR", " LIMIT 5", "=", "users"];
+        let hay: &[u8] = b"SELECT * FROM users WHERE a=b OR c=d LIMIT 5";
+        let naive = NaiveScanner::new(pats);
+        let ac = AhoCorasick::new(pats);
+        let mut a = naive.find_all(hay);
+        let mut b = ac.find_all(hay);
+        a.sort_unstable_by_key(|m| (m.pattern, m.start));
+        b.sort_unstable_by_key(|m| (m.pattern, m.start));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mru_promotes_matching_patterns() {
+        let mut mru = MruScanner::new(["zzz", "yyy", "abc"]);
+        mru.find_all(b"xx abc xx");
+        // "abc" (id 2) should now be tried first.
+        assert_eq!(mru.order[0].0, 2);
+    }
+
+    #[test]
+    fn mru_same_results_after_promotion() {
+        let pats = ["ab", "bc", "abc"];
+        let hay = b"zabcz";
+        let mut mru = MruScanner::new(pats);
+        let first = mru.find_all(hay);
+        let second = mru.find_all(hay);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn early_exit_stops_scanning() {
+        let mut mru = MruScanner::new(["hit", "also-present", "absent"]);
+        let out = mru.find_all_until(b"hit also-present", |ms| !ms.is_empty());
+        // Stopped after the first matching pattern.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pattern, 0);
+    }
+
+    #[test]
+    fn empty_and_oversized_patterns_ignored() {
+        let naive = NaiveScanner::new(["", "waaaay too long for the haystack"]);
+        assert!(naive.find_all(b"short").is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Small byte-string normalization helpers.
+//!
+//! NTI "makes allowance for common and small string transformations
+//! performed by an application, such as stripping whitespace and performing
+//! case-conversions" (§III-A). The approximate matcher already absorbs small
+//! edits; these helpers let the NTI configuration additionally normalize
+//! case and whitespace before matching.
+
+/// ASCII-lowercases a byte string.
+///
+/// # Examples
+///
+/// ```
+/// use joza_strmatch::normalize::to_lower;
+///
+/// assert_eq!(to_lower(b"SeLeCt"), b"select");
+/// ```
+pub fn to_lower(s: &[u8]) -> Vec<u8> {
+    s.iter().map(|b| b.to_ascii_lowercase()).collect()
+}
+
+/// Collapses runs of ASCII whitespace to a single space and trims the ends.
+///
+/// # Examples
+///
+/// ```
+/// use joza_strmatch::normalize::collapse_ws;
+///
+/// assert_eq!(collapse_ws(b"  a \t b\n"), b"a b");
+/// ```
+pub fn collapse_ws(s: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for &b in s {
+        if b.is_ascii_whitespace() {
+            if !in_ws {
+                out.push(b' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(b);
+            in_ws = false;
+        }
+    }
+    if out.last() == Some(&b' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Trims ASCII whitespace from both ends (PHP `trim` on default charlist).
+pub fn trim(s: &[u8]) -> &[u8] {
+    let start = s.iter().position(|b| !b.is_ascii_whitespace()).unwrap_or(s.len());
+    let end = s.iter().rposition(|b| !b.is_ascii_whitespace()).map_or(start, |i| i + 1);
+    &s[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_passes_non_ascii() {
+        assert_eq!(to_lower("ÄB".as_bytes()), "Äb".as_bytes());
+    }
+
+    #[test]
+    fn collapse_empty() {
+        assert_eq!(collapse_ws(b""), b"");
+        assert_eq!(collapse_ws(b"   "), b"");
+    }
+
+    #[test]
+    fn collapse_interior() {
+        assert_eq!(collapse_ws(b"a  b   c"), b"a b c");
+    }
+
+    #[test]
+    fn trim_both_ends() {
+        assert_eq!(trim(b"  x  "), b"x");
+        assert_eq!(trim(b"x"), b"x");
+        assert_eq!(trim(b""), b"");
+        assert_eq!(trim(b" \t\n"), b"");
+    }
+}

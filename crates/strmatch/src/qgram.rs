@@ -1,0 +1,117 @@
+//! Q-gram counting lower bound for edit distance.
+//!
+//! One of the "heuristics to skip implausible comparisons" the paper cites
+//! for NTI (§III-A, §VI-B). If a pattern and a text share too few q-grams,
+//! no substring of the text can be within a small edit distance of the
+//! pattern, so the quadratic Sellers computation can be skipped.
+//!
+//! The bound is Ukkonen's: a single edit operation destroys at most `q`
+//! q-grams, so if `ed(p, s) <= k` for some substring `s` of `t`, then `p`
+//! and `t` share at least `(|p| - q + 1) - k·q` q-grams (counting
+//! multiplicity on the pattern side, and `t`'s grams as a superset of every
+//! substring's grams).
+
+use std::collections::HashMap;
+
+/// Multiset of q-grams of `s`, keyed by gram bytes.
+fn profile(s: &[u8], q: usize) -> HashMap<&[u8], usize> {
+    let mut map = HashMap::new();
+    if s.len() >= q {
+        for w in s.windows(q) {
+            *map.entry(w).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// A lower bound on the edit distance between `pattern` and the
+/// best-matching substring of `text`.
+///
+/// Returns 0 when the bound is uninformative (e.g. `pattern` shorter than
+/// `q`). The bound is safe: the true minimal substring edit distance is
+/// never smaller than the returned value.
+///
+/// # Examples
+///
+/// ```
+/// use joza_strmatch::qgram::lower_bound;
+/// use joza_strmatch::sellers::substring_distance;
+///
+/// let p = b"UNION SELECT password FROM users";
+/// let t = b"completely unrelated text zzzz";
+/// let lb = lower_bound(p, t, 3);
+/// assert!(lb <= substring_distance(p, t).distance);
+/// assert!(lb > 3); // enough to skip a threshold-3 comparison
+/// ```
+pub fn lower_bound(pattern: &[u8], text: &[u8], q: usize) -> usize {
+    if pattern.len() < q || q == 0 {
+        return 0;
+    }
+    let p_grams = pattern.len() - q + 1;
+    let pp = profile(pattern, q);
+    let tp = profile(text, q);
+    let mut common = 0usize;
+    for (gram, &cnt) in &pp {
+        if let Some(&tcnt) = tp.get(gram) {
+            common += cnt.min(tcnt);
+        }
+    }
+    let missing = p_grams - common.min(p_grams);
+    missing.div_ceil(q)
+}
+
+/// Quick length-based plausibility check: can any substring of a text of
+/// length `text_len` be within `cutoff` edits of a pattern of length
+/// `pattern_len`?
+///
+/// A pattern longer than the whole text by more than `cutoff` cannot match.
+pub fn length_plausible(pattern_len: usize, text_len: usize, cutoff: usize) -> bool {
+    pattern_len <= text_len + cutoff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sellers::substring_distance;
+
+    #[test]
+    fn bound_is_sound_on_samples() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"hello world", b"say hello world!"),
+            (b"hello world", b"completely different"),
+            (b"OR 1=1", b"SELECT * WHERE id=1 OR 1=1"),
+            (b"abcabcabc", b"abc"),
+            (b"", b"xyz"),
+            (b"ab", b"xyz"),
+        ];
+        for &(p, t) in cases {
+            let lb = lower_bound(p, t, 3);
+            let real = substring_distance(p, t).distance;
+            assert!(lb <= real, "lb {lb} > real {real} for {p:?} in {t:?}");
+        }
+    }
+
+    #[test]
+    fn exact_containment_gives_zero_bound() {
+        assert_eq!(lower_bound(b"fragment", b"xx fragment yy", 3), 0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_give_strong_bound() {
+        let p = b"aaaaaaaaaaaaaaaaaaaa";
+        let t = b"bbbbbbbbbbbbbbbbbbbb";
+        assert!(lower_bound(p, t, 3) >= 6);
+    }
+
+    #[test]
+    fn short_pattern_uninformative() {
+        assert_eq!(lower_bound(b"ab", b"zzzz", 3), 0);
+    }
+
+    #[test]
+    fn length_plausibility() {
+        assert!(length_plausible(5, 10, 0));
+        assert!(length_plausible(12, 10, 2));
+        assert!(!length_plausible(13, 10, 2));
+    }
+}

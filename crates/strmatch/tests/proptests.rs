@@ -1,0 +1,115 @@
+//! Property-based tests for the string matching substrate.
+
+use joza_strmatch::ahocorasick::AhoCorasick;
+use joza_strmatch::levenshtein::{bounded_distance, distance};
+use joza_strmatch::mru::{MruScanner, NaiveScanner};
+use joza_strmatch::qgram;
+use joza_strmatch::sellers::{naive_substring_distance, substring_distance};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn distance_symmetric(a in ".{0,40}", b in ".{0,40}") {
+        prop_assert_eq!(distance(a.as_bytes(), b.as_bytes()), distance(b.as_bytes(), a.as_bytes()));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in ".{0,25}", b in ".{0,25}", c in ".{0,25}") {
+        let ab = distance(a.as_bytes(), b.as_bytes());
+        let bc = distance(b.as_bytes(), c.as_bytes());
+        let ac = distance(a.as_bytes(), c.as_bytes());
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn distance_zero_iff_equal(a in ".{0,30}", b in ".{0,30}") {
+        let d = distance(a.as_bytes(), b.as_bytes());
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn distance_bounded_by_max_len(a in ".{0,30}", b in ".{0,30}") {
+        let d = distance(a.as_bytes(), b.as_bytes());
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+    }
+
+    #[test]
+    fn bounded_agrees_with_full(a in ".{0,25}", b in ".{0,25}", cutoff in 0usize..12) {
+        let d = distance(a.as_bytes(), b.as_bytes());
+        match bounded_distance(a.as_bytes(), b.as_bytes(), cutoff) {
+            Some(bd) => { prop_assert_eq!(bd, d); prop_assert!(d <= cutoff); }
+            None => prop_assert!(d > cutoff),
+        }
+    }
+
+    #[test]
+    fn sellers_never_exceeds_global(p in ".{0,25}", t in ".{0,40}") {
+        let m = substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert!(m.distance <= distance(p.as_bytes(), t.as_bytes()));
+    }
+
+    #[test]
+    fn sellers_span_distance_is_exact(p in ".{1,20}", t in ".{1,40}") {
+        let m = substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert!(m.end <= t.len());
+        prop_assert!(m.start <= m.end);
+        // The reported distance must equal the Levenshtein distance of the
+        // pattern against the reported span.
+        let span = &t.as_bytes()[m.start..m.end];
+        prop_assert_eq!(distance(p.as_bytes(), span), m.distance);
+    }
+
+    #[test]
+    fn sellers_detects_exact_containment(prefix in ".{0,15}", p in ".{1,15}", suffix in ".{0,15}") {
+        let t = format!("{prefix}{p}{suffix}");
+        let m = substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert_eq!(m.distance, 0);
+    }
+
+    /// The O(n·m) Sellers algorithm finds the same minimal distance as
+    /// the paper's naive O(n²·m²) every-substring baseline.
+    #[test]
+    fn sellers_agrees_with_naive_baseline(p in ".{0,12}", t in ".{0,24}") {
+        let fast = substring_distance(p.as_bytes(), t.as_bytes());
+        let slow = naive_substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert_eq!(fast.distance, slow.distance, "fast {:?} vs slow {:?}", fast, slow);
+    }
+
+    #[test]
+    fn qgram_bound_is_sound(p in ".{0,30}", t in ".{0,50}", q in 2usize..5) {
+        let lb = qgram::lower_bound(p.as_bytes(), t.as_bytes(), q);
+        let real = substring_distance(p.as_bytes(), t.as_bytes()).distance;
+        prop_assert!(lb <= real, "lb {} > real {}", lb, real);
+    }
+
+    #[test]
+    fn scanners_agree(
+        pats in proptest::collection::vec("[a-c]{1,4}", 1..6),
+        hay in "[a-c]{0,40}",
+    ) {
+        let ac = AhoCorasick::new(&pats);
+        let naive = NaiveScanner::new(&pats);
+        let mut mru = MruScanner::new(&pats);
+        let mut a = ac.find_all(hay.as_bytes());
+        let mut n = naive.find_all(hay.as_bytes());
+        let mut m = mru.find_all(hay.as_bytes());
+        let key = |x: &joza_strmatch::Match| (x.pattern, x.start, x.end);
+        a.sort_unstable_by_key(key);
+        n.sort_unstable_by_key(key);
+        m.sort_unstable_by_key(key);
+        prop_assert_eq!(&a, &n);
+        prop_assert_eq!(&a, &m);
+    }
+
+    #[test]
+    fn mru_stable_across_repeats(
+        pats in proptest::collection::vec("[a-b]{1,3}", 1..5),
+        hay in "[a-b]{0,30}",
+    ) {
+        let mut mru = MruScanner::new(&pats);
+        let first = mru.find_all(hay.as_bytes());
+        let second = mru.find_all(hay.as_bytes());
+        prop_assert_eq!(first, second);
+    }
+}

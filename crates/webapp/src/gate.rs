@@ -1,0 +1,73 @@
+//! The query-interception seam.
+//!
+//! Joza installs itself by wrapping "all standard PHP functions and classes
+//! that interact with backend databases" (§IV-A). In this framework the
+//! wrapping is structural: every `mysql_query` the interpreter executes is
+//! routed through the server's [`QueryGate`] before it may reach the
+//! database. The gate also receives a copy of the raw request inputs at
+//! request start — the paper's preprocessing step, which "stores a copy of
+//! all inputs to the web application to preserve them for NTI analysis"
+//! (§IV-B), i.e. *before* magic quotes or other transformations run.
+
+use crate::request::InputSource;
+
+/// A raw (pre-transformation) request input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawInput {
+    /// Where the value arrived from.
+    pub source: InputSource,
+    /// Parameter name.
+    pub name: String,
+    /// Untransformed value.
+    pub value: String,
+}
+
+/// The gate's verdict for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDecision {
+    /// Query is safe: forward to the DBMS.
+    Allow,
+    /// Attack detected; apply *error virtualization*: fail the query as if
+    /// the DBMS had rejected it and let application logic handle the error
+    /// (§IV-E).
+    ErrorVirtualize,
+    /// Attack detected; apply *termination*: kill the request (the Joza
+    /// default, §IV-E).
+    Terminate,
+}
+
+/// A protection system sitting between the application and the DBMS.
+pub trait QueryGate {
+    /// Called once per request with the raw inputs, before any application
+    /// code runs.
+    fn begin_request(&mut self, inputs: &[RawInput]);
+
+    /// Called for every intercepted query. The returned decision is
+    /// enforced by the server.
+    fn check(&mut self, sql: &str) -> GateDecision;
+}
+
+/// A gate that allows everything (the unprotected baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl QueryGate for AllowAll {
+    fn begin_request(&mut self, _inputs: &[RawInput]) {}
+
+    fn check(&mut self, _sql: &str) -> GateDecision {
+        GateDecision::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all_is_transparent() {
+        let mut g = AllowAll;
+        g.begin_request(&[]);
+        assert_eq!(g.check("SELECT 1"), GateDecision::Allow);
+        assert_eq!(g.check("SELECT * FROM users WHERE 1=1 OR 1=1"), GateDecision::Allow);
+    }
+}

@@ -1,0 +1,160 @@
+//! HTTP request model.
+
+/// Where an input value arrived from. The paper's threat model admits
+//  "files, environment variables, HTTP request bodies, HTTP request
+/// headers, databases and others" (§II); the web pipeline exposes these
+/// four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSource {
+    /// Query-string parameter.
+    Get,
+    /// Form body parameter.
+    Post,
+    /// Cookie value.
+    Cookie,
+    /// HTTP header value (e.g. `User-Agent`, `X-Forwarded-For`).
+    Header,
+}
+
+/// HTTP method of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// `GET` — the read path.
+    #[default]
+    Get,
+    /// `POST` — the write path.
+    Post,
+}
+
+/// A simulated HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Route (plugin slug).
+    pub path: String,
+    /// GET parameters, in order.
+    pub get: Vec<(String, String)>,
+    /// POST parameters, in order.
+    pub post: Vec<(String, String)>,
+    /// Cookies.
+    pub cookies: Vec<(String, String)>,
+    /// Headers.
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// Creates a GET request for a route.
+    pub fn get(path: &str) -> Self {
+        HttpRequest { method: Method::Get, path: path.to_string(), ..Default::default() }
+    }
+
+    /// Creates a POST request for a route.
+    pub fn post(path: &str) -> Self {
+        HttpRequest { method: Method::Post, path: path.to_string(), ..Default::default() }
+    }
+
+    /// Adds a parameter: GET requests put it in the query string, POST
+    /// requests in the body.
+    #[must_use]
+    pub fn param(mut self, key: &str, value: &str) -> Self {
+        match self.method {
+            Method::Get => self.get.push((key.to_string(), value.to_string())),
+            Method::Post => self.post.push((key.to_string(), value.to_string())),
+        }
+        self
+    }
+
+    /// Adds a query-string parameter regardless of method.
+    #[must_use]
+    pub fn query_param(mut self, key: &str, value: &str) -> Self {
+        self.get.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a cookie.
+    #[must_use]
+    pub fn cookie(mut self, key: &str, value: &str) -> Self {
+        self.cookies.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn header(mut self, key: &str, value: &str) -> Self {
+        self.headers.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// All inputs as `(source, name, value)` triples, in a fixed order —
+    /// this is exactly what Joza's preprocessing stores for NTI (§IV-B).
+    pub fn all_inputs(&self) -> Vec<(InputSource, String, String)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.get {
+            out.push((InputSource::Get, k.clone(), v.clone()));
+            push_bracket_key(&mut out, InputSource::Get, k);
+        }
+        for (k, v) in &self.post {
+            out.push((InputSource::Post, k.clone(), v.clone()));
+            push_bracket_key(&mut out, InputSource::Post, k);
+        }
+        for (k, v) in &self.cookies {
+            out.push((InputSource::Cookie, k.clone(), v.clone()));
+        }
+        for (k, v) in &self.headers {
+            out.push((InputSource::Header, k.clone(), v.clone()));
+        }
+        out
+    }
+
+    /// Whether this request is a write (POST).
+    pub fn is_write(&self) -> bool {
+        self.method == Method::Post
+    }
+}
+
+/// PHP array-bracket parameter names (`ids[KEY]=v`) carry attacker data
+/// in the *key* as well; NTI's preprocessing must capture it as an input
+/// (the Drupal CVE-2014-3704 delivery channel).
+fn push_bracket_key(out: &mut Vec<(InputSource, String, String)>, source: InputSource, name: &str) {
+    if let (Some(open), Some(close)) = (name.find('['), name.rfind(']')) {
+        if open > 0 && close == name.len() - 1 && close > open + 1 {
+            let inner = &name[open + 1..close];
+            out.push((source, format!("{}(key)", &name[..open]), inner.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_routing() {
+        let r = HttpRequest::get("plugin-a").param("id", "5").cookie("session", "x");
+        assert_eq!(r.path, "plugin-a");
+        assert_eq!(r.get, [("id".to_string(), "5".to_string())]);
+        assert!(!r.is_write());
+    }
+
+    #[test]
+    fn post_params_in_body() {
+        let r = HttpRequest::post("comment").param("text", "hello");
+        assert!(r.get.is_empty());
+        assert_eq!(r.post.len(), 1);
+        assert!(r.is_write());
+    }
+
+    #[test]
+    fn all_inputs_order_and_sources() {
+        let r = HttpRequest::get("x")
+            .param("a", "1")
+            .cookie("c", "2")
+            .header("User-Agent", "UA");
+        let inputs = r.all_inputs();
+        assert_eq!(inputs.len(), 3);
+        assert_eq!(inputs[0].0, InputSource::Get);
+        assert_eq!(inputs[1].0, InputSource::Cookie);
+        assert_eq!(inputs[2].0, InputSource::Header);
+    }
+}

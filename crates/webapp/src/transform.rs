@@ -1,0 +1,215 @@
+//! Application-level input transformations.
+//!
+//! "Most web applications apply some form of input manipulation for the
+//! purpose of validation, sanitization or normalization" (§III-A). These
+//! transformations are what break the input↔query correspondence NTI
+//! relies on: WordPress enforces magic quotes and trims whitespace from
+//! authenticated input; one testbed plugin base64-decodes its input (the
+//! one exploit NTI missed in Table II).
+
+use joza_phpsim::builtins::{addslashes, base64_decode, urldecode};
+
+/// One input transformation, applied by the framework before plugin code
+/// sees the value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputTransform {
+    /// PHP magic quotes: backslash-escape quotes and backslashes
+    /// (`addslashes`). WordPress applies this to all request input.
+    MagicQuotes,
+    /// Trim ASCII whitespace from both ends (WordPress does this for
+    /// authenticated users' input).
+    Trim,
+    /// Percent-decode (`urldecode`).
+    UrlDecode,
+    /// Base64-decode; values that fail to decode pass through unchanged.
+    Base64Decode,
+    /// Lowercase the value.
+    Lowercase,
+    /// Replace every occurrence of `from` with `to`.
+    Replace {
+        /// Substring to replace.
+        from: String,
+        /// Replacement.
+        to: String,
+    },
+}
+
+impl InputTransform {
+    /// Applies the transformation to one input value.
+    pub fn apply(&self, value: &str) -> String {
+        match self {
+            InputTransform::MagicQuotes => addslashes(value),
+            InputTransform::Trim => value.trim().to_string(),
+            InputTransform::UrlDecode => urldecode(value),
+            InputTransform::Base64Decode => {
+                base64_decode(value).unwrap_or_else(|| value.to_string())
+            }
+            InputTransform::Lowercase => value.to_ascii_lowercase(),
+            InputTransform::Replace { from, to } => value.replace(from.as_str(), to.as_str()),
+        }
+    }
+}
+
+/// An ordered pipeline of transformations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransformPipeline {
+    steps: Vec<InputTransform>,
+}
+
+impl TransformPipeline {
+    /// An empty pipeline (values pass through unchanged).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The WordPress default: magic quotes on everything.
+    pub fn wordpress() -> Self {
+        TransformPipeline { steps: vec![InputTransform::MagicQuotes] }
+    }
+
+    /// WordPress for authenticated users: magic quotes plus trimming.
+    pub fn wordpress_authenticated() -> Self {
+        TransformPipeline { steps: vec![InputTransform::Trim, InputTransform::MagicQuotes] }
+    }
+
+    /// Appends a step.
+    #[must_use]
+    pub fn with(mut self, step: InputTransform) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the pipeline has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Applies all steps in order.
+    pub fn apply(&self, value: &str) -> String {
+        let mut v = value.to_string();
+        for step in &self.steps {
+            v = step.apply(&v);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_quotes_escapes() {
+        let t = InputTransform::MagicQuotes;
+        assert_eq!(t.apply("1' OR '1'='1"), r"1\' OR \'1\'=\'1");
+        assert_eq!(t.apply("plain"), "plain");
+    }
+
+    #[test]
+    fn trim_strips_padding_attack() {
+        let t = InputTransform::Trim;
+        assert_eq!(t.apply("payload     "), "payload");
+    }
+
+    #[test]
+    fn base64_passthrough_on_garbage() {
+        let t = InputTransform::Base64Decode;
+        assert_eq!(t.apply("LTEgT1IgMT0x"), "-1 OR 1=1");
+        assert_eq!(t.apply("!!notb64!!"), "!!notb64!!");
+    }
+
+    #[test]
+    fn pipeline_order_matters() {
+        let p = TransformPipeline::new()
+            .with(InputTransform::Trim)
+            .with(InputTransform::MagicQuotes);
+        assert_eq!(p.apply("  a'b  "), r"a\'b");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn wordpress_presets() {
+        assert_eq!(TransformPipeline::wordpress().apply("x'y"), r"x\'y");
+        assert_eq!(TransformPipeline::wordpress_authenticated().apply(" x'y "), r"x\'y");
+    }
+
+    #[test]
+    fn replace_rule() {
+        let t = InputTransform::Replace { from: "<".into(), to: "&lt;".into() };
+        assert_eq!(t.apply("<b>"), "&lt;b>");
+    }
+
+    #[test]
+    fn urldecode_transform() {
+        let t = InputTransform::UrlDecode;
+        assert_eq!(t.apply("%27+OR+1%3D1"), "' OR 1=1");
+    }
+}
+
+#[cfg(test)]
+mod transform_tests {
+    use super::*;
+
+    #[test]
+    fn magic_quotes_escapes_quotes_and_backslashes() {
+        let t = InputTransform::MagicQuotes;
+        assert_eq!(t.apply("it's"), r"it\'s");
+        assert_eq!(t.apply(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(t.apply(r"a\b"), r"a\\b");
+        assert_eq!(t.apply("plain"), "plain");
+    }
+
+    #[test]
+    fn trim_and_lowercase() {
+        assert_eq!(InputTransform::Trim.apply("  x \t"), "x");
+        assert_eq!(InputTransform::Lowercase.apply("SeLeCt"), "select");
+    }
+
+    #[test]
+    fn base64_passthrough_on_invalid() {
+        let t = InputTransform::Base64Decode;
+        assert_eq!(t.apply("aGk="), "hi");
+        assert_eq!(t.apply("not base64 !!"), "not base64 !!");
+    }
+
+    #[test]
+    fn urldecode_transform() {
+        assert_eq!(InputTransform::UrlDecode.apply("a%20b%27"), "a b'");
+    }
+
+    #[test]
+    fn replace_transform() {
+        let t = InputTransform::Replace { from: "--".into(), to: "".into() };
+        assert_eq!(t.apply("a--b--c"), "abc");
+    }
+
+    #[test]
+    fn pipeline_applies_in_order() {
+        // Trim before magic quotes vs after gives different results on
+        // quote-adjacent whitespace — order matters and is preserved.
+        let p1 = TransformPipeline::new()
+            .with(InputTransform::Trim)
+            .with(InputTransform::MagicQuotes);
+        assert_eq!(p1.apply("  ' "), r"\'");
+        let p2 = TransformPipeline::new()
+            .with(InputTransform::Lowercase)
+            .with(InputTransform::Replace { from: "select".into(), to: "".into() });
+        assert_eq!(p2.apply("SELECTx"), "x");
+        assert_eq!(p2.len(), 2);
+        assert!(!p2.is_empty());
+    }
+
+    #[test]
+    fn wordpress_pipelines() {
+        // Anonymous traffic: magic quotes only.
+        assert_eq!(TransformPipeline::wordpress().apply(" o'k "), r" o\'k ");
+        // Authenticated traffic additionally trims.
+        assert_eq!(TransformPipeline::wordpress_authenticated().apply(" o'k "), r"o\'k");
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: protect queries with the Joza hybrid taint-inference engine.
+//!
+//! Joza combines two complementary inference techniques:
+//!
+//! * **NTI** (negative taint inference) matches request inputs against the
+//!   query with approximate string matching and flags critical SQL tokens
+//!   the attacker appears to control;
+//! * **PTI** (positive taint inference) trusts only the string fragments
+//!   extracted from the application's own source code and flags critical
+//!   tokens not covered by any single fragment.
+//!
+//! A query is safe iff *both* deem it safe. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use joza::core::{Joza, JozaConfig};
+
+fn main() {
+    // In a real deployment `Joza::install` extracts fragments from every
+    // application source file. Here we list the fragments the vulnerable
+    // program contains (the §III-B example from the paper).
+    let fragments = ["id", "SELECT * FROM records WHERE ID=", " LIMIT 5"];
+    let joza = Joza::builder().fragments(fragments).config(JozaConfig::optimized()).build();
+
+    // A session captures the raw request inputs before the application can
+    // transform them (§IV-B), then checks each outgoing query.
+    let mut session = joza.session();
+
+    println!("== benign request ==");
+    session.capture_input("id", "42");
+    let verdict = session.check("SELECT * FROM records WHERE ID=42 LIMIT 5");
+    println!("query is safe: {} (nti={:?}, pti={:?})\n", verdict.is_safe(), verdict.nti_attack, verdict.pti_attack);
+
+    println!("== union-based injection ==");
+    session.reset();
+    let payload = "-1 UNION SELECT username()";
+    session.capture_input("id", payload);
+    let query = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+    let verdict = session.check(&query);
+    println!("query: {query}");
+    println!(
+        "attack detected: {} by {:?} (nti={:?}, pti={:?})\n",
+        !verdict.is_safe(),
+        verdict.detected_by,
+        verdict.nti_attack,
+        verdict.pti_attack
+    );
+
+    println!("== why the hybrid matters ==");
+    // This payload is short and built entirely from tokens that happen to
+    // exist in a richer application vocabulary — it would evade PTI alone.
+    let vocab_rich = Joza::builder()
+        .fragments(["id", "SELECT * FROM records WHERE ID=", " LIMIT 5", "OR", "=", "1"])
+        .config(JozaConfig::optimized())
+        .build();
+    let payload = "1 OR 1 = 1";
+    let query = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+    let verdict = vocab_rich.check_query(&[payload], &query);
+    println!("tautology {payload:?}: pti evaded={}, nti caught={}", verdict.pti_attack == Some(false), verdict.nti_attack == Some(true));
+    assert!(!verdict.is_safe(), "hybrid must detect the tautology");
+
+    println!("\nCumulative stats: {:?}", joza.stats());
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure/ablation of the paper's evaluation into
+# results/. Security tables are deterministic; performance tables measure
+# wall-clock (expect ±1 percentage point between runs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in table1 table2 table3 table4 table7 ablation_threshold ablation_policy; do
+    echo "== $bin =="
+    cargo run --quiet --release -p joza-bench --bin "$bin" > "results/$bin.txt"
+done
+for bin in table5 table6 fig7 fig8 ablation_matcher; do
+    echo "== $bin (timed) =="
+    cargo run --quiet --release -p joza-bench --bin "$bin" > "results/$bin.txt"
+done
+echo "done: $(ls results | wc -l) result files in results/"

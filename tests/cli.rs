@@ -1,0 +1,97 @@
+//! End-to-end tests for the `joza` command-line tool: extract a fragment
+//! vocabulary from PHP sources on disk, then check queries against it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn joza_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_joza")
+}
+
+fn write_demo_app(dir: &std::path::Path) -> PathBuf {
+    let plugin = dir.join("plugin.php");
+    std::fs::write(
+        &plugin,
+        r#"
+        $id = $_GET['id'];
+        $q = "SELECT title FROM posts WHERE id=" . $id . " LIMIT 1";
+        $r = mysql_query($q);
+        "#,
+    )
+    .expect("write demo plugin");
+    // A nested directory exercises recursion.
+    let sub = dir.join("includes");
+    std::fs::create_dir_all(&sub).expect("mkdir");
+    std::fs::write(sub.join("helpers.php"), r#"$h = "SELECT option_value FROM options";"#)
+        .expect("write helper");
+    plugin
+}
+
+#[test]
+fn extract_then_check_roundtrip() {
+    let tmp = std::env::temp_dir().join(format!("joza-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("mkdir");
+    write_demo_app(&tmp);
+
+    // Extract.
+    let out = Command::new(joza_bin()).arg("extract").arg(&tmp).output().expect("run extract");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let fragments = String::from_utf8(out.stdout).expect("utf8");
+    assert!(fragments.contains("SELECT title FROM posts WHERE id="), "{fragments}");
+    assert!(fragments.contains("SELECT option_value FROM options"), "{fragments}");
+    let frag_file = tmp.join("fragments.txt");
+    std::fs::write(&frag_file, &fragments).expect("write fragments");
+
+    // Benign check: exit 0.
+    let out = Command::new(joza_bin())
+        .args(["check", "-f"])
+        .arg(&frag_file)
+        .args(["-i", "7", "SELECT title FROM posts WHERE id=7 LIMIT 1"])
+        .output()
+        .expect("run check");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: safe"));
+
+    // Attack check: exit 1 and both components flag it.
+    let payload = "7 UNION SELECT user_pass FROM users";
+    let query = format!("SELECT title FROM posts WHERE id={payload} LIMIT 1");
+    let out = Command::new(joza_bin())
+        .args(["check", "-f"])
+        .arg(&frag_file)
+        .args(["-i", payload, &query])
+        .output()
+        .expect("run check");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nti: ATTACK"), "{stdout}");
+    assert!(stdout.contains("pti: ATTACK"), "{stdout}");
+
+    // Audit reports the vocabulary surface.
+    let out = Command::new(joza_bin())
+        .args(["audit", "-f"])
+        .arg(&frag_file)
+        .output()
+        .expect("run audit");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SELECT"), "{stdout}");
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn check_requires_fragments_flag() {
+    let out = Command::new(joza_bin())
+        .args(["check", "SELECT 1"])
+        .output()
+        .expect("run check");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing -f"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = Command::new(joza_bin()).arg("--help").output().expect("run help");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

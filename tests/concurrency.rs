@@ -1,0 +1,106 @@
+//! Concurrency: one Joza engine shared by many request threads (the
+//! paper's deployment — multiple PHP application instances talking to
+//! shared daemons) must stay consistent under contention.
+
+use joza::core::{Joza, JozaConfig, Verdict};
+use joza::pti::daemon::{DaemonMode, PtiComponentConfig};
+use std::sync::Arc;
+
+const FRAGS: &[&str] = &[
+    "id",
+    "SELECT * FROM records WHERE ID=",
+    " LIMIT 5",
+    "SELECT option_value FROM wp_options WHERE option_name = '",
+    "' LIMIT 1",
+];
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn engine_is_send_and_sync() {
+    assert_send_sync::<Joza>();
+    assert_send_sync::<JozaConfig>();
+    assert_send_sync::<Verdict>();
+}
+
+#[test]
+fn concurrent_checks_are_consistent() {
+    for mode in [DaemonMode::LongLived, DaemonMode::InProcess] {
+        let config = JozaConfig {
+            pti: PtiComponentConfig { mode, ..PtiComponentConfig::optimized() },
+            ..JozaConfig::default()
+        };
+        let joza = Arc::new(Joza::builder().fragments(FRAGS).config(config).build());
+
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let joza = Arc::clone(&joza);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let id = t * 1000 + i;
+                        let benign = format!("SELECT * FROM records WHERE ID={id} LIMIT 5");
+                        assert!(
+                            joza.check_query(&[&id.to_string()], &benign).is_safe(),
+                            "benign flipped under contention: {benign}"
+                        );
+                        if i % 7 == 0 {
+                            let payload = format!("{id} UNION SELECT username()");
+                            let attack =
+                                format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+                            assert!(
+                                !joza.check_query(&[&payload], &attack).is_safe(),
+                                "attack missed under contention: {attack}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker thread panicked");
+        }
+
+        let stats = joza.stats();
+        assert_eq!(stats.queries, 8 * (200 + 200_u64.div_ceil(7)));
+        assert_eq!(stats.attacks, 8 * 200_u64.div_ceil(7));
+    }
+}
+
+#[test]
+fn concurrent_servers_share_one_engine() {
+    use joza::lab::build_lab;
+    use joza::lab::verify::request_for;
+
+    // One engine, several independent labs (processes in the paper).
+    let lab0 = build_lab();
+    let joza = Arc::new(Joza::install(&lab0.server.app, JozaConfig::optimized()));
+    drop(lab0);
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let joza = Arc::clone(&joza);
+            std::thread::spawn(move || {
+                let mut lab = build_lab();
+                let plugins: Vec<_> = lab.plugins.iter().take(8).cloned().collect();
+                for p in &plugins {
+                    let mut gate = joza.gate();
+                    let resp = lab
+                        .server
+                        .handle_gated(&request_for(p, p.exploit.primary_payload()), &mut gate);
+                    assert!(
+                        resp.blocked || resp.executed < resp.queries.len(),
+                        "{}: exploit missed",
+                        p.name
+                    );
+                    let mut gate = joza.gate();
+                    let resp =
+                        lab.server.handle_gated(&request_for(p, &p.benign_value), &mut gate);
+                    assert!(!resp.blocked, "{}: benign blocked", p.name);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("server thread panicked");
+    }
+}
