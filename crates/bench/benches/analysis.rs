@@ -132,10 +132,7 @@ fn bench_daemon_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("daemon");
     let mut component = PtiComponent::new(
         &frags,
-        PtiComponentConfig {
-            query_cache: false,
-            ..PtiComponentConfig::optimized()
-        },
+        PtiComponentConfig { query_cache: false, ..PtiComponentConfig::optimized() },
     );
     let _ = component.check(BENIGN);
     g.bench_function("roundtrip_structure_cache_hit", |b| {

@@ -46,7 +46,8 @@ fn bench_sellers(c: &mut Criterion) {
     // merely slow rather than hopeless — the complexity contrast of §III-A.
     g.bench_function("naive_n2m2_baseline/64", |bench| {
         let q = query(64);
-        bench.iter(|| naive_substring_distance(black_box(input.as_bytes()), black_box(q.as_bytes())))
+        bench
+            .iter(|| naive_substring_distance(black_box(input.as_bytes()), black_box(q.as_bytes())))
     });
     for qlen in [64usize, 256, 1024] {
         let q = query(qlen);
@@ -91,9 +92,7 @@ fn bench_fragment_matchers(c: &mut Criterion) {
         let ac = AhoCorasick::new(&fragments);
         b.iter(|| ac.find_all(black_box(q.as_bytes())))
     });
-    g.bench_function("aho_corasick_build", |b| {
-        b.iter(|| AhoCorasick::new(black_box(&fragments)))
-    });
+    g.bench_function("aho_corasick_build", |b| b.iter(|| AhoCorasick::new(black_box(&fragments))));
     g.finish();
 }
 

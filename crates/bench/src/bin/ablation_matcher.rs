@@ -13,8 +13,7 @@ use joza_pti::analyzer::{PtiAnalyzer, PtiConfig};
 use joza_pti::MatcherKind;
 use std::time::{Duration, Instant};
 
-const QUERY: &str =
-    "SELECT option_value FROM wp_options WHERE option_name = 'siteurl' LIMIT 1";
+const QUERY: &str = "SELECT option_value FROM wp_options WHERE option_name = 'siteurl' LIMIT 1";
 
 fn fragments(files: usize) -> Vec<String> {
     let mut set = FragmentSet::new();
@@ -45,10 +44,23 @@ fn main() {
         let frags = fragments(files);
         let mut row = vec![format!("{}", frags.len())];
         for (label, cfg) in [
-            ("naive", PtiConfig { matcher: MatcherKind::Naive, parse_first: false, ..Default::default() }),
-            ("naive+parse-first", PtiConfig { matcher: MatcherKind::Naive, parse_first: true, ..Default::default() }),
+            (
+                "naive",
+                PtiConfig { matcher: MatcherKind::Naive, parse_first: false, ..Default::default() },
+            ),
+            (
+                "naive+parse-first",
+                PtiConfig { matcher: MatcherKind::Naive, parse_first: true, ..Default::default() },
+            ),
             ("MRU+parse-first (paper)", PtiConfig::optimized()),
-            ("Aho-Corasick", PtiConfig { matcher: MatcherKind::AhoCorasick, parse_first: false, ..Default::default() }),
+            (
+                "Aho-Corasick",
+                PtiConfig {
+                    matcher: MatcherKind::AhoCorasick,
+                    parse_first: false,
+                    ..Default::default()
+                },
+            ),
         ] {
             let analyzer = PtiAnalyzer::from_fragments(frags.clone(), cfg);
             let t = time_analyze(&analyzer, reps);

@@ -59,8 +59,7 @@ fn advanced_search_app() -> Server {
 
 fn main() {
     let mut lab = build_lab();
-    let all: Vec<_> =
-        lab.plugins.clone().into_iter().chain(lab.cms_cases.clone()).collect();
+    let all: Vec<_> = lab.plugins.clone().into_iter().chain(lab.cms_cases.clone()).collect();
 
     println!("ABLATION: pragmatic vs strict critical-token policy\n");
     let mut rows = Vec::new();
@@ -69,8 +68,10 @@ fn main() {
         ("strict (Ray & Ligatti)", CriticalPolicy::strict()),
     ] {
         let joza = joza_with(&lab.server.app, policy.clone());
-        let exploits_detected =
-            all.iter().filter(|p| detected(&mut lab, &joza, p, p.exploit.primary_payload())).count();
+        let exploits_detected = all
+            .iter()
+            .filter(|p| detected(&mut lab, &joza, p, p.exploit.primary_payload()))
+            .count();
 
         // Advanced-search benign traffic under the same policy.
         let mut server = advanced_search_app();

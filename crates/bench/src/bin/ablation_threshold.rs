@@ -89,7 +89,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Threshold", "Originals detected", "Sized mutants evading", "Coincidental-benign FPs"],
+            &[
+                "Threshold",
+                "Originals detected",
+                "Sized mutants evading",
+                "Coincidental-benign FPs"
+            ],
             &rows
         )
     );

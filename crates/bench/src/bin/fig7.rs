@@ -31,10 +31,7 @@ fn main() {
             format!("{rest:?}"),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["Configuration", "Request total", "PTI", "NTI", "Rest"], &rows)
-    );
+    println!("{}", render_table(&["Configuration", "Request total", "PTI", "NTI", "Rest"], &rows));
     println!("plain (unprotected) request: {base:?}");
 
     let unopt_pti = unopt.pti_time.as_secs_f64() / unopt.requests as f64;

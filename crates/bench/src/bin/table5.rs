@@ -3,8 +3,8 @@
 
 use joza_bench::report::{pct, render_table};
 use joza_bench::workload::{
-    crawl_requests, measure_steady, measure_steady_gen, measure_type_against,
-    measure_type_gen, write_requests_pass, Setup,
+    crawl_requests, measure_steady, measure_steady_gen, measure_type_against, measure_type_gen,
+    write_requests_pass, Setup,
 };
 
 const REPS: usize = 3;
@@ -76,8 +76,5 @@ fn main() {
 }
 
 fn parse_n(default: usize) -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(default)
+    std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(default)
 }

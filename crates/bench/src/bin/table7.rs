@@ -3,8 +3,7 @@
 
 use joza_bench::report::{pct, render_table};
 use joza_bench::workload::{
-    crawl_requests, measure_steady_gen, measure_type, measure_type_gen, write_requests_pass,
-    Setup,
+    crawl_requests, measure_steady_gen, measure_type, measure_type_gen, write_requests_pass, Setup,
 };
 use joza_bench::wpcom::five_year_average;
 

@@ -79,8 +79,7 @@ pub fn evaluate() -> SecurityEvaluation {
                 let nti_mut = mutate_for_nti(p, threshold);
                 let taintless = evade_pti(&mut lab.server, p, &pti_analyzer);
                 let taintless_adapted = taintless.is_some();
-                let pti_mut =
-                    taintless.map(|e| e.mutated).unwrap_or_else(|| original.clone());
+                let pti_mut = taintless.map(|e| e.mutated).unwrap_or_else(|| original.clone());
 
                 let nti_original = detected(&mut lab, &nti_only, p, &original);
                 let nti_mutated = detected(&mut lab, &nti_only, p, &nti_mut);

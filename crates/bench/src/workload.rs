@@ -92,8 +92,7 @@ impl Setup {
         };
         let pti = match self {
             Setup::Unoptimized => {
-                let (pipe_cost, response_parse_cost, spawn_cost) =
-                    boundary(DaemonMode::PerQuery);
+                let (pipe_cost, response_parse_cost, spawn_cost) = boundary(DaemonMode::PerQuery);
                 PtiComponentConfig {
                     mode: DaemonMode::PerQuery,
                     query_cache: false,
@@ -109,8 +108,7 @@ impl Setup {
                 }
             }
             Setup::DaemonNoCache => {
-                let (pipe_cost, response_parse_cost, spawn_cost) =
-                    boundary(DaemonMode::LongLived);
+                let (pipe_cost, response_parse_cost, spawn_cost) = boundary(DaemonMode::LongLived);
                 PtiComponentConfig {
                     mode: DaemonMode::LongLived,
                     query_cache: false,
@@ -122,8 +120,7 @@ impl Setup {
                 }
             }
             Setup::DaemonQueryCache => {
-                let (pipe_cost, response_parse_cost, spawn_cost) =
-                    boundary(DaemonMode::LongLived);
+                let (pipe_cost, response_parse_cost, spawn_cost) = boundary(DaemonMode::LongLived);
                 PtiComponentConfig {
                     mode: DaemonMode::LongLived,
                     query_cache: true,
@@ -135,8 +132,7 @@ impl Setup {
                 }
             }
             Setup::DaemonFullCache => {
-                let (pipe_cost, response_parse_cost, spawn_cost) =
-                    boundary(DaemonMode::LongLived);
+                let (pipe_cost, response_parse_cost, spawn_cost) = boundary(DaemonMode::LongLived);
                 PtiComponentConfig {
                     pipe_cost,
                     response_parse_cost,
@@ -178,11 +174,7 @@ pub fn perf_lab() -> Lab {
         ("post-comment", WRITE_RENDER_COST),
         ("search", SEARCH_RENDER_COST),
     ] {
-        lab.server
-            .app
-            .plugin_mut(route)
-            .expect("core route exists")
-            .render_cost = cost;
+        lab.server.app.plugin_mut(route).expect("core route exists").render_cost = cost;
     }
     lab
 }
@@ -348,11 +340,7 @@ impl MeasureBench {
 /// [`measure_steady_gen`] — real writes carry fresh content every time,
 /// and replaying identical writes would let the query cache absorb work
 /// it never could in production.
-pub fn measure_steady(
-    requests: &[HttpRequest],
-    setup: Option<Setup>,
-    reps: usize,
-) -> RunStats {
+pub fn measure_steady(requests: &[HttpRequest], setup: Option<Setup>, reps: usize) -> RunStats {
     measure_steady_gen(setup, reps, |_| requests.to_vec())
 }
 
@@ -368,8 +356,7 @@ where
 {
     let mut bench = MeasureBench::new(setup);
     bench.warmup(&gen(0));
-    let mut runs: Vec<RunStats> =
-        (1..=reps.max(1)).map(|i| bench.pass(&gen(i))).collect();
+    let mut runs: Vec<RunStats> = (1..=reps.max(1)).map(|i| bench.pass(&gen(i))).collect();
     runs.sort_by_key(|r| r.total);
     runs[runs.len() / 2]
 }
@@ -482,7 +469,12 @@ pub fn mix_requests(writes_pct: usize, total_requests: usize) -> Vec<HttpRequest
 
 /// Measures a read/write mix (Table VI): `writes_pct` percent writes.
 /// Write content is fresh in every pass.
-pub fn measure_mix(writes_pct: usize, total_requests: usize, setup: Setup, reps: usize) -> MixResult {
+pub fn measure_mix(
+    writes_pct: usize,
+    total_requests: usize,
+    setup: Setup,
+    reps: usize,
+) -> MixResult {
     let gen = |pass: usize| mix_requests_pass(writes_pct, total_requests, pass);
     let (plain, protected) = measure_pair_gen(setup, reps, gen);
     MixResult {
@@ -494,7 +486,11 @@ pub fn measure_mix(writes_pct: usize, total_requests: usize, setup: Setup, reps:
 }
 
 /// Builds one pass of a read/write mix with pass-unique write content.
-pub fn mix_requests_pass(writes_pct: usize, total_requests: usize, pass: usize) -> Vec<HttpRequest> {
+pub fn mix_requests_pass(
+    writes_pct: usize,
+    total_requests: usize,
+    pass: usize,
+) -> Vec<HttpRequest> {
     let writes = total_requests * writes_pct / 100;
     let reads = total_requests - writes;
     let mut requests = crawl_requests(reads);
@@ -601,7 +597,9 @@ mod tests {
 
     #[test]
     fn overhead_math() {
-        assert!((overhead(Duration::from_millis(100), Duration::from_millis(104)) - 0.04).abs() < 1e-9);
+        assert!(
+            (overhead(Duration::from_millis(100), Duration::from_millis(104)) - 0.04).abs() < 1e-9
+        );
         assert_eq!(overhead(Duration::ZERO, Duration::from_millis(1)), 0.0);
     }
 

@@ -179,9 +179,15 @@ mod tests {
         db.insert_row("users", vec![Value::Int(1), "admin".into(), "p4ss".into()]);
         db.insert_row("users", vec![Value::Int(2), "bob".into(), "hunter2".into()]);
         db.create_table("posts", &["id", "title", "author_id", "status"]);
-        db.insert_row("posts", vec![Value::Int(10), "Hello".into(), Value::Int(1), "publish".into()]);
+        db.insert_row(
+            "posts",
+            vec![Value::Int(10), "Hello".into(), Value::Int(1), "publish".into()],
+        );
         db.insert_row("posts", vec![Value::Int(11), "Draft".into(), Value::Int(2), "draft".into()]);
-        db.insert_row("posts", vec![Value::Int(12), "World".into(), Value::Int(1), "publish".into()]);
+        db.insert_row(
+            "posts",
+            vec![Value::Int(12), "World".into(), Value::Int(1), "publish".into()],
+        );
         db
     }
 
@@ -269,10 +275,7 @@ mod tests {
     #[test]
     fn unknown_table_and_column() {
         let mut db = sample_db();
-        assert!(matches!(
-            db.execute("SELECT * FROM nope").unwrap_err(),
-            DbError::UnknownTable(_)
-        ));
+        assert!(matches!(db.execute("SELECT * FROM nope").unwrap_err(), DbError::UnknownTable(_)));
         assert!(matches!(
             db.execute("SELECT nope FROM users").unwrap_err(),
             DbError::UnknownColumn(_)

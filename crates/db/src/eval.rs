@@ -84,9 +84,7 @@ pub(crate) fn contains_aggregate(e: &Expr) -> bool {
         Expr::Between { expr, low, high, .. } => {
             contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
         }
-        Expr::Like { expr, pattern, .. } => {
-            contains_aggregate(expr) || contains_aggregate(pattern)
-        }
+        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
         Expr::Case { operand, branches, else_arm } => {
             operand.as_deref().is_some_and(contains_aggregate)
                 || branches.iter().any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
@@ -174,9 +172,8 @@ pub(crate) fn eval(ctx: Ctx<'_>, side: &mut SideEffects, e: &Expr) -> Result<Val
         Expr::InSubquery { expr, subquery, negated } => {
             let v = eval(ctx, side, expr)?;
             let (_, rows) = crate::exec::run_select_with_outer(ctx.db, subquery, side, Some(&ctx))?;
-            let found = rows.iter().any(|r| {
-                r.first().is_some_and(|cell| v.sql_eq(cell) == Some(true))
-            });
+            let found =
+                rows.iter().any(|r| r.first().is_some_and(|cell| v.sql_eq(cell) == Some(true)));
             Ok(Value::from(found != *negated))
         }
         Expr::Between { expr, low, high, negated } => {
@@ -245,7 +242,11 @@ fn eval_binary(
             }
             let r = eval(ctx, side, right)?;
             if l.is_null() || r.is_null() {
-                return Ok(if !r.is_null() && !r.is_truthy() { Value::Int(0) } else { Value::Null });
+                return Ok(if !r.is_null() && !r.is_truthy() {
+                    Value::Int(0)
+                } else {
+                    Value::Null
+                });
             }
             return Ok(Value::from(r.is_truthy()));
         }
@@ -315,7 +316,11 @@ fn arith(l: &Value, r: &Value, f: impl Fn(f64, f64) -> f64) -> Value {
         return Value::Null;
     }
     let out = f(l.as_f64(), r.as_f64());
-    if out == out.trunc() && out.abs() < 9e15 && !matches!(l, Value::Float(_)) && !matches!(r, Value::Float(_)) {
+    if out == out.trunc()
+        && out.abs() < 9e15
+        && !matches!(l, Value::Float(_))
+        && !matches!(r, Value::Float(_))
+    {
         Value::Int(out as i64)
     } else {
         Value::Float(out)
@@ -431,9 +436,7 @@ fn eval_aggregate(
             if non_null.is_empty() {
                 Value::Null
             } else {
-                Value::Str(
-                    non_null.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(","),
-                )
+                Value::Str(non_null.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(","))
             }
         }
         other => return Err(DbError::Other(format!("unknown aggregate {other}"))),

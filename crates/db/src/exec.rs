@@ -191,7 +191,8 @@ fn run_select_body(
 }
 
 fn values_eq(a: &[Value], b: &[Value]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_eq(y).unwrap_or(x.is_null() && y.is_null()))
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| x.sql_eq(y).unwrap_or(x.is_null() && y.is_null()))
 }
 
 fn load_table(db: &Database, table: &TableRef) -> Result<Vec<Env>, DbError> {
@@ -361,9 +362,8 @@ pub(crate) fn run_insert(
             // Map named columns onto schema positions.
             let mut row = vec![Value::Null; table.columns().len()];
             for (col, val) in ins.columns.iter().zip(vals) {
-                let idx = table
-                    .column_index(col)
-                    .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
+                let idx =
+                    table.column_index(col).ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
                 row[idx] = val;
             }
             row

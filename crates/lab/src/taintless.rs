@@ -148,10 +148,9 @@ fn mutate_exploit(exploit: &Exploit, mask: usize, b64: bool) -> Exploit {
         }
     };
     match exploit {
-        Exploit::Leak { payload, leak_marker } => Exploit::Leak {
-            payload: enc(payload),
-            leak_marker: leak_marker.clone(),
-        },
+        Exploit::Leak { payload, leak_marker } => {
+            Exploit::Leak { payload: enc(payload), leak_marker: leak_marker.clone() }
+        }
         Exploit::BooleanDiff { true_payload, false_payload } => Exploit::BooleanDiff {
             true_payload: enc(true_payload),
             false_payload: enc(false_payload),
@@ -180,11 +179,7 @@ pub fn queries_pass_pti(
 ///
 /// Returns `Some(Evasion)` when a mutant both works (observable effect
 /// against the unprotected app) and passes PTI on every issued query.
-pub fn evade_pti(
-    server: &mut Server,
-    plugin: &VulnPlugin,
-    pti: &PtiAnalyzer,
-) -> Option<Evasion> {
+pub fn evade_pti(server: &mut Server, plugin: &VulnPlugin, pti: &PtiAnalyzer) -> Option<Evasion> {
     // Is this a base64-wrapped parameter? Mirror the plugin's decoding.
     let b64 = plugin.decodes_base64();
     for mask in 0..(1usize << TRANSFORMS.len()) {
@@ -248,10 +243,8 @@ mod tests {
             .into_iter()
             .filter(|p| p.attack_type == crate::corpus::AttackType::Tautology)
             .collect();
-        let evaded = tautologies
-            .iter()
-            .filter(|p| evade_pti(&mut lab.server, p, &pti).is_some())
-            .count();
+        let evaded =
+            tautologies.iter().filter(|p| evade_pti(&mut lab.server, p, &pti).is_some()).count();
         assert!(evaded >= 3, "only {evaded}/{} tautologies evadable", tautologies.len());
     }
 

@@ -83,9 +83,7 @@ pub fn exploit_effect_observed(
         Exploit::TimingDiff { slow_payload, fast_payload, min_delay_ms } => {
             let s = run(slow_payload);
             let f = run(fast_payload);
-            !s.blocked
-                && !f.blocked
-                && s.db_time_ms.saturating_sub(f.db_time_ms) >= *min_delay_ms
+            !s.blocked && !f.blocked && s.db_time_ms.saturating_sub(f.db_time_ms) >= *min_delay_ms
         }
     }
 }

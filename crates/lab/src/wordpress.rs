@@ -90,15 +90,46 @@ pub fn core_sources() -> Vec<String> {
 /// surface (Table III) is unchanged.
 pub fn synthetic_core_sources(files: usize) -> Vec<String> {
     const TABLES: [&str; 20] = [
-        "wp_posts", "wp_options", "wp_comments", "wp_users", "wp_terms", "wp_postmeta",
-        "wp_usermeta", "wp_links", "wp_term_taxonomy", "wp_term_relationships", "wp_gallery",
-        "wp_events", "wp_ratings", "wp_downloads", "wp_banners", "wp_forum_threads",
-        "wp_forum_posts", "wp_polls", "wp_coupons", "wp_stats",
+        "wp_posts",
+        "wp_options",
+        "wp_comments",
+        "wp_users",
+        "wp_terms",
+        "wp_postmeta",
+        "wp_usermeta",
+        "wp_links",
+        "wp_term_taxonomy",
+        "wp_term_relationships",
+        "wp_gallery",
+        "wp_events",
+        "wp_ratings",
+        "wp_downloads",
+        "wp_banners",
+        "wp_forum_threads",
+        "wp_forum_posts",
+        "wp_polls",
+        "wp_coupons",
+        "wp_stats",
     ];
     const COLUMNS: [&str; 18] = [
-        "ID", "post_title", "post_content", "post_status", "post_author", "post_date",
-        "option_name", "option_value", "comment_content", "comment_author", "user_login",
-        "user_email", "meta_key", "meta_value", "name", "slug", "count", "created_at",
+        "ID",
+        "post_title",
+        "post_content",
+        "post_status",
+        "post_author",
+        "post_date",
+        "option_name",
+        "option_value",
+        "comment_content",
+        "comment_author",
+        "user_login",
+        "user_email",
+        "meta_key",
+        "meta_value",
+        "name",
+        "slug",
+        "count",
+        "created_at",
     ];
     const TEMPLATES: [(&str, &str); 14] = [
         ("SELECT {c} FROM {t} WHERE {c2} = '", "'"),
@@ -128,16 +159,10 @@ pub fn synthetic_core_sources(files: usize) -> Vec<String> {
             let c = COLUMNS[(combo / TABLES.len()) % COLUMNS.len()];
             let c2 = COLUMNS[(combo / (TABLES.len() * COLUMNS.len()) + 5) % COLUMNS.len()];
             let (head, tail) = TEMPLATES[combo % TEMPLATES.len()];
-            let head = head
-                .replace("{t2}", t2)
-                .replace("{t}", t)
-                .replace("{c2}", c2)
-                .replace("{c}", c);
-            let tail = tail
-                .replace("{t2}", t2)
-                .replace("{t}", t)
-                .replace("{c2}", c2)
-                .replace("{c}", c);
+            let head =
+                head.replace("{t2}", t2).replace("{t}", t).replace("{c2}", c2).replace("{c}", c);
+            let tail =
+                tail.replace("{t2}", t2).replace("{t}", t).replace("{c2}", c2).replace("{c}", c);
             src.push_str(&format!("$sq{var} = \"{head}\";\n"));
             var += 1;
             if !tail.is_empty() {
@@ -273,15 +298,20 @@ pub fn wordpress_database() -> Database {
     .iter()
     .enumerate()
     {
-        db.insert_row(
-            "wp_options",
-            vec![Value::Int(i as i64 + 1), (*k).into(), (*v).into()],
-        );
+        db.insert_row("wp_options", vec![Value::Int(i as i64 + 1), (*k).into(), (*v).into()]);
     }
 
     db.create_table(
         "wp_posts",
-        &["ID", "post_title", "post_content", "post_author", "post_date", "post_status", "comment_count"],
+        &[
+            "ID",
+            "post_title",
+            "post_content",
+            "post_author",
+            "post_date",
+            "post_status",
+            "comment_count",
+        ],
     );
     for i in 1..=40i64 {
         let status = if i % 10 == 0 { "draft" } else { "publish" };
@@ -332,10 +362,7 @@ pub fn wordpress_database() -> Database {
 
     db.create_table("wp_terms", &["term_id", "name", "slug"]);
     for (i, name) in ["news", "tech", "security", "rust", "wordpress"].iter().enumerate() {
-        db.insert_row(
-            "wp_terms",
-            vec![Value::Int(i as i64 + 1), (*name).into(), (*name).into()],
-        );
+        db.insert_row("wp_terms", vec![Value::Int(i as i64 + 1), (*name).into(), (*name).into()]);
     }
 
     db.create_table("wp_postmeta", &["meta_id", "post_id", "meta_key", "meta_value"]);
@@ -360,7 +387,11 @@ mod tests {
         let mut server = Server::new(wordpress_app(), wordpress_database());
         let index = server.handle(&HttpRequest::get("index"));
         assert!(index.body.contains("Post number"), "{}", index.body);
-        assert!(index.queries.len() >= 10, "a WP read issues many queries: {}", index.queries.len());
+        assert!(
+            index.queries.len() >= 10,
+            "a WP read issues many queries: {}",
+            index.queries.len()
+        );
         assert!(index.sql_error.is_none(), "{:?}", index.sql_error);
 
         let single = server.handle(&HttpRequest::get("single-post").param("p", "3"));
@@ -399,11 +430,11 @@ mod tests {
         let all: Vec<&str> = set.iter().collect();
         // Table III fragments must be *derivable*: present as a fragment or
         // inside one.
-        for needle in ["UNION", "AND", "OR", "SELECT", "CHAR", "#", "'", "GROUP BY", "ORDER BY", "CAST", "WHERE 1"] {
-            assert!(
-                all.iter().any(|f| f.contains(needle)),
-                "vocabulary missing {needle:?}"
-            );
+        for needle in [
+            "UNION", "AND", "OR", "SELECT", "CHAR", "#", "'", "GROUP BY", "ORDER BY", "CAST",
+            "WHERE 1",
+        ] {
+            assert!(all.iter().any(|f| f.contains(needle)), "vocabulary missing {needle:?}");
         }
     }
 

@@ -90,27 +90,25 @@ pub fn call_builtin(
                 QueryOutcome::Terminated => Err(PhpError::Terminated),
             }
         }
-        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysqli_fetch_assoc" => {
-            match arg(0) {
-                PValue::Resource(id) => {
-                    let rs = interp
-                        .resources
-                        .get_mut(id)
-                        .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
-                    if rs.cursor >= rs.rows.len() {
-                        return Ok(PValue::Bool(false));
-                    }
-                    let row = &rs.rows[rs.cursor];
-                    rs.cursor += 1;
-                    let mut a = PArray::new();
-                    for (col, val) in row {
-                        a.set(PKey::Str(col.clone()), PValue::Str(val.clone()));
-                    }
-                    Ok(PValue::Array(a))
+        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysqli_fetch_assoc" => match arg(0) {
+            PValue::Resource(id) => {
+                let rs = interp
+                    .resources
+                    .get_mut(id)
+                    .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
+                if rs.cursor >= rs.rows.len() {
+                    return Ok(PValue::Bool(false));
                 }
-                _ => Ok(PValue::Bool(false)),
+                let row = &rs.rows[rs.cursor];
+                rs.cursor += 1;
+                let mut a = PArray::new();
+                for (col, val) in row {
+                    a.set(PKey::Str(col.clone()), PValue::Str(val.clone()));
+                }
+                Ok(PValue::Array(a))
             }
-        }
+            _ => Ok(PValue::Bool(false)),
+        },
         "mysql_fetch_row" => match arg(0) {
             PValue::Resource(id) => {
                 let rs = interp
@@ -131,9 +129,9 @@ pub fn call_builtin(
             _ => Ok(PValue::Bool(false)),
         },
         "mysql_num_rows" | "mysqli_num_rows" => match arg(0) {
-            PValue::Resource(id) => Ok(PValue::Int(
-                interp.resources.get(id).map_or(0, |rs| rs.rows.len()) as i64,
-            )),
+            PValue::Resource(id) => {
+                Ok(PValue::Int(interp.resources.get(id).map_or(0, |rs| rs.rows.len()) as i64))
+            }
             _ => Ok(PValue::Bool(false)),
         },
         "mysql_result" => match arg(0) {
@@ -161,7 +159,9 @@ pub fn call_builtin(
         },
         "mysql_error" | "mysqli_error" => Ok(PValue::Str(interp.last_error.clone())),
         "mysql_real_escape_string" | "mysqli_real_escape_string" | "esc_sql" | "addslashes" => {
-            Ok(PValue::Str(addslashes(&sarg(if lower.ends_with("real_escape_string") && args.len() > 1 { 1 } else { 0 }))))
+            Ok(PValue::Str(addslashes(&sarg(
+                if lower.ends_with("real_escape_string") && args.len() > 1 { 1 } else { 0 },
+            ))))
         }
         "stripslashes" => Ok(PValue::Str(stripslashes(&sarg(0)))),
 
@@ -204,15 +204,11 @@ pub fn call_builtin(
         "str_repeat" => Ok(PValue::Str(sarg(0).repeat(arg(1).to_php_int().max(0) as usize))),
         "implode" | "join" => {
             // implode(glue, pieces) or implode(pieces)
-            let (glue, pieces) = if args.len() >= 2 {
-                (sarg(0), arg(1))
-            } else {
-                (String::new(), arg(0))
-            };
+            let (glue, pieces) =
+                if args.len() >= 2 { (sarg(0), arg(1)) } else { (String::new(), arg(0)) };
             match pieces {
                 PValue::Array(a) => {
-                    let parts: Vec<String> =
-                        a.iter().map(|(_, v)| v.to_php_string()).collect();
+                    let parts: Vec<String> = a.iter().map(|(_, v)| v.to_php_string()).collect();
                     Ok(PValue::Str(parts.join(&glue)))
                 }
                 _ => Ok(PValue::Str(String::new())),
@@ -245,29 +241,23 @@ pub fn call_builtin(
         }
         "urldecode" | "rawurldecode" => Ok(PValue::Str(urldecode(&sarg(0)))),
         "urlencode" | "rawurlencode" => Ok(PValue::Str(urlencode(&sarg(0)))),
-        "base64_decode" => Ok(PValue::Str(
-            base64_decode(&sarg(0)).unwrap_or_default(),
-        )),
+        "base64_decode" => Ok(PValue::Str(base64_decode(&sarg(0)).unwrap_or_default())),
         "base64_encode" => Ok(PValue::Str(base64_encode(sarg(0).as_bytes()))),
         "md5" => Ok(PValue::Str(pseudo_md5(&sarg(0)))),
         "preg_replace" => {
             let pattern = sarg(0);
             let replacement = sarg(1);
             let subject = sarg(2);
-            preg_replace(&pattern, &replacement, &subject)
-                .map(PValue::Str)
-                .ok_or_else(|| {
-                    PhpError::Runtime(format!("unsupported preg_replace pattern {pattern}"))
-                })
+            preg_replace(&pattern, &replacement, &subject).map(PValue::Str).ok_or_else(|| {
+                PhpError::Runtime(format!("unsupported preg_replace pattern {pattern}"))
+            })
         }
         "preg_match" => {
             let pattern = sarg(0);
             let subject = sarg(1);
-            preg_match(&pattern, &subject)
-                .map(|m| PValue::Int(i64::from(m)))
-                .ok_or_else(|| {
-                    PhpError::Runtime(format!("unsupported preg_match pattern {pattern}"))
-                })
+            preg_match(&pattern, &subject).map(|m| PValue::Int(i64::from(m))).ok_or_else(|| {
+                PhpError::Runtime(format!("unsupported preg_match pattern {pattern}"))
+            })
         }
 
         // ---- numeric / type functions ----
@@ -317,9 +307,7 @@ pub fn call_builtin(
         "in_array" => {
             let needle = arg(0);
             match arg(1) {
-                PValue::Array(a) => {
-                    Ok(PValue::Bool(a.iter().any(|(_, v)| v.loose_eq(&needle))))
-                }
+                PValue::Array(a) => Ok(PValue::Bool(a.iter().any(|(_, v)| v.loose_eq(&needle)))),
                 _ => Ok(PValue::Bool(false)),
             }
         }
@@ -329,9 +317,7 @@ pub fn call_builtin(
         "sanitize_text_field" => Ok(PValue::Str(sarg(0).trim().to_string())),
         "current_time" | "time" => Ok(PValue::Int(1_400_000_000)),
         "rand" | "mt_rand" => Ok(PValue::Int(4)), // deterministic for tests
-        "error_log" | "header" | "setcookie" | "session_start" | "ob_start" => {
-            Ok(PValue::Null)
-        }
+        "error_log" | "header" | "setcookie" | "session_start" | "ob_start" => Ok(PValue::Null),
 
         _ => Err(PhpError::Runtime(format!("call to undefined function {name}()"))),
     }
@@ -622,8 +608,7 @@ struct CharClass {
 impl CharClass {
     fn matches(&self, c: char, ci: bool) -> bool {
         let test = |c: char| {
-            self.singles.contains(&c)
-                || self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi)
+            self.singles.contains(&c) || self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi)
         };
         let mut hit = test(c);
         if ci && !hit {
@@ -720,10 +705,10 @@ mod tests {
     #[test]
     fn sprintf_basic() {
         assert_eq!(
-            php_sprintf("SELECT * FROM t WHERE id=%d AND name='%s'", &[
-                PValue::Str("7x".into()),
-                PValue::Str("bob".into())
-            ]),
+            php_sprintf(
+                "SELECT * FROM t WHERE id=%d AND name='%s'",
+                &[PValue::Str("7x".into()), PValue::Str("bob".into())]
+            ),
             "SELECT * FROM t WHERE id=7 AND name='bob'"
         );
         assert_eq!(php_sprintf("%05d%%", &[PValue::Int(42)]), "00042%");

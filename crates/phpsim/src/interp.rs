@@ -150,12 +150,18 @@ impl<'h> Interp<'h> {
                 let inner = match a.get(&PKey::Str(base.to_string())) {
                     Some(PValue::Array(existing)) => {
                         let mut copy = existing.clone();
-                        copy.set(PKey::from_value(&PValue::Str(sub.to_string())), PValue::Str(value.to_string()));
+                        copy.set(
+                            PKey::from_value(&PValue::Str(sub.to_string())),
+                            PValue::Str(value.to_string()),
+                        );
                         copy
                     }
                     _ => {
                         let mut fresh = PArray::new();
-                        fresh.set(PKey::from_value(&PValue::Str(sub.to_string())), PValue::Str(value.to_string()));
+                        fresh.set(
+                            PKey::from_value(&PValue::Str(sub.to_string())),
+                            PValue::Str(value.to_string()),
+                        );
                         fresh
                     }
                 };
@@ -314,10 +320,7 @@ impl<'h> Interp<'h> {
                 None => keys.push(None),
             }
         }
-        let root = self
-            .vars
-            .entry(var.to_string())
-            .or_insert_with(|| PValue::Array(PArray::new()));
+        let root = self.vars.entry(var.to_string()).or_insert_with(|| PValue::Array(PArray::new()));
         if !matches!(root, PValue::Array(_)) {
             *root = PValue::Array(PArray::new());
         }
@@ -498,16 +501,14 @@ impl<'h> Interp<'h> {
 
     fn isset(&mut self, e: &Expr) -> Result<bool, PhpError> {
         match e {
-            Expr::Var(name) => {
-                Ok(self.vars.get(name).is_some_and(|v| !matches!(v, PValue::Null)))
-            }
+            Expr::Var(name) => Ok(self.vars.get(name).is_some_and(|v| !matches!(v, PValue::Null))),
             Expr::Index { base, index } => {
                 let b = self.eval(base)?;
                 let i = self.eval(index)?;
                 match b {
-                    PValue::Array(a) => Ok(a
-                        .get(&PKey::from_value(&i))
-                        .is_some_and(|v| !matches!(v, PValue::Null))),
+                    PValue::Array(a) => {
+                        Ok(a.get(&PKey::from_value(&i)).is_some_and(|v| !matches!(v, PValue::Null)))
+                    }
                     _ => Ok(false),
                 }
             }
@@ -701,11 +702,8 @@ mod tests {
     fn termination_aborts_script() {
         let mut host = FakeHost::new();
         host.terminate = true;
-        let err = run_with(
-            &mut host,
-            r#"mysql_query("SELECT 1"); echo "never reached";"#,
-        )
-        .unwrap_err();
+        let err =
+            run_with(&mut host, r#"mysql_query("SELECT 1"); echo "never reached";"#).unwrap_err();
         assert_eq!(err, PhpError::Terminated);
     }
 
@@ -726,11 +724,7 @@ mod tests {
     #[test]
     fn nested_array_assignment() {
         let mut host = FakeHost::new();
-        let out = run_with(
-            &mut host,
-            r#"$a['x']['y'] = 5; echo $a['x']['y'];"#,
-        )
-        .unwrap();
+        let out = run_with(&mut host, r#"$a['x']['y'] = 5; echo $a['x']['y'];"#).unwrap();
         assert_eq!(out, "5");
     }
 
@@ -748,11 +742,9 @@ mod tests {
     #[test]
     fn loose_comparison_juggling() {
         let mut host = FakeHost::new();
-        let out = run_with(
-            &mut host,
-            r#"if ('1' == 1) { echo "y"; } if ('1' === 1) { echo "n"; }"#,
-        )
-        .unwrap();
+        let out =
+            run_with(&mut host, r#"if ('1' == 1) { echo "y"; } if ('1' === 1) { echo "n"; }"#)
+                .unwrap();
         assert_eq!(out, "y");
     }
 
@@ -790,11 +782,7 @@ mod tests {
     #[test]
     fn compound_concat_assign() {
         let mut host = FakeHost::new();
-        let out = run_with(
-            &mut host,
-            r#"$q = "SELECT"; $q .= " 1"; echo $q;"#,
-        )
-        .unwrap();
+        let out = run_with(&mut host, r#"$q = "SELECT"; $q .= " 1"; echo $q;"#).unwrap();
         assert_eq!(out, "SELECT 1");
     }
 }

@@ -6,6 +6,7 @@
 //! interpreter (concatenation semantics) and the fragment extractor
 //! (placeholder splitting, §IV-A) need the split.
 
+use crate::span::Span;
 use std::fmt;
 
 /// One component of a double-quoted string literal.
@@ -68,10 +69,9 @@ impl std::error::Error for LexError {}
 
 /// Operators, longest first so that maximal munch works.
 static OPS: &[&str] = &[
-    "===", "!==", "<=>", "<<=", ">>=", "**=", "&&", "||", "==", "!=", "<>", "<=", ">=", "=>",
-    "->", "++", "--", "+=", "-=", "*=", "/=", ".=", "%=", "??", "<<", ">>", "(", ")", "[", "]",
-    "{", "}", ",", ";", ".", "+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", "&", "|",
-    "^", "~", "@",
+    "===", "!==", "<=>", "<<=", ">>=", "**=", "&&", "||", "==", "!=", "<>", "<=", ">=", "=>", "->",
+    "++", "--", "+=", "-=", "*=", "/=", ".=", "%=", "??", "<<", ">>", "(", ")", "[", "]", "{", "}",
+    ",", ";", ".", "+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", "&", "|", "^", "~", "@",
 ];
 
 /// Lexes PHP source into tokens.
@@ -82,16 +82,28 @@ static OPS: &[&str] = &[
 /// plugin sources are authored, not attacker-controlled, so strictness is
 /// appropriate here (unlike the SQL lexer, which must be total).
 pub fn lex_php(src: &str) -> Result<Vec<PTok>, LexError> {
-    let mut lx = PhpLexer { src: src.as_bytes(), pos: 0, out: Vec::new() };
+    lex_php_spanned(src).map(|(toks, _)| toks)
+}
+
+/// Lexes PHP source into tokens plus a parallel table of byte [`Span`]s
+/// (one per token, same index).
+///
+/// # Errors
+///
+/// Same failure modes as [`lex_php`].
+pub fn lex_php_spanned(src: &str) -> Result<(Vec<PTok>, Vec<Span>), LexError> {
+    let mut lx = PhpLexer { src: src.as_bytes(), pos: 0, out: Vec::new(), spans: Vec::new() };
     lx.skip_open_tag();
     lx.run(src)?;
-    Ok(lx.out)
+    debug_assert_eq!(lx.out.len(), lx.spans.len());
+    Ok((lx.out, lx.spans))
 }
 
 struct PhpLexer<'a> {
     src: &'a [u8],
     pos: usize,
     out: Vec<PTok>,
+    spans: Vec<Span>,
 }
 
 impl<'a> PhpLexer<'a> {
@@ -115,6 +127,8 @@ impl<'a> PhpLexer<'a> {
     fn run(&mut self, src_str: &str) -> Result<(), LexError> {
         while self.pos < self.src.len() {
             let b = self.src[self.pos];
+            let tok_start = self.pos;
+            let toks_before = self.out.len();
             match b {
                 _ if b.is_ascii_whitespace() => self.pos += 1,
                 b'?' if self.peek(1) == Some(b'>') => {
@@ -131,6 +145,11 @@ impl<'a> PhpLexer<'a> {
                 b'.' if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => self.number(),
                 _ if b.is_ascii_alphabetic() || b == b'_' => self.ident(src_str),
                 _ => self.operator()?,
+            }
+            // Every arm pushes at most one token; give it the byte range
+            // just consumed.
+            if self.out.len() > toks_before {
+                self.spans.push(Span::new(tok_start, self.pos));
             }
         }
         Ok(())
@@ -331,10 +350,7 @@ mod tests {
     #[test]
     fn basic_assignment() {
         let toks = lex_php("$x = 5;").unwrap();
-        assert_eq!(
-            toks,
-            vec![PTok::Var("x".into()), PTok::Op("="), PTok::Int(5), PTok::Op(";")]
-        );
+        assert_eq!(toks, vec![PTok::Var("x".into()), PTok::Op("="), PTok::Int(5), PTok::Op(";")]);
     }
 
     #[test]
@@ -422,6 +438,21 @@ mod tests {
         assert!(lex_php("$q = \"unterminated").is_err());
         assert!(lex_php("/* unterminated").is_err());
         assert!(lex_php("$ = 5;").is_err());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let src = "<?php $x = 'abc';";
+        let (toks, spans) = lex_php_spanned(src).unwrap();
+        assert_eq!(toks.len(), spans.len());
+        assert_eq!(spans[0].slice(src), "$x");
+        assert_eq!(spans[1].slice(src), "=");
+        assert_eq!(spans[2].slice(src), "'abc'");
+        assert_eq!(spans[3].slice(src), ";");
+        // Spans are monotonically non-overlapping.
+        for w in spans.windows(2) {
+            assert!(w[0].hi <= w[1].lo);
+        }
     }
 
     #[test]

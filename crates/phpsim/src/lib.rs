@@ -54,15 +54,18 @@
 //! ```
 
 pub mod ast;
-pub mod cost;
 pub mod builtins;
+pub mod cost;
 pub mod fragments;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod span;
 pub mod value;
+pub mod visit;
 
 pub use fragments::extract_fragments;
 pub use interp::{Host, Interp, PhpError, QueryOutcome};
-pub use parser::parse_program;
+pub use parser::{parse_program, parse_program_spanned};
+pub use span::Span;
 pub use value::PValue;

@@ -1,7 +1,8 @@
 //! Recursive-descent parser for the PHP subset.
 
 use crate::ast::*;
-use crate::lexer::{lex_php, LexError, PTok, StrPart};
+use crate::lexer::{lex_php_spanned, LexError, PTok, StrPart};
+use crate::span::Span;
 use crate::value::PValue;
 use std::fmt;
 
@@ -48,18 +49,35 @@ impl From<LexError> for PhpParseError {
 /// # Ok::<(), joza_phpsim::parser::PhpParseError>(())
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, PhpParseError> {
-    let toks = lex_php(src)?;
-    let mut p = PhpParser { toks, pos: 0 };
+    parse_program_spanned(src).map(|(prog, _)| prog)
+}
+
+/// Parses a PHP-subset script into a [`Program`] plus a byte-[`Span`]
+/// table with one entry per statement, indexed in statement *preorder* —
+/// the identical order [`crate::visit::walk_program`] assigns statement
+/// ids, so `spans[id]` is the source range of the statement a visitor
+/// sees as `id`.
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_program`].
+pub fn parse_program_spanned(src: &str) -> Result<(Program, Vec<Span>), PhpParseError> {
+    let (toks, tok_spans) = lex_php_spanned(src)?;
+    let mut p = PhpParser { toks, tok_spans, pos: 0, stmt_spans: Vec::new() };
     let mut out = Vec::new();
     while p.pos < p.toks.len() {
         out.push(p.stmt()?);
     }
-    Ok(out)
+    Ok((out, p.stmt_spans))
 }
 
 struct PhpParser {
     toks: Vec<PTok>,
+    tok_spans: Vec<Span>,
     pos: usize,
+    /// Statement spans in preorder; slots are pushed when a statement
+    /// starts parsing and closed when it finishes.
+    stmt_spans: Vec<Span>,
 }
 
 type PResult<T> = Result<T, PhpParseError>;
@@ -115,7 +133,35 @@ impl PhpParser {
         }
     }
 
+    /// Opens a preorder span slot whose `lo` is the start of the token at
+    /// `tok`, returning the slot index for [`Self::end_stmt`].
+    fn begin_stmt_at(&mut self, tok: usize) -> usize {
+        let lo = self
+            .tok_spans
+            .get(tok)
+            .map_or_else(|| self.tok_spans.last().map_or(0, |s| s.hi), |s| s.lo);
+        self.stmt_spans.push(Span::new(lo, lo));
+        self.stmt_spans.len() - 1
+    }
+
+    /// Closes a span slot at the end of the previously consumed token.
+    fn end_stmt(&mut self, slot: usize) {
+        let hi = self
+            .pos
+            .checked_sub(1)
+            .and_then(|i| self.tok_spans.get(i))
+            .map_or(self.stmt_spans[slot].lo, |s| s.hi);
+        self.stmt_spans[slot].hi = hi.max(self.stmt_spans[slot].lo);
+    }
+
     fn stmt(&mut self) -> PResult<Stmt> {
+        let slot = self.begin_stmt_at(self.pos);
+        let stmt = self.stmt_inner()?;
+        self.end_stmt(slot);
+        Ok(stmt)
+    }
+
+    fn stmt_inner(&mut self) -> PResult<Stmt> {
         if self.eat_kw("if") {
             return self.if_stmt();
         }
@@ -131,11 +177,8 @@ impl PhpParser {
             let array = self.expr()?;
             self.expect_kw("as")?;
             let first = self.var_name()?;
-            let (key_var, val_var) = if self.eat_op("=>") {
-                (Some(first), self.var_name()?)
-            } else {
-                (None, first)
-            };
+            let (key_var, val_var) =
+                if self.eat_op("=>") { (Some(first), self.var_name()?) } else { (None, first) };
             self.expect_op(")")?;
             let body = self.block_or_single()?;
             return Ok(Stmt::Foreach { array, key_var, val_var, body });
@@ -225,12 +268,15 @@ impl PhpParser {
         let cond = self.expr()?;
         self.expect_op(")")?;
         let then_branch = self.block_or_single()?;
-        let else_branch = if self.eat_kw("elseif") {
-            vec![self.if_stmt()?]
+        let else_branch = if self.at_kw("elseif") {
+            let kw = self.pos;
+            self.pos += 1;
+            vec![self.nested_if(kw)?]
         } else if self.eat_kw("else") {
             if self.at_kw("if") {
+                let kw = self.pos;
                 self.pos += 1;
-                vec![self.if_stmt()?]
+                vec![self.nested_if(kw)?]
             } else {
                 self.block_or_single()?
             }
@@ -238,6 +284,16 @@ impl PhpParser {
             Vec::new()
         };
         Ok(Stmt::If { cond, then_branch, else_branch })
+    }
+
+    /// An `elseif`/`else if` desugars into a nested `If` *statement* in
+    /// the else branch; it needs its own preorder span slot (anchored at
+    /// the keyword token) because it is not parsed through [`Self::stmt`].
+    fn nested_if(&mut self, kw_tok: usize) -> PResult<Stmt> {
+        let slot = self.begin_stmt_at(kw_tok);
+        let stmt = self.if_stmt()?;
+        self.end_stmt(slot);
+        Ok(stmt)
     }
 
     fn block_or_single(&mut self) -> PResult<Vec<Stmt>> {
@@ -598,9 +654,7 @@ mod tests {
 
     #[test]
     fn if_elseif_else() {
-        let stmt = parse_one(
-            "if ($a) { $x = 1; } elseif ($b) { $x = 2; } else { $x = 3; }",
-        );
+        let stmt = parse_one("if ($a) { $x = 1; } elseif ($b) { $x = 2; } else { $x = 3; }");
         match stmt {
             Stmt::If { else_branch, .. } => {
                 assert_eq!(else_branch.len(), 1);

@@ -1,0 +1,205 @@
+//! Preorder AST walking with stable statement ids.
+//!
+//! [`walk_program`] assigns every statement a preorder id — the parent
+//! before its children, `then` branch before `else`, bodies in textual
+//! order — which is exactly the order
+//! [`crate::parser::parse_program_spanned`] emits its span table in, so
+//! `spans[id]` maps a visited statement back to source text.
+
+use crate::ast::{Expr, Program, Stmt};
+
+/// Visitor over statements (preorder) and the expressions inside them.
+///
+/// All methods have no-op defaults; implement only what you need.
+pub trait Visitor {
+    /// Called for every statement in preorder with its stable id.
+    fn visit_stmt(&mut self, _id: usize, _stmt: &Stmt) {}
+
+    /// Called for every expression, preorder within its statement. `stmt_id`
+    /// is the id of the enclosing statement.
+    fn visit_expr(&mut self, _stmt_id: usize, _expr: &Expr) {}
+}
+
+/// Walks a program, assigning preorder statement ids; returns the total
+/// number of statements visited.
+pub fn walk_program<V: Visitor>(prog: &Program, v: &mut V) -> usize {
+    let mut next = 0usize;
+    for stmt in prog {
+        walk_stmt(stmt, v, &mut next);
+    }
+    next
+}
+
+fn walk_stmt<V: Visitor>(stmt: &Stmt, v: &mut V, next: &mut usize) {
+    let id = *next;
+    *next += 1;
+    v.visit_stmt(id, stmt);
+    match stmt {
+        Stmt::Expr(e) => walk_expr(e, id, v),
+        Stmt::Assign { indices, expr, .. } => {
+            for idx in indices.iter().flatten() {
+                walk_expr(idx, id, v);
+            }
+            walk_expr(expr, id, v);
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            walk_expr(cond, id, v);
+            for s in then_branch {
+                walk_stmt(s, v, next);
+            }
+            for s in else_branch {
+                walk_stmt(s, v, next);
+            }
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, id, v);
+            for s in body {
+                walk_stmt(s, v, next);
+            }
+        }
+        Stmt::Foreach { array, body, .. } => {
+            walk_expr(array, id, v);
+            for s in body {
+                walk_stmt(s, v, next);
+            }
+        }
+        Stmt::Echo(exprs) => {
+            for e in exprs {
+                walk_expr(e, id, v);
+            }
+        }
+        Stmt::Return(value) | Stmt::Exit(value) => {
+            if let Some(e) = value {
+                walk_expr(e, id, v);
+            }
+        }
+        Stmt::Break | Stmt::Continue => {}
+    }
+}
+
+fn walk_expr<V: Visitor>(expr: &Expr, stmt_id: usize, v: &mut V) {
+    v.visit_expr(stmt_id, expr);
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Interp(_) => {}
+        Expr::Index { base, index } => {
+            walk_expr(base, stmt_id, v);
+            walk_expr(index, stmt_id, v);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, stmt_id, v);
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Empty(expr) | Expr::AssignExpr { expr, .. } => {
+            walk_expr(expr, stmt_id, v);
+        }
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, stmt_id, v);
+            walk_expr(right, stmt_id, v);
+        }
+        Expr::Ternary { cond, then_val, else_val } => {
+            walk_expr(cond, stmt_id, v);
+            if let Some(t) = then_val {
+                walk_expr(t, stmt_id, v);
+            }
+            walk_expr(else_val, stmt_id, v);
+        }
+        Expr::ArrayLit(items) => {
+            for (k, val) in items {
+                if let Some(k) = k {
+                    walk_expr(k, stmt_id, v);
+                }
+                walk_expr(val, stmt_id, v);
+            }
+        }
+        Expr::Isset(exprs) => {
+            for e in exprs {
+                walk_expr(e, stmt_id, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program_spanned;
+
+    struct Collect {
+        stmts: Vec<(usize, String)>,
+        calls: Vec<(usize, String)>,
+    }
+
+    impl Visitor for Collect {
+        fn visit_stmt(&mut self, id: usize, stmt: &Stmt) {
+            let kind = match stmt {
+                Stmt::Expr(_) => "expr",
+                Stmt::Assign { .. } => "assign",
+                Stmt::If { .. } => "if",
+                Stmt::While { .. } => "while",
+                Stmt::Foreach { .. } => "foreach",
+                Stmt::Echo(_) => "echo",
+                Stmt::Return(_) => "return",
+                Stmt::Exit(_) => "exit",
+                Stmt::Break => "break",
+                Stmt::Continue => "continue",
+            };
+            self.stmts.push((id, kind.to_string()));
+        }
+
+        fn visit_expr(&mut self, stmt_id: usize, expr: &Expr) {
+            if let Expr::Call { name, .. } = expr {
+                self.calls.push((stmt_id, name.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_ids_match_span_table() {
+        let src = r#"
+            $id = $_GET['id'];
+            if ($id) {
+                $q = "SELECT * FROM t WHERE id=$id";
+                mysql_query($q);
+            } elseif ($x) {
+                other();
+            } else {
+                echo 'none';
+            }
+            while ($i < 3) { $i += 1; }
+        "#;
+        let (prog, spans) = parse_program_spanned(src).unwrap();
+        let mut v = Collect { stmts: Vec::new(), calls: Vec::new() };
+        let count = walk_program(&prog, &mut v);
+        assert_eq!(count, spans.len(), "one span per visited statement");
+        // Ids are 0..count in visit order.
+        let ids: Vec<usize> = v.stmts.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, (0..count).collect::<Vec<_>>());
+        // The statement texts line up with their spans.
+        let by_kind: Vec<(&str, &str)> =
+            v.stmts.iter().map(|(id, k)| (k.as_str(), spans[*id].slice(src).trim())).collect();
+        assert_eq!(by_kind[0].0, "assign");
+        assert!(by_kind[0].1.starts_with("$id = $_GET"));
+        assert_eq!(by_kind[1].0, "if");
+        assert!(by_kind[1].1.starts_with("if ($id)"));
+        // The elseif is a nested `if` statement with its own slot anchored
+        // at the keyword.
+        let nested = by_kind.iter().find(|(k, t)| *k == "if" && t.starts_with("elseif")).unwrap();
+        assert!(nested.1.contains("other()"));
+        // mysql_query is attributed to the expression statement inside the
+        // then-branch.
+        let (call_stmt, name) = &v.calls[0];
+        assert_eq!(name, "mysql_query");
+        assert!(spans[*call_stmt].slice(src).contains("mysql_query"));
+    }
+
+    #[test]
+    fn spans_cover_whole_statements() {
+        let src = "$a = 1; $b = $a . 'x'; mysql_query($b);";
+        let (prog, spans) = parse_program_spanned(src).unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(spans[0].slice(src), "$a = 1;");
+        assert_eq!(spans[1].slice(src), "$b = $a . 'x';");
+        assert_eq!(spans[2].slice(src), "mysql_query($b);");
+    }
+}

@@ -140,10 +140,7 @@ proptest! {
 fn interpolation_splits_fragments() {
     let src = r#"$q = "SELECT * from users where id = $id and password=$password";"#;
     let frags = extract_fragments(src);
-    assert!(
-        frags.iter().any(|f| f.contains("SELECT * from users where id = ")),
-        "{frags:?}"
-    );
+    assert!(frags.iter().any(|f| f.contains("SELECT * from users where id = ")), "{frags:?}");
     assert!(frags.iter().any(|f| f.contains("and password=")), "{frags:?}");
     assert!(
         !frags.iter().any(|f| f.contains("$id")),

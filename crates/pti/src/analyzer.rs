@@ -109,8 +109,7 @@ impl PtiAnalyzer {
         };
         let occurrences = if self.config.parse_first {
             let crit = criticals.clone();
-            self.store
-                .occurrences_until(query, move |occ| crit.iter().all(|c| covered_by(occ, c)))
+            self.store.occurrences_until(query, move |occ| crit.iter().all(|c| covered_by(occ, c)))
         } else {
             self.store.occurrences(query)
         };
@@ -156,7 +155,10 @@ mod tests {
         let texts: Vec<String> = r
             .uncovered_critical
             .iter()
-            .map(|t| t.text("SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5").to_string())
+            .map(|t| {
+                t.text("SELECT * FROM records WHERE ID=-1 UNION SELECT username() LIMIT 5")
+                    .to_string()
+            })
             .collect();
         assert!(texts.contains(&"UNION".to_string()));
         assert!(texts.contains(&"SELECT".to_string()));
@@ -262,17 +264,18 @@ mod tests {
             "SELECT * FROM t WHERE id=-1 UNION SELECT 1 LIMIT 1",
         ];
         for q in queries {
-            let verdicts: Vec<bool> = [MatcherKind::Naive, MatcherKind::Mru, MatcherKind::AhoCorasick]
-                .into_iter()
-                .map(|m| {
-                    PtiAnalyzer::from_fragments(
-                        frags,
-                        PtiConfig { matcher: m, ..Default::default() },
-                    )
-                    .analyze(q)
-                    .is_attack()
-                })
-                .collect();
+            let verdicts: Vec<bool> =
+                [MatcherKind::Naive, MatcherKind::Mru, MatcherKind::AhoCorasick]
+                    .into_iter()
+                    .map(|m| {
+                        PtiAnalyzer::from_fragments(
+                            frags,
+                            PtiConfig { matcher: m, ..Default::default() },
+                        )
+                        .analyze(q)
+                        .is_attack()
+                    })
+                    .collect();
             assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{q}: {verdicts:?}");
         }
     }

@@ -2,8 +2,8 @@
 //! (§IV-C1, §VI-A).
 
 use joza_sqlparse::fingerprint::fingerprint;
-use std::collections::HashSet;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 /// Statistics shared by both caches.
@@ -165,7 +165,9 @@ mod tests {
         // Different literal contents, same shape: hit.
         assert!(c.lookup("INSERT INTO comments (body) VALUES ('a totally different comment')"));
         // Injected structure: miss.
-        assert!(!c.lookup("INSERT INTO comments (body) VALUES ('x'), ((SELECT user_pass FROM users))"));
+        assert!(
+            !c.lookup("INSERT INTO comments (body) VALUES ('x'), ((SELECT user_pass FROM users))")
+        );
     }
 
     #[test]

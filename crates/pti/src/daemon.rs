@@ -113,11 +113,7 @@ fn decode_verdict(mut frame: Bytes) -> DaemonVerdict {
     assert_eq!(tag, TAG_VERDICT, "unexpected frame tag {tag}");
     let flags = frame.get_u8();
     let uncovered = frame.get_u32();
-    DaemonVerdict {
-        safe: flags & 1 != 0,
-        structure_cache_hit: flags & 2 != 0,
-        uncovered,
-    }
+    DaemonVerdict { safe: flags & 1 != 0, structure_cache_hit: flags & 2 != 0, uncovered }
 }
 
 /// The daemon factory.
@@ -129,11 +125,7 @@ impl PtiDaemon {
     ///
     /// `structure_cache` enables the daemon-side query structure cache
     /// (§IV-C1). Multiple daemons can coexist (the paper runs several).
-    pub fn spawn(
-        store: Arc<FragmentStore>,
-        config: PtiConfig,
-        structure_cache: bool,
-    ) -> PtiClient {
+    pub fn spawn(store: Arc<FragmentStore>, config: PtiConfig, structure_cache: bool) -> PtiClient {
         let (tx_req, rx_req) = bounded::<Bytes>(64);
         let (tx_resp, rx_resp) = bounded::<Bytes>(64);
         let handle = std::thread::Builder::new()
@@ -150,10 +142,10 @@ impl PtiDaemon {
                         break;
                     }
                     let len = frame.get_u32() as usize;
-                    let query = String::from_utf8_lossy(&frame[..len.min(frame.len())]).into_owned();
+                    let query =
+                        String::from_utf8_lossy(&frame[..len.min(frame.len())]).into_owned();
 
-                    let cache_hit =
-                        cache.as_mut().is_some_and(|c| c.lookup(&query));
+                    let cache_hit = cache.as_mut().is_some_and(|c| c.lookup(&query));
                     let (safe, from_cache, uncovered) = if cache_hit {
                         (true, true, 0)
                     } else {

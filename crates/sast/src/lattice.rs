@@ -1,0 +1,146 @@
+//! The taint lattice and abstract values.
+//!
+//! Values are abstracted to a point on the three-level lattice
+//! `Untainted < MaybeTainted < Tainted`, together with *provenance* (which
+//! request parameters can reach the value) and a bounded human-readable
+//! flow trace used in findings.
+
+use std::collections::BTreeSet;
+
+/// Three-point taint lattice: `Untainted < MaybeTainted < Tainted`.
+///
+/// `MaybeTainted` marks attacker-influenced bytes that have passed
+/// through an *escaping* sanitizer (magic quotes,
+/// `mysql_real_escape_string`, …): the common case is safe, but escaping
+/// is context-sensitive (numeric contexts, `stripslashes`, second-order
+/// decodes), so it is not proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Taint {
+    /// Provably free of attacker-controlled bytes.
+    #[default]
+    Untainted,
+    /// Attacker bytes that passed through an escaping sanitizer.
+    MaybeTainted,
+    /// Raw attacker-controlled bytes.
+    Tainted,
+}
+
+impl Taint {
+    /// Least upper bound.
+    pub fn join(self, other: Taint) -> Taint {
+        self.max(other)
+    }
+
+    /// Short display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Taint::Untainted => "untainted",
+            Taint::MaybeTainted => "maybe-tainted",
+            Taint::Tainted => "tainted",
+        }
+    }
+}
+
+/// Longest flow trace kept on an abstract value.
+pub const MAX_TRACE: usize = 8;
+
+/// An abstract value: lattice point + provenance + flow trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AbstractVal {
+    /// Lattice point.
+    pub taint: Taint,
+    /// Request parameters that can flow into this value, as
+    /// `$_GET['id']`-style labels. Sorted (BTreeSet) for determinism.
+    pub sources: BTreeSet<String>,
+    /// Bounded source→here trace of variable/builtin hops, for findings.
+    pub trace: Vec<String>,
+}
+
+impl AbstractVal {
+    /// An untainted constant.
+    pub fn untainted() -> Self {
+        AbstractVal::default()
+    }
+
+    /// A fresh source read (e.g. `$_GET['id']`).
+    pub fn source(label: &str, taint: Taint) -> Self {
+        AbstractVal {
+            taint,
+            sources: BTreeSet::from([label.to_string()]),
+            trace: vec![label.to_string()],
+        }
+    }
+
+    /// Least upper bound: join taints, union provenance, keep the trace
+    /// of the more-tainted side (left-biased on ties).
+    pub fn join(&self, other: &AbstractVal) -> AbstractVal {
+        let mut sources = self.sources.clone();
+        sources.extend(other.sources.iter().cloned());
+        let trace =
+            if other.taint > self.taint || (self.trace.is_empty() && !other.trace.is_empty()) {
+                other.trace.clone()
+            } else {
+                self.trace.clone()
+            };
+        AbstractVal { taint: self.taint.join(other.taint), sources, trace }
+    }
+
+    /// Appends a hop to the flow trace (bounded, deduplicating the tail).
+    pub fn push_hop(&mut self, hop: &str) {
+        if self.taint == Taint::Untainted {
+            return;
+        }
+        if self.trace.last().map(String::as_str) == Some(hop) {
+            return;
+        }
+        if self.trace.len() < MAX_TRACE {
+            self.trace.push(hop.to_string());
+        }
+    }
+
+    /// Same lattice point and provenance (trace ignored) — the fixpoint
+    /// convergence test, which must not depend on the unbounded-ish trace.
+    pub fn same_abstract(&self, other: &AbstractVal) -> bool {
+        self.taint == other.taint && self.sources == other.sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_order_and_join() {
+        assert!(Taint::Untainted < Taint::MaybeTainted);
+        assert!(Taint::MaybeTainted < Taint::Tainted);
+        assert_eq!(Taint::Untainted.join(Taint::Tainted), Taint::Tainted);
+        assert_eq!(Taint::MaybeTainted.join(Taint::Untainted), Taint::MaybeTainted);
+        assert_eq!(Taint::MaybeTainted.join(Taint::MaybeTainted), Taint::MaybeTainted);
+    }
+
+    #[test]
+    fn join_unions_sources_and_prefers_tainted_trace() {
+        let a = AbstractVal::source("$_GET['a']", Taint::MaybeTainted);
+        let b = AbstractVal::source("$_POST['b']", Taint::Tainted);
+        let j = a.join(&b);
+        assert_eq!(j.taint, Taint::Tainted);
+        assert_eq!(j.sources.len(), 2);
+        assert_eq!(j.trace, vec!["$_POST['b']".to_string()]);
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let mut v = AbstractVal::source("$_GET['x']", Taint::Tainted);
+        for i in 0..50 {
+            v.push_hop(&format!("$v{i}"));
+        }
+        assert_eq!(v.trace.len(), MAX_TRACE);
+    }
+
+    #[test]
+    fn untainted_values_carry_no_trace() {
+        let mut v = AbstractVal::untainted();
+        v.push_hop("$x");
+        assert!(v.trace.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! Static taint analysis over phpsim ASTs (`joza-sast`).
+//!
+//! Joza's dynamic detectors (NTI + PTI) pay a per-query matching cost at
+//! runtime even for endpoints whose queries can never carry user input.
+//! This crate analyzes endpoint source *ahead of time*: it models the
+//! request superglobals as sources, the `mysql_query`-family builtins as
+//! sinks, and the escaping/casting builtins as sanitizers, then runs an
+//! abstract interpretation to a fixpoint over the taint lattice
+//! `Untainted < MaybeTainted < Tainted` with per-source provenance.
+//!
+//! Outputs:
+//!
+//! * a [`TaintSummary`] per endpoint — `taint_free` endpoints can be
+//!   served through `joza_webapp::gate::StaticFastPath` without invoking
+//!   the dynamic gate at all;
+//! * deterministic [`Finding`]s (source→sink traces with AST spans) that
+//!   the `sast_report` binary compares against the lab corpus's known
+//!   ground truth.
+//!
+//! The fast-path contract is deliberately one-sided: `taint_free` must
+//! never be true for an endpoint whose queries can carry attacker bytes
+//! (soundness); false positives (a clean endpoint the analysis cannot
+//! prove clean) merely forfeit the speedup.
+//!
+//! # Examples
+//!
+//! ```
+//! use joza_sast::{analyze_source, AnalyzerConfig, Taint};
+//!
+//! let vulnerable = r#"
+//!     $id = $_GET['id'];
+//!     mysql_query("SELECT * FROM posts WHERE ID=$id");
+//! "#;
+//! let summary = analyze_source("demo", vulnerable, &AnalyzerConfig::default());
+//! assert!(!summary.taint_free);
+//! assert_eq!(summary.findings[0].taint, Taint::Tainted);
+//! assert_eq!(summary.findings[0].sources, vec!["$_GET['id']".to_string()]);
+//!
+//! let clean = r#"
+//!     $id = intval($_GET['id']);
+//!     mysql_query("SELECT * FROM posts WHERE ID=$id");
+//! "#;
+//! assert!(analyze_source("demo", clean, &AnalyzerConfig::default()).taint_free);
+//! ```
+
+pub mod analyzer;
+pub mod lattice;
+pub mod report;
+pub mod summaries;
+
+pub use analyzer::{analyze_source, AnalyzerConfig, Finding, TaintSummary};
+pub use lattice::{AbstractVal, Taint};
+pub use report::{render_finding, render_summary};
+pub use summaries::{effect_of, is_sink, Effect};
+
+use joza_webapp::app::WebApp;
+use joza_webapp::transform::InputTransform;
+
+/// Analyzes every routable endpoint of a web application, in slug order.
+///
+/// The analyzer configuration is derived from the application's
+/// framework-level input pipeline: when magic quotes escape every input
+/// before plugin code runs, source reads start at
+/// [`Taint::MaybeTainted`].
+pub fn analyze_app(app: &WebApp) -> Vec<TaintSummary> {
+    let config =
+        AnalyzerConfig { input_escaped: app.input_pipeline.contains(&InputTransform::MagicQuotes) };
+    let mut plugins: Vec<_> = app.plugins().collect();
+    plugins.sort_by(|a, b| a.name.cmp(&b.name));
+    plugins.iter().map(|p| analyze_source(&p.name, &p.source, &config)).collect()
+}
+
+/// Route names that [`analyze_app`] proved taint-free, for feeding
+/// `joza_webapp::gate::StaticFastPath::new`.
+pub fn taint_free_routes(summaries: &[TaintSummary]) -> Vec<String> {
+    summaries.iter().filter(|s| s.taint_free).map(|s| s.endpoint.clone()).collect()
+}

@@ -1,0 +1,109 @@
+//! Function summaries for the interpreter's builtin surface.
+//!
+//! Every callable in the phpsim subset is a builtin, so the
+//! interprocedural layer of the analysis is a summary table: each builtin
+//! is classified by how taint flows from its arguments to its return
+//! value. User-defined functions (not in the subset today) would slot in
+//! here as computed summaries with the same [`Effect`] vocabulary.
+
+/// How a call transfers taint from (the join of) its arguments to its
+/// return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Return value carries the arguments' taint unchanged (`trim`,
+    /// `str_replace`, `sprintf`, …).
+    Propagate,
+    /// Escaping sanitizer: tainted input is downgraded to
+    /// `MaybeTainted` — escaped but still attacker-influenced
+    /// (`mysql_real_escape_string`, `addslashes`, `esc_sql`, …).
+    Escape,
+    /// Full sanitizer: the return value is provably attacker-free —
+    /// numeric casts and other value-destroying conversions (`intval`,
+    /// `md5`, `strlen`, …).
+    Sanitize,
+    /// Escape-reversing transform: `MaybeTainted` input is restored to
+    /// `Tainted` (`stripslashes`, `urldecode`, `base64_decode` — the
+    /// second-channel decodes the paper's §VI evasion cases exploit).
+    Unescape,
+    /// Return value is independent of the arguments (DB fetch results,
+    /// clocks, RNGs, side-effect-only calls).
+    Fresh,
+}
+
+/// Builtins whose argument strings are sent to the database — the
+/// analysis sinks. `db_query` is Drupal's surface, where both the query
+/// text and the named-args array (values *and* keys, the CVE-2014-3704
+/// channel) reach the SQL layer.
+pub const SINKS: &[&str] = &["mysql_query", "mysqli_query", "db_query"];
+
+/// True when `name` (case-insensitive) is a DB sink.
+pub fn is_sink(name: &str) -> bool {
+    SINKS.iter().any(|s| name.eq_ignore_ascii_case(s))
+}
+
+/// Looks up the taint effect of a builtin (case-insensitive). Unknown
+/// names conservatively propagate.
+pub fn effect_of(name: &str) -> Effect {
+    match name.to_ascii_lowercase().as_str() {
+        // Escaping sanitizers: quotes survive in escaped form.
+        "addslashes"
+        | "magic_quotes"
+        | "wp_magic_quotes"
+        | "esc_sql"
+        | "mysql_real_escape_string"
+        | "mysqli_real_escape_string"
+        | "real_escape_string"
+        | "htmlspecialchars"
+        | "esc_html"
+        | "esc_attr" => Effect::Escape,
+
+        // Value-destroying conversions: nothing attacker-controlled
+        // survives into the result.
+        "intval" | "absint" | "abs" | "floatval" | "doubleval" | "strlen" | "strpos" | "count"
+        | "sizeof" | "md5" | "number_format" | "preg_match" | "in_array" | "is_array"
+        | "is_numeric" | "is_string" => Effect::Sanitize,
+
+        // Escape-reversing decodes: what magic quotes neutralized comes
+        // back to life.
+        "stripslashes" | "urldecode" | "rawurldecode" | "base64_decode" => Effect::Unescape,
+
+        // Results independent of arguments: DB fetch results are modeled
+        // as trusted (second-order injection is out of scope, matching
+        // the dynamic detectors), clocks/RNGs, side-effect-only calls.
+        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row" | "mysql_num_rows"
+        | "mysqli_num_rows" | "mysql_result" | "mysql_error" | "mysqli_error" | "current_time"
+        | "time" | "rand" | "mt_rand" | "error_log" | "header" | "setcookie" | "session_start"
+        | "ob_start" => Effect::Fresh,
+
+        // The sinks themselves return result handles.
+        "mysql_query" | "mysqli_query" | "db_query" => Effect::Fresh,
+
+        // Everything else — string transforms, encoders, array plumbing,
+        // and unknown names — propagates conservatively. Note
+        // `sanitize_text_field` (WordPress) strips tags but does NOT
+        // escape for SQL: propagation is the correct, paper-relevant
+        // classification.
+        _ => Effect::Propagate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_spot_checks() {
+        assert!(is_sink("mysql_query"));
+        assert!(is_sink("MYSQL_QUERY"));
+        assert!(is_sink("db_query"));
+        assert!(!is_sink("intval"));
+        assert_eq!(effect_of("mysql_real_escape_string"), Effect::Escape);
+        assert_eq!(effect_of("intval"), Effect::Sanitize);
+        assert_eq!(effect_of("stripslashes"), Effect::Unescape);
+        assert_eq!(effect_of("base64_decode"), Effect::Unescape);
+        assert_eq!(effect_of("mysql_fetch_assoc"), Effect::Fresh);
+        assert_eq!(effect_of("trim"), Effect::Propagate);
+        assert_eq!(effect_of("sanitize_text_field"), Effect::Propagate);
+        assert_eq!(effect_of("totally_unknown_fn"), Effect::Propagate);
+    }
+}

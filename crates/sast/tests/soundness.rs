@@ -1,0 +1,115 @@
+//! Soundness of the static fast path against the full WP-SQLI-LAB corpus.
+//!
+//! The contract under test: whenever `StaticFastPath` short-circuits a
+//! query to `Allow` without consulting the dynamic gate, the wrapped
+//! dynamic gate would also have allowed it — the fast path may only skip
+//! work, never change a decision. And attack traffic must always fall
+//! through to full dynamic analysis, because no vulnerable route may ever
+//! be proven taint-free.
+
+use joza_core::{Joza, JozaConfig};
+use joza_lab::{build_lab, verify::request_for, Lab, CLEAN_CORE_ROUTES};
+use joza_sast::{analyze_app, taint_free_routes};
+use joza_webapp::gate::StaticFastPath;
+use joza_webapp::request::HttpRequest;
+
+fn benign_core_requests() -> Vec<HttpRequest> {
+    let mut reqs = vec![HttpRequest::get("index")];
+    for p in 1..=5 {
+        reqs.push(HttpRequest::get("single-post").param("p", &p.to_string()));
+    }
+    reqs.push(HttpRequest::get("search").param("s", "lorem"));
+    reqs.push(
+        HttpRequest::post("post-comment")
+            .param("comment_post_ID", "2")
+            .param("author", "alice")
+            .param("comment", "nice post"),
+    );
+    reqs
+}
+
+fn proven_routes(lab: &Lab) -> Vec<String> {
+    taint_free_routes(&analyze_app(&lab.server.app))
+}
+
+/// Every statically-proven route must be a clean core route: the analysis
+/// may never certify a plugin that ships a working exploit.
+#[test]
+fn no_vulnerable_route_is_proven_taint_free() {
+    let lab = build_lab();
+    let proven = proven_routes(&lab);
+    assert!(!proven.is_empty(), "the analysis should prove at least one core route");
+    for route in &proven {
+        assert!(
+            CLEAN_CORE_ROUTES.contains(&route.as_str()),
+            "vulnerable route {route} was proven taint-free"
+        );
+    }
+}
+
+/// Allow ⟹ Allow: on benign traffic, every query the fast path
+/// short-circuits would also have been allowed by the dynamic gate, so
+/// the two configurations produce identical responses.
+#[test]
+fn fast_path_allow_implies_dynamic_allow_on_benign_traffic() {
+    let mut lab = build_lab();
+    let proven = proven_routes(&lab);
+    let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
+
+    let mut benign = benign_core_requests();
+    for p in lab.plugins.clone() {
+        benign.push(request_for(&p, &p.benign_value));
+    }
+
+    for req in &benign {
+        lab.reset_database();
+        let mut dynamic_gate = joza.gate();
+        let dynamic = lab.server.handle_gated(req, &mut dynamic_gate);
+
+        lab.reset_database();
+        let mut fast = StaticFastPath::new(joza.gate(), proven.iter().cloned());
+        let fast_resp = lab.server.handle_gated(req, &mut fast);
+
+        assert!(!dynamic.blocked, "dynamic gate blocked benign request {req:?}");
+        assert!(!fast_resp.blocked, "fast path blocked benign request {req:?}");
+        assert_eq!(fast_resp.body, dynamic.body, "fast path changed the response for {req:?}");
+        if fast.stats().fast_queries > 0 {
+            // The short-circuit only fired where the dynamic gate allowed
+            // everything anyway (checked above via !dynamic.blocked).
+            assert!(fast.is_taint_free(&req.path));
+        }
+    }
+}
+
+/// Attacks always fall through: exploit traffic targets flagged routes,
+/// so the fast path forwards every query to the dynamic gate and the
+/// protection outcome is identical to running Joza alone.
+#[test]
+fn attacks_always_fall_through_to_the_dynamic_gate() {
+    let mut lab = build_lab();
+    let proven = proven_routes(&lab);
+    let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
+
+    for p in lab.plugins.clone().iter().chain(lab.cms_cases.clone().iter()) {
+        let req = request_for(p, p.exploit.primary_payload());
+        assert!(
+            !proven.contains(&p.slug),
+            "exploitable route {} must not be on the fast path",
+            p.slug
+        );
+
+        lab.reset_database();
+        let mut dynamic_gate = joza.gate();
+        let dynamic = lab.server.handle_gated(&req, &mut dynamic_gate);
+
+        lab.reset_database();
+        let mut fast = StaticFastPath::new(joza.gate(), proven.iter().cloned());
+        let fast_resp = lab.server.handle_gated(&req, &mut fast);
+
+        let stats = fast.stats();
+        assert_eq!(stats.fast_queries, 0, "attack on {} hit the fast path", p.slug);
+        assert!(stats.slow_queries > 0 || fast_resp.queries.is_empty());
+        assert_eq!(fast_resp.blocked, dynamic.blocked, "{}", p.slug);
+        assert_eq!(fast_resp.body, dynamic.body, "{}", p.slug);
+    }
+}

@@ -344,11 +344,8 @@ mod tests {
     fn statement_write_classification() {
         let sel = Statement::Select(SelectStatement::default());
         assert!(!sel.is_write());
-        let ins = Statement::Insert(InsertStatement {
-            table: "t".into(),
-            columns: vec![],
-            rows: vec![],
-        });
+        let ins =
+            Statement::Insert(InsertStatement { table: "t".into(), columns: vec![], rows: vec![] });
         assert!(ins.is_write());
     }
 
@@ -363,9 +360,6 @@ mod tests {
     #[test]
     fn expr_constructors() {
         assert_eq!(Expr::lit(5i64), Expr::Literal(Value::Int(5)));
-        assert_eq!(
-            Expr::col("x"),
-            Expr::Column(ColumnRef { table: None, name: "x".into() })
-        );
+        assert_eq!(Expr::col("x"), Expr::Column(ColumnRef { table: None, name: "x".into() }));
     }
 }

@@ -87,18 +87,12 @@ mod tests {
 
     #[test]
     fn whitespace_and_case_normalized() {
-        assert_eq!(
-            skeleton("select\t*\nfrom t"),
-            skeleton("SELECT * FROM t"),
-        );
+        assert_eq!(skeleton("select\t*\nfrom t"), skeleton("SELECT * FROM t"),);
     }
 
     #[test]
     fn identifiers_not_erased() {
-        assert_ne!(
-            skeleton("SELECT a FROM t"),
-            skeleton("SELECT b FROM t"),
-        );
+        assert_ne!(skeleton("SELECT a FROM t"), skeleton("SELECT b FROM t"),);
     }
 
     #[test]
@@ -136,10 +130,7 @@ mod tests {
 
     #[test]
     fn backticks_normalize() {
-        assert_eq!(
-            skeleton("SELECT `id` FROM `t`"),
-            skeleton("SELECT id FROM t"),
-        );
+        assert_eq!(skeleton("SELECT `id` FROM `t`"), skeleton("SELECT id FROM t"),);
     }
 
     #[test]

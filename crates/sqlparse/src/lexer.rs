@@ -235,9 +235,8 @@ impl<'a> Lexer<'a> {
         let two: Option<[u8; 2]> = self.peek(1).map(|n| [b, n]);
         // Multi-byte operators, longest first.
         if let Some(t) = two {
-            let ops2: &[&[u8; 2]] = &[
-                b"<=", b">=", b"<>", b"!=", b":=", b"||", b"&&", b"<<", b">>",
-            ];
+            let ops2: &[&[u8; 2]] =
+                &[b"<=", b">=", b"<>", b"!=", b":=", b"||", b"&&", b"<<", b">>"];
             if ops2.iter().any(|o| **o == t) {
                 self.pos += 2;
                 return TokenKind::Operator;
@@ -257,7 +256,22 @@ fn is_ident_continue(b: u8) -> bool {
 }
 
 fn is_operator_start(b: u8) -> bool {
-    matches!(b, b'=' | b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' | b'~' | b':')
+    matches!(
+        b,
+        b'=' | b'<'
+            | b'>'
+            | b'!'
+            | b'+'
+            | b'-'
+            | b'*'
+            | b'/'
+            | b'%'
+            | b'&'
+            | b'|'
+            | b'^'
+            | b'~'
+            | b':'
+    )
 }
 
 #[cfg(test)]
@@ -361,7 +375,10 @@ mod tests {
 
     #[test]
     fn multi_byte_operators() {
-        assert_eq!(texts("a <= b <> c != d || e"), ["a", "<=", "b", "<>", "c", "!=", "d", "||", "e"]);
+        assert_eq!(
+            texts("a <= b <> c != d || e"),
+            ["a", "<=", "b", "<>", "c", "!=", "d", "||", "e"]
+        );
     }
 
     #[test]

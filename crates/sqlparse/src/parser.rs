@@ -311,9 +311,10 @@ impl<'a> Parser<'a> {
         let expr = self.expr()?;
         let alias = if self.eat_kw("AS") {
             Some(self.ident()?)
-        } else if self.peek().is_some_and(|t| {
-            matches!(t.kind, TokenKind::Identifier | TokenKind::QuotedIdentifier)
-        }) {
+        } else if self
+            .peek()
+            .is_some_and(|t| matches!(t.kind, TokenKind::Identifier | TokenKind::QuotedIdentifier))
+        {
             // Implicit alias: `SELECT a b FROM …`
             Some(self.ident()?)
         } else {
@@ -447,7 +448,10 @@ impl<'a> Parser<'a> {
             }
             if self.eat_kw("TRUE") || self.eat_kw("FALSE") {
                 // Desugar to = 1 / = 0 with optional negation.
-                let truth = matches!(self.tokens[self.pos - 1].text(self.src).to_ascii_uppercase().as_str(), "TRUE");
+                let truth = matches!(
+                    self.tokens[self.pos - 1].text(self.src).to_ascii_uppercase().as_str(),
+                    "TRUE"
+                );
                 let want = truth != negated;
                 return Ok(Expr::Binary {
                     left: Box::new(left),
@@ -501,7 +505,11 @@ impl<'a> Parser<'a> {
                 op: BinaryOp::Regexp,
                 right: Box::new(pattern),
             };
-            return Ok(if negated { Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) } } else { e });
+            return Ok(if negated {
+                Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }
+            } else {
+                e
+            });
         }
         if negated {
             return Err(self.err_here("expected IN, BETWEEN, LIKE or REGEXP after NOT"));
@@ -640,7 +648,10 @@ impl<'a> Parser<'a> {
                     // Keywords that double as function names (e.g.
                     // DATABASE(), REPLACE(x,y,z), BENCHMARK(...)).
                     "DATABASE" | "REPLACE" | "BENCHMARK" | "DEFAULT" | "KEY"
-                        if self.tokens.get(self.pos + 1).is_some_and(|n| n.kind == TokenKind::LParen) =>
+                        if self
+                            .tokens
+                            .get(self.pos + 1)
+                            .is_some_and(|n| n.kind == TokenKind::LParen) =>
                     {
                         self.pos += 1;
                         self.function_call(kw)
@@ -992,10 +1003,7 @@ mod tests {
 
     #[test]
     fn replace_into_as_insert() {
-        assert!(matches!(
-            parse("REPLACE INTO t (a) VALUES (1)").unwrap(),
-            Statement::Insert(_)
-        ));
+        assert!(matches!(parse("REPLACE INTO t (a) VALUES (1)").unwrap(), Statement::Insert(_)));
     }
 
     #[test]

@@ -138,12 +138,8 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let kinds = [
-            TokenKind::Keyword,
-            TokenKind::Identifier,
-            TokenKind::Comment,
-            TokenKind::Unknown,
-        ];
+        let kinds =
+            [TokenKind::Keyword, TokenKind::Identifier, TokenKind::Comment, TokenKind::Unknown];
         for k in kinds {
             assert!(!k.to_string().is_empty());
         }

@@ -36,10 +36,7 @@ impl Node {
     }
 
     fn next(&self, b: u8) -> Option<u32> {
-        self.trans
-            .binary_search_by_key(&b, |&(byte, _)| byte)
-            .ok()
-            .map(|i| self.trans[i].1)
+        self.trans.binary_search_by_key(&b, |&(byte, _)| byte).ok().map(|i| self.trans[i].1)
     }
 }
 
@@ -88,10 +85,8 @@ impl AhoCorasick {
                         let n = nodes.len() as u32;
                         nodes.push(Node::new());
                         let node = &mut nodes[cur as usize];
-                        let pos = node
-                            .trans
-                            .binary_search_by_key(&b, |&(byte, _)| byte)
-                            .unwrap_err();
+                        let pos =
+                            node.trans.binary_search_by_key(&b, |&(byte, _)| byte).unwrap_err();
                         node.trans.insert(pos, (b, n));
                         n
                     }

@@ -114,8 +114,8 @@ pub fn substring_distance(pattern: &[u8], text: &[u8]) -> SubstringMatch {
             let sub = prev_dist[j - 1] + usize::from(pc != text[j - 1]);
             let del = prev_dist[j] + 1; // skip pattern byte
             let ins = cur_dist[j - 1] + 1; // skip text byte
-            // Prefer diagonal, then deletion, then insertion: keeps the
-            // match span tight-but-leftmost on ties.
+                                           // Prefer diagonal, then deletion, then insertion: keeps the
+                                           // match span tight-but-leftmost on ties.
             if sub <= del && sub <= ins {
                 cur_dist[j] = sub;
                 cur_start[j] = prev_start[j - 1];

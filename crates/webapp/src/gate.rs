@@ -38,6 +38,11 @@ pub enum GateDecision {
 
 /// A protection system sitting between the application and the DBMS.
 pub trait QueryGate {
+    /// Called once per request, before [`QueryGate::begin_request`], with
+    /// the route (endpoint) the request targets. Default: ignored — only
+    /// route-aware gates such as [`StaticFastPath`] care.
+    fn begin_route(&mut self, _route: &str) {}
+
     /// Called once per request with the raw inputs, before any application
     /// code runs.
     fn begin_request(&mut self, inputs: &[RawInput]);
@@ -59,6 +64,96 @@ impl QueryGate for AllowAll {
     }
 }
 
+/// Counters describing how often the static fast path fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Requests that hit a statically taint-free route.
+    pub fast_requests: u64,
+    /// Requests that fell through to the wrapped dynamic gate.
+    pub slow_requests: u64,
+    /// Queries short-circuited to `Allow` without dynamic analysis.
+    pub fast_queries: u64,
+    /// Queries checked by the wrapped dynamic gate.
+    pub slow_queries: u64,
+}
+
+/// A static-analysis fast path in front of a dynamic gate.
+///
+/// Holds the set of routes a static taint pass (`joza-sast`) proved
+/// *taint-free*: no query issued by the route can carry
+/// attacker-influenced bytes. For those routes `check` returns
+/// [`GateDecision::Allow`] immediately, skipping NTI/PTI entirely; every
+/// other route is delegated to the wrapped gate untouched.
+///
+/// Soundness rests on the analysis side: a route may only be listed here
+/// if *every* query it can issue is provably free of request-derived
+/// data, so the skipped dynamic analysis could never have found an
+/// attack. `begin_request` is always forwarded — the wrapped gate's
+/// per-request input snapshot stays consistent even on fast-path
+/// requests (the route decision can be revised per request, and NTI
+/// needs the inputs if it ever runs).
+#[derive(Debug, Clone)]
+pub struct StaticFastPath<G> {
+    inner: G,
+    taint_free: std::collections::BTreeSet<String>,
+    current_fast: bool,
+    stats: FastPathStats,
+}
+
+impl<G: QueryGate> StaticFastPath<G> {
+    /// Wraps `inner`, short-circuiting the routes in `taint_free_routes`.
+    pub fn new(inner: G, taint_free_routes: impl IntoIterator<Item = String>) -> Self {
+        StaticFastPath {
+            inner,
+            taint_free: taint_free_routes.into_iter().collect(),
+            current_fast: false,
+            stats: FastPathStats::default(),
+        }
+    }
+
+    /// The wrapped dynamic gate.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// Fast/slow request and query counters.
+    pub fn stats(&self) -> FastPathStats {
+        self.stats
+    }
+
+    /// Whether `route` is on the static fast path.
+    pub fn is_taint_free(&self, route: &str) -> bool {
+        self.taint_free.contains(route)
+    }
+}
+
+impl<G: QueryGate> QueryGate for StaticFastPath<G> {
+    fn begin_route(&mut self, route: &str) {
+        self.current_fast = self.taint_free.contains(route);
+        if self.current_fast {
+            self.stats.fast_requests += 1;
+        } else {
+            self.stats.slow_requests += 1;
+        }
+        self.inner.begin_route(route);
+    }
+
+    fn begin_request(&mut self, inputs: &[RawInput]) {
+        // Always forwarded: the inner gate's input snapshot must stay
+        // request-accurate even when this request never consults it.
+        self.inner.begin_request(inputs);
+    }
+
+    fn check(&mut self, sql: &str) -> GateDecision {
+        if self.current_fast {
+            self.stats.fast_queries += 1;
+            return GateDecision::Allow;
+        }
+        self.stats.slow_queries += 1;
+        self.inner.check(sql)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +164,69 @@ mod tests {
         g.begin_request(&[]);
         assert_eq!(g.check("SELECT 1"), GateDecision::Allow);
         assert_eq!(g.check("SELECT * FROM users WHERE 1=1 OR 1=1"), GateDecision::Allow);
+    }
+
+    /// A dynamic gate that denies everything and counts how often it was
+    /// actually consulted.
+    struct CountingDeny {
+        begin_requests: usize,
+        checks: usize,
+    }
+
+    impl QueryGate for CountingDeny {
+        fn begin_request(&mut self, _inputs: &[RawInput]) {
+            self.begin_requests += 1;
+        }
+        fn check(&mut self, _sql: &str) -> GateDecision {
+            self.checks += 1;
+            GateDecision::Terminate
+        }
+    }
+
+    #[test]
+    fn fast_path_short_circuits_taint_free_routes() {
+        let inner = CountingDeny { begin_requests: 0, checks: 0 };
+        let mut g = StaticFastPath::new(inner, vec!["clean".to_string()]);
+
+        g.begin_route("clean");
+        g.begin_request(&[]);
+        assert_eq!(g.check("SELECT 1"), GateDecision::Allow);
+        assert_eq!(g.check("SELECT 2"), GateDecision::Allow);
+        assert_eq!(g.inner().checks, 0, "dynamic gate must not run on the fast path");
+        assert_eq!(g.inner().begin_requests, 1, "inputs are still forwarded");
+
+        g.begin_route("dirty");
+        g.begin_request(&[]);
+        assert_eq!(g.check("SELECT 3"), GateDecision::Terminate);
+        assert_eq!(g.inner().checks, 1);
+
+        let stats = g.stats();
+        assert_eq!(stats.fast_requests, 1);
+        assert_eq!(stats.slow_requests, 1);
+        assert_eq!(stats.fast_queries, 2);
+        assert_eq!(stats.slow_queries, 1);
+    }
+
+    #[test]
+    fn fast_path_defaults_to_slow_without_begin_route() {
+        // A caller that never announces the route gets full dynamic
+        // protection — the conservative default.
+        let inner = CountingDeny { begin_requests: 0, checks: 0 };
+        let mut g = StaticFastPath::new(inner, vec!["clean".to_string()]);
+        g.begin_request(&[]);
+        assert_eq!(g.check("SELECT 1"), GateDecision::Terminate);
+    }
+
+    #[test]
+    fn fast_path_route_decision_resets_per_request() {
+        let inner = CountingDeny { begin_requests: 0, checks: 0 };
+        let mut g = StaticFastPath::new(inner, vec!["clean".to_string()]);
+        g.begin_route("clean");
+        assert_eq!(g.check("SELECT 1"), GateDecision::Allow);
+        // Next request targets a different route: fast flag must not leak.
+        g.begin_route("other");
+        assert_eq!(g.check("SELECT 1"), GateDecision::Terminate);
+        assert!(g.is_taint_free("clean"));
+        assert!(!g.is_taint_free("other"));
     }
 }

@@ -51,8 +51,8 @@ pub mod server;
 pub mod transform;
 
 pub use app::{Plugin, WebApp};
+pub use gate::{FastPathStats, GateDecision, QueryGate, RawInput, StaticFastPath};
 pub use joza_phpsim::cost;
-pub use gate::{GateDecision, QueryGate, RawInput};
 pub use request::{HttpRequest, InputSource};
 pub use server::{Response, Server};
 pub use transform::{InputTransform, TransformPipeline};

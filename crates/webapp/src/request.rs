@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn all_inputs_order_and_sources() {
-        let r = HttpRequest::get("x")
-            .param("a", "1")
-            .cookie("c", "2")
-            .header("User-Agent", "UA");
+        let r = HttpRequest::get("x").param("a", "1").cookie("c", "2").header("User-Agent", "UA");
         let inputs = r.all_inputs();
         assert_eq!(inputs.len(), 3);
         assert_eq!(inputs[0].0, InputSource::Get);

@@ -74,14 +74,14 @@ impl Server {
             .map(|(source, name, value)| RawInput { source, name, value })
             .collect();
         let gate_t0 = Instant::now();
+        gate.begin_route(&request.path);
         gate.begin_request(&raw);
         let mut gate_time = gate_t0.elapsed();
 
         // 2. Apply the framework input pipeline and populate superglobals.
         let pipeline = self.app.input_pipeline.clone();
         let extra = self.app.plugin(&request.path).map(|p| p.extra_transforms.clone());
-        let render_cost =
-            self.app.plugin(&request.path).map_or(Duration::ZERO, |p| p.render_cost);
+        let render_cost = self.app.plugin(&request.path).map_or(Duration::ZERO, |p| p.render_cost);
 
         // 3. Parse the plugin program.
         let program = match self.app.program(&request.path) {
@@ -219,7 +219,11 @@ impl GatedHost<'_> {
         }
     }
 
-    fn outcome(&mut self, result: Result<joza_db::QueryResult, DbError>, sql: &str) -> QueryOutcome {
+    fn outcome(
+        &mut self,
+        result: Result<joza_db::QueryResult, DbError>,
+        sql: &str,
+    ) -> QueryOutcome {
         match result {
             Ok(result) => {
                 let rows = result
@@ -242,7 +246,13 @@ impl GatedHost<'_> {
                 let msg = match &e {
                     DbError::Parse(_) => format!(
                         "You have an error in your SQL syntax; check the manual near '{}'",
-                        sql.chars().rev().take(20).collect::<String>().chars().rev().collect::<String>()
+                        sql.chars()
+                            .rev()
+                            .take(20)
+                            .collect::<String>()
+                            .chars()
+                            .rev()
+                            .collect::<String>()
                     ),
                     other => other.to_string(),
                 };
@@ -278,7 +288,6 @@ impl Host for GatedHost<'_> {
         self.outcome(result, sql)
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -334,8 +343,7 @@ mod tests {
     fn union_attack_leaks_without_protection() {
         let mut s = demo_server();
         let resp = s.handle(
-            &HttpRequest::get("show-post")
-                .param("id", "-1 UNION SELECT user_pass FROM users"),
+            &HttpRequest::get("show-post").param("id", "-1 UNION SELECT user_pass FROM users"),
         );
         assert!(resp.body.contains("sup3rs3cret"), "unprotected app must leak: {}", resp.body);
     }
@@ -384,8 +392,7 @@ mod tests {
             }
         }
         let mut s = demo_server();
-        let resp =
-            s.handle_gated(&HttpRequest::get("show-post").param("id", "1"), &mut Virtualize);
+        let resp = s.handle_gated(&HttpRequest::get("show-post").param("id", "1"), &mut Virtualize);
         assert!(!resp.blocked);
         assert!(resp.body.contains("DB error"));
     }

@@ -89,6 +89,13 @@ impl TransformPipeline {
         self.steps.is_empty()
     }
 
+    /// Whether the pipeline contains a given step (e.g. the static
+    /// analyzer asks whether framework-level magic quotes already escape
+    /// every input before plugin code runs).
+    pub fn contains(&self, step: &InputTransform) -> bool {
+        self.steps.contains(step)
+    }
+
     /// Applies all steps in order.
     pub fn apply(&self, value: &str) -> String {
         let mut v = value.to_string();
@@ -125,9 +132,8 @@ mod tests {
 
     #[test]
     fn pipeline_order_matters() {
-        let p = TransformPipeline::new()
-            .with(InputTransform::Trim)
-            .with(InputTransform::MagicQuotes);
+        let p =
+            TransformPipeline::new().with(InputTransform::Trim).with(InputTransform::MagicQuotes);
         assert_eq!(p.apply("  a'b  "), r"a\'b");
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
@@ -193,9 +199,8 @@ mod transform_tests {
     fn pipeline_applies_in_order() {
         // Trim before magic quotes vs after gives different results on
         // quote-adjacent whitespace — order matters and is preserved.
-        let p1 = TransformPipeline::new()
-            .with(InputTransform::Trim)
-            .with(InputTransform::MagicQuotes);
+        let p1 =
+            TransformPipeline::new().with(InputTransform::Trim).with(InputTransform::MagicQuotes);
         assert_eq!(p1.apply("  ' "), r"\'");
         let p2 = TransformPipeline::new()
             .with(InputTransform::Lowercase)

@@ -51,7 +51,10 @@ fn main() {
         .clone();
     let original = plugin.exploit.primary_payload().to_string();
 
-    println!("plugin: {} v{} — vulnerable parameter {:?}", plugin.name, plugin.version, plugin.param);
+    println!(
+        "plugin: {} v{} — vulnerable parameter {:?}",
+        plugin.name, plugin.version, plugin.param
+    );
     println!("original exploit payload: {original:?}\n");
 
     println!("== quadrant A: original exploit ==");
@@ -66,8 +69,14 @@ fn main() {
             println!("  mutated payload: {mutated:?}");
             let works = exploit_effect_observed(&mut lab.server, &plugin, &evasion.mutated, None);
             println!("  still a working exploit: {works}");
-            println!("  PTI detects: {} (evaded!)", detected(&mut lab, &pti_only, &plugin, &mutated));
-            println!("  NTI detects: {} (the hybrid's other half)", detected(&mut lab, &nti_only, &plugin, &mutated));
+            println!(
+                "  PTI detects: {} (evaded!)",
+                detected(&mut lab, &pti_only, &plugin, &mutated)
+            );
+            println!(
+                "  NTI detects: {} (the hybrid's other half)",
+                detected(&mut lab, &nti_only, &plugin, &mutated)
+            );
             println!("  Joza detects: {}", detected(&mut lab, &hybrid, &plugin, &mutated));
         }
         None => println!("  Taintless could not adapt this exploit (PTI holds)"),
@@ -81,8 +90,14 @@ fn main() {
         let works = exploit_effect_observed(&mut lab.server, &plugin, &nti_mutant, None);
         println!("  still a working exploit: {works}");
     }
-    println!("  NTI detects: {} (evaded when false)", detected(&mut lab, &nti_only, &plugin, &mutated));
-    println!("  PTI detects: {} (the hybrid's other half)", detected(&mut lab, &pti_only, &plugin, &mutated));
+    println!(
+        "  NTI detects: {} (evaded when false)",
+        detected(&mut lab, &nti_only, &plugin, &mutated)
+    );
+    println!(
+        "  PTI detects: {} (the hybrid's other half)",
+        detected(&mut lab, &pti_only, &plugin, &mutated)
+    );
     println!("  Joza detects: {}", detected(&mut lab, &hybrid, &plugin, &mutated));
 
     println!("\nThe complementary failure modes are exactly why the hybrid exists (§III-C).");

@@ -49,7 +49,10 @@ fn main() {
 
     // Table III: dangerous tokens available to an attacker as fragments.
     println!("== dangerous vocabulary (the PTI attack surface) ==");
-    for needle in ["UNION", "AND", "OR", "SELECT", "CHAR", "#", "\"", "'", "`", "GROUP BY", "ORDER BY", "CAST", "WHERE 1"] {
+    for needle in [
+        "UNION", "AND", "OR", "SELECT", "CHAR", "#", "\"", "'", "`", "GROUP BY", "ORDER BY",
+        "CAST", "WHERE 1",
+    ] {
         let available = set.iter().any(|f| f.contains(needle));
         println!("  {:10} {}", needle, if available { "available" } else { "absent" });
     }

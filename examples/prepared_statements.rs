@@ -46,7 +46,12 @@ fn main() {
     let mut gate = joza.gate();
     let resp = lab.server.handle_gated(&attack, &mut gate);
     assert!(resp.blocked || resp.executed < resp.queries.len());
-    println!("attack stopped (blocked={}, executed {}/{} queries)", resp.blocked, resp.executed, resp.queries.len());
+    println!(
+        "attack stopped (blocked={}, executed {}/{} queries)",
+        resp.blocked,
+        resp.executed,
+        resp.queries.len()
+    );
 
     // Benign prepared traffic is untouched: literals are split at `:name`
     // placeholders during fragment extraction (§IV-A), so the expanded

@@ -56,7 +56,10 @@ fn main() {
     let mut gate = joza.gate();
     let resp = lab.server.handle_gated(&benign, &mut gate);
     assert!(!resp.blocked);
-    println!("benign value {:?} served normally ({} queries executed)\n", plugin.benign_value, resp.executed);
+    println!(
+        "benign value {:?} served normally ({} queries executed)\n",
+        plugin.benign_value, resp.executed
+    );
 
     println!("== 4. error-virtualization policy ==");
     // Error virtualization returns a failed-query error code and lets the
@@ -72,5 +75,8 @@ fn main() {
     println!("application handled the virtualized error itself: {:?}", resp.body.trim());
 
     let stats = joza.stats();
-    println!("\nengine stats: {} queries checked, {} attacks stopped", stats.queries, stats.attacks);
+    println!(
+        "\nengine stats: {} queries checked, {} attacks stopped",
+        stats.queries, stats.attacks
+    );
 }

@@ -31,7 +31,12 @@ fn main() {
     println!("== benign request ==");
     session.capture_input("id", "42");
     let verdict = session.check("SELECT * FROM records WHERE ID=42 LIMIT 5");
-    println!("query is safe: {} (nti={:?}, pti={:?})\n", verdict.is_safe(), verdict.nti_attack, verdict.pti_attack);
+    println!(
+        "query is safe: {} (nti={:?}, pti={:?})\n",
+        verdict.is_safe(),
+        verdict.nti_attack,
+        verdict.pti_attack
+    );
 
     println!("== union-based injection ==");
     session.reset();
@@ -58,7 +63,11 @@ fn main() {
     let payload = "1 OR 1 = 1";
     let query = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
     let verdict = vocab_rich.check_query(&[payload], &query);
-    println!("tautology {payload:?}: pti evaded={}, nti caught={}", verdict.pti_attack == Some(false), verdict.nti_attack == Some(true));
+    println!(
+        "tautology {payload:?}: pti evaded={}, nti caught={}",
+        verdict.pti_attack == Some(false),
+        verdict.nti_attack == Some(true)
+    );
     assert!(!verdict.is_safe(), "hybrid must detect the tautology");
 
     println!("\nCumulative stats: {:?}", joza.stats());

@@ -5,7 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
-for bin in table1 table2 table3 table4 table7 ablation_threshold ablation_policy; do
+for bin in table1 table2 table3 table4 table7 ablation_threshold ablation_policy sast_report; do
     echo "== $bin =="
     cargo run --quiet --release -p joza-bench --bin "$bin" > "results/$bin.txt"
 done

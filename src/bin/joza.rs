@@ -128,9 +128,10 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
     let fragments = load_fragments(&fragment_file)?;
     println!("vocabulary: {} fragments", fragments.len());
     println!("\ndangerous tokens available to an attacker:");
-    for needle in
-        ["UNION", "AND", "OR", "SELECT", "CHAR", "#", "\"", "'", "`", "GROUP BY", "ORDER BY", "CAST", "WHERE 1"]
-    {
+    for needle in [
+        "UNION", "AND", "OR", "SELECT", "CHAR", "#", "\"", "'", "`", "GROUP BY", "ORDER BY",
+        "CAST", "WHERE 1",
+    ] {
         if fragments.iter().any(|f| f.contains(needle)) {
             println!("  {needle}");
         }
@@ -147,16 +148,14 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
 /// Collects `.php` sources under `path`; explicit file arguments are
 /// accepted regardless of extension.
 fn collect_sources(path: &Path, explicit: bool, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let meta =
-        std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
     if meta.is_file() {
         if explicit || path.extension().is_some_and(|e| e == "php") {
             out.push(path.to_path_buf());
         }
         return Ok(());
     }
-    let entries =
-        std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("{}: {e}", path.display()))?;
         collect_sources(&entry.path(), false, out)?;
@@ -189,8 +188,7 @@ fn parse_flags(args: &[String]) -> Result<ParsedFlags, String> {
 }
 
 fn load_fragments(path: &Path) -> Result<Vec<String>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(text.lines().filter(|l| !l.is_empty()).map(unescape).collect())
 }
 

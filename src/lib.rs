@@ -13,6 +13,7 @@
 //! * [`db`] — in-memory MySQL-subset engine
 //! * [`webapp`] — simulated web-application framework
 //! * [`lab`] — WP-SQLI-LAB testbed, SQLMap-style generator, Taintless
+//! * [`sast`] — static taint analyzer + gate fast-path route proofs
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the
 //! system inventory and experiment index.
@@ -45,6 +46,7 @@ pub use joza_lab as lab;
 pub use joza_nti as nti;
 pub use joza_phpsim as phpsim;
 pub use joza_pti as pti;
+pub use joza_sast as sast;
 pub use joza_sqlparse as sqlparse;
 pub use joza_strmatch as strmatch;
 pub use joza_webapp as webapp;

@@ -67,11 +67,8 @@ fn extract_then_check_roundtrip() {
     assert!(stdout.contains("pti: ATTACK"), "{stdout}");
 
     // Audit reports the vocabulary surface.
-    let out = Command::new(joza_bin())
-        .args(["audit", "-f"])
-        .arg(&frag_file)
-        .output()
-        .expect("run audit");
+    let out =
+        Command::new(joza_bin()).args(["audit", "-f"]).arg(&frag_file).output().expect("run audit");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SELECT"), "{stdout}");
@@ -81,10 +78,7 @@ fn extract_then_check_roundtrip() {
 
 #[test]
 fn check_requires_fragments_flag() {
-    let out = Command::new(joza_bin())
-        .args(["check", "SELECT 1"])
-        .output()
-        .expect("run check");
+    let out = Command::new(joza_bin()).args(["check", "SELECT 1"]).output().expect("run check");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing -f"));
 }

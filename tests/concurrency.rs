@@ -93,8 +93,7 @@ fn concurrent_servers_share_one_engine() {
                         p.name
                     );
                     let mut gate = joza.gate();
-                    let resp =
-                        lab.server.handle_gated(&request_for(p, &p.benign_value), &mut gate);
+                    let resp = lab.server.handle_gated(&request_for(p, &p.benign_value), &mut gate);
                     assert!(!resp.blocked, "{}: benign blocked", p.name);
                 }
             })

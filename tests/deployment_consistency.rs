@@ -36,9 +36,21 @@ fn queries() -> Vec<String> {
 #[test]
 fn all_daemon_modes_and_caches_agree() {
     let configs: Vec<PtiComponentConfig> = vec![
-        PtiComponentConfig { mode: DaemonMode::InProcess, query_cache: false, structure_cache: false, pti: PtiConfig::default(), ..Default::default() },
+        PtiComponentConfig {
+            mode: DaemonMode::InProcess,
+            query_cache: false,
+            structure_cache: false,
+            pti: PtiConfig::default(),
+            ..Default::default()
+        },
         PtiComponentConfig { mode: DaemonMode::InProcess, ..PtiComponentConfig::optimized() },
-        PtiComponentConfig { mode: DaemonMode::LongLived, query_cache: false, structure_cache: false, pti: PtiConfig::optimized(), ..Default::default() },
+        PtiComponentConfig {
+            mode: DaemonMode::LongLived,
+            query_cache: false,
+            structure_cache: false,
+            pti: PtiConfig::optimized(),
+            ..Default::default()
+        },
         PtiComponentConfig::optimized(),
         PtiComponentConfig { mode: DaemonMode::PerRequest, ..PtiComponentConfig::optimized() },
         PtiComponentConfig { mode: DaemonMode::PerQuery, ..PtiComponentConfig::optimized() },

@@ -36,8 +36,7 @@ fn app() -> Server {
 #[test]
 fn extractvalue_error_leaks_unprotected_and_is_blocked() {
     let mut server = app();
-    let payload =
-        "1 AND EXTRACTVALUE(1, CONCAT(0x7e, (SELECT user_pass FROM wp_users LIMIT 1)))";
+    let payload = "1 AND EXTRACTVALUE(1, CONCAT(0x7e, (SELECT user_pass FROM wp_users LIMIT 1)))";
     let attack = HttpRequest::get("image").param("id", payload);
 
     // Unprotected: the DBMS error message carries the password.
@@ -71,8 +70,7 @@ fn error_virtualization_hides_the_error_channel() {
         &server.app,
         JozaConfig { recovery: RecoveryPolicy::ErrorVirtualization, ..JozaConfig::optimized() },
     );
-    let payload =
-        "1 AND EXTRACTVALUE(1, CONCAT(0x7e, (SELECT user_pass FROM wp_users LIMIT 1)))";
+    let payload = "1 AND EXTRACTVALUE(1, CONCAT(0x7e, (SELECT user_pass FROM wp_users LIMIT 1)))";
     let mut gate = joza.gate();
     let resp = server.handle_gated(&HttpRequest::get("image").param("id", payload), &mut gate);
     // The app still renders its error page, but with Joza's generic error

@@ -21,8 +21,7 @@ fn quote_stuffing_defeats_nti_at_any_threshold() {
     // §V-A: "Regardless of the threshold used by NTI for determining a
     // match, an attacker can evade NTI by simply adding enough quotes."
     let mut lab = build_lab();
-    let plugin =
-        lab.plugins.iter().find(|p| p.name == "A to Z Category Listing").unwrap().clone();
+    let plugin = lab.plugins.iter().find(|p| p.name == "A to Z Category Listing").unwrap().clone();
     for threshold in [0.10, 0.20, 0.30, 0.40] {
         let mut cfg = JozaConfig::nti_only();
         cfg.nti.threshold = threshold;
@@ -119,8 +118,7 @@ fn combined_evasion_attempt_fails() {
     // is not a program fragment, so PTI flags it.
     let mut lab = build_lab();
     let hybrid = Joza::install(&lab.server.app, JozaConfig::optimized());
-    let plugin =
-        lab.plugins.iter().find(|p| p.name == "A to Z Category Listing").unwrap().clone();
+    let plugin = lab.plugins.iter().find(|p| p.name == "A to Z Category Listing").unwrap().clone();
     // Taintless form of the tautology (spaced equals) + stuffed comment.
     let combined = "1/*'''''''''*/OR 1 = 1";
     assert!(

@@ -34,10 +34,8 @@ fn header_borne_injection_is_captured_and_blocked() {
     let mut server = header_logger_app();
     // Magic quotes do not apply to $_SERVER values in PHP — the framework
     // pipeline only covers GET/POST/cookies, so the header arrives raw.
-    let attack = HttpRequest::get("log-visit").header(
-        "X-Forwarded-For",
-        "1.2.3.4', (SELECT v FROM secrets LIMIT 1)), ('x",
-    );
+    let attack = HttpRequest::get("log-visit")
+        .header("X-Forwarded-For", "1.2.3.4', (SELECT v FROM secrets LIMIT 1)), ('x");
 
     // Unprotected: the subquery smuggles the secret into the visits table
     // and the page echoes it back.

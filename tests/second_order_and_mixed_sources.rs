@@ -105,10 +105,7 @@ fn payload_construction_across_inputs_evades_nti_but_not_joza() {
 
     // Every critical token (`OR`, `TRUE`) is split across inputs, so no
     // single input covers a whole critical token.
-    let attack = HttpRequest::get("multi")
-        .param("q1", "1 O")
-        .param("q2", "R TR")
-        .param("q3", "UE");
+    let attack = HttpRequest::get("multi").param("q1", "1 O").param("q2", "R TR").param("q3", "UE");
 
     // It really works unprotected.
     let resp = server.handle(&attack);

@@ -1,0 +1,127 @@
+//! Offline stand-in for the `bytes` crate, providing exactly the subset
+//! of the API the workspace uses (frame building and advancing reads in
+//! the PTI daemon wire protocol). Network byte order matches upstream
+//! (big-endian `put_u32`/`get_u32`).
+
+use std::ops::Deref;
+
+/// Read-side of a frame: an owned buffer plus a cursor that advances as
+/// `get_*` calls consume bytes. `Deref<Target = [u8]>` exposes the
+/// remaining (unread) bytes, matching upstream semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Advancing reads over a byte cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_be_bytes(raw)
+    }
+}
+
+/// Write-side of a frame.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Convert into an immutable, readable frame.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+/// Appending writes onto a growable buffer.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32(&mut self, v: u32);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(&r[..], b"abc");
+        assert_eq!(r.remaining(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `criterion`. The benches compile and run as
+//! smoke tests: each `Bencher::iter` body executes a handful of times
+//! and reports a rough per-iteration time, with no statistics engine.
+//! The API mirrors the subset the workspace benches use.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const SMOKE_ITERS: u32 = 3;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+        f(&mut b, input);
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..SMOKE_ITERS {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += SMOKE_ITERS;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters > 0 {
+            let per = self.elapsed_ns / u128::from(self.iters);
+            println!("bench {group}/{id}: ~{per} ns/iter (smoke run, {} iters)", self.iters);
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

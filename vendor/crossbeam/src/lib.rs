@@ -1,0 +1,25 @@
+//! Offline stand-in for the `crossbeam` crate. Only the bounded-channel
+//! surface is provided, backed by `std::sync::mpsc::sync_channel` —
+//! the same blocking send/recv semantics at the call sites the
+//! workspace uses (single-producer request/response daemon plumbing).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SyncSender as Sender};
+
+    /// A bounded blocking channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = super::channel::bounded::<u32>(4);
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for `proptest`. The `proptest!` macro expands each
+//! property into a plain `#[test]` that runs a fixed number of
+//! deterministically-seeded cases (seeded from the test name, so runs
+//! are reproducible). Strategies cover the subset the workspace uses:
+//! regex-like string patterns (single atom `.`/`[class]` with `{m,n}`
+//! quantifiers), integer ranges, `collection::vec`/`btree_set`, and
+//! `prop_filter`. There is no shrinking: the first failing case fails
+//! the test with its inputs visible in the assertion message.
+
+pub mod test_runner {
+    /// Cases run per property.
+    pub const CASES: u64 = 64;
+
+    /// Deterministic splitmix64 stream seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name keeps sibling tests on distinct streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+mod pattern {
+    //! A tiny generator for the regex subset the test-suite's string
+    //! strategies use: atoms are `.`, `[class]` (ranges + literals +
+    //! backslash escapes), or literal characters, each with an optional
+    //! `{m}` / `{m,n}` / `*` / `+` / `?` quantifier.
+
+    use crate::test_runner::TestRng;
+
+    struct Atom {
+        /// Inclusive char ranges the atom can produce.
+        ranges: Vec<(u32, u32)>,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '.' => {
+                    i += 1;
+                    vec![(0x20, 0x7E)]
+                }
+                '[' => {
+                    i += 1;
+                    let mut rs = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            i += 2;
+                            rs.push((lo as u32, hi as u32));
+                        } else {
+                            rs.push((lo as u32, lo as u32));
+                        }
+                    }
+                    i += 1; // closing ']'
+                    rs
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i] as u32;
+                    i += 1;
+                    vec![(c, c)]
+                }
+                c => {
+                    i += 1;
+                    vec![(c as u32, c as u32)]
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        i += 1;
+                        let mut m = 0u32;
+                        while chars[i].is_ascii_digit() {
+                            m = m * 10 + chars[i].to_digit(10).unwrap();
+                            i += 1;
+                        }
+                        let n = if chars[i] == ',' {
+                            i += 1;
+                            let mut n = 0u32;
+                            while chars[i].is_ascii_digit() {
+                                n = n * 10 + chars[i].to_digit(10).unwrap();
+                                i += 1;
+                            }
+                            n
+                        } else {
+                            m
+                        };
+                        i += 1; // closing '}'
+                        (m, n)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { ranges, min, max });
+        }
+        atoms
+    }
+
+    pub fn sample(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pat) {
+            let n = atom.min + rng.below(u64::from(atom.max - atom.min + 1)) as u32;
+            let total: u64 = atom.ranges.iter().map(|(lo, hi)| u64::from(hi - lo + 1)).sum();
+            for _ in 0..n {
+                let mut idx = rng.below(total.max(1));
+                for (lo, hi) in &atom.ranges {
+                    let span = u64::from(hi - lo + 1);
+                    if idx < span {
+                        out.push(char::from_u32(lo + idx as u32).unwrap_or('?'));
+                        break;
+                    }
+                    idx -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe producing values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Retry sampling until `fun` accepts the value.
+        fn prop_filter<F>(self, whence: &'static str, fun: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence, fun }
+        }
+    }
+
+    /// String patterns (regex subset) generate `String`s.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::pattern::sample(self, rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + i128::from(rng.below(span))) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) fun: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.fun)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted 1000 rejections: {}", self.whence);
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of `element` samples with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` of `element` samples; insertion retries until the
+    /// drawn size is reached (bounded, in case the element domain is
+    /// smaller than the requested size).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample_len(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0;
+            while out.len() < n && tries < 10_000 {
+                out.insert(self.element.sample(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+
+    trait SampleLen {
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SampleLen for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expand property functions into fixed-case deterministic tests.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __proptest_case in 0..$crate::test_runner::CASES {
+                    let _ = __proptest_case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_subset_generates_in_class() {
+        let mut rng = TestRng::from_name("pattern_subset");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-c]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::sample(&"[ -~]{0,10}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let one = Strategy::sample(&"[a-zA-Z]", &mut rng);
+            assert_eq!(one.chars().count(), 1);
+            let esc = Strategy::sample(&"[a-z'\"\\\\]{0,20}", &mut rng);
+            assert!(esc.chars().all(|c| c.is_ascii_lowercase() || "'\"\\".contains(c)));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: patterns bind, ranges sample in-bounds.
+        #[test]
+        fn macro_roundtrip(n in 3usize..9, mut s in ".{0,12}", v in crate::collection::vec(0i64..5, 1..4)) {
+            prop_assert!((3..9).contains(&n));
+            s.push('x');
+            prop_assert!(s.len() <= 13);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}
