@@ -1,0 +1,38 @@
+use joza_sast::{analyze_source, AnalyzerConfig};
+
+#[test]
+fn break_mid_loop_state_escapes() {
+    let s = analyze_source(
+        "t",
+        r#"
+        $x = '';
+        while ($c) {
+            $x = $_GET['x'];
+            break;
+            $x = '';
+        }
+        mysql_query("SELECT * FROM t WHERE a='$x'");
+    "#,
+        &AnalyzerConfig::default(),
+    );
+    // Concretely $x can be tainted at the sink (break exits mid-body).
+    assert!(!s.taint_free, "UNSOUND: break mid-body state not joined");
+}
+
+#[test]
+fn indexed_write_key_taint() {
+    let s = analyze_source(
+        "t",
+        r#"
+        $m = array();
+        $m[$_GET['k']] = 1;
+        $frag = '';
+        foreach ($m as $k => $v) {
+            $frag .= $k;
+        }
+        mysql_query("SELECT * FROM t WHERE id IN ($frag)");
+    "#,
+        &AnalyzerConfig::default(),
+    );
+    assert!(!s.taint_free, "UNSOUND: tainted array key dropped on indexed write");
+}
