@@ -1,0 +1,299 @@
+//! Thread-scaling benchmark: requests/sec and gate latency at 1/2/4/8
+//! worker threads for three gate configurations.
+//!
+//! The paper deploys Joza on a production web server where many PHP
+//! workers serve concurrently against one shared engine. This benchmark
+//! measures how the lock-sharded engine core holds up in that regime:
+//!
+//! * **plain** — no protection ([`joza_webapp::gate::AllowAll`]): the
+//!   testbed's raw serving capacity;
+//! * **joza-optimized** — one shared lock-sharded [`Joza`] engine
+//!   (16 shards, long-lived daemons, shared query cache) with the modeled
+//!   off-CPU pipe round-trip latency applied, so each worker genuinely
+//!   *waits* on its daemon the way a PHP worker waits on a pipe;
+//! * **static-fastpath** — the same engine behind
+//!   [`joza_webapp::gate::StaticFastPath`], with routes proven taint-free
+//!   by the static analyzer short-circuiting the dynamic gate entirely.
+//!
+//! The workload is fresh-content comment posting — the query-cache-
+//! hostile case, so every measured request drives at least one real
+//! daemon round trip through the sharded engine rather than a cache hit.
+//! Verdicts at every thread count are checked against a fresh
+//! single-threaded engine: sharding must never change a decision.
+//!
+//! Usage:
+//!
+//! ```text
+//! scaling [--requests N] [--repeat R] [--threads 1,2,4,8]
+//!         [--pipe-latency-us US] [--out results/BENCH_scaling.json]
+//! ```
+
+use joza_bench::report::render_table;
+use joza_core::{Joza, JozaConfig};
+use joza_lab::serve::{serve_parallel, ParallelRun};
+use joza_lab::{build_lab, Lab};
+use joza_sast::{analyze_app, taint_free_routes};
+use joza_webapp::gate::{AllowAll, GateFactory, StaticFastPath};
+use joza_webapp::request::HttpRequest;
+use std::time::Duration;
+
+/// Engine shard count used for the sharded cells (comfortably above the
+/// largest thread count so workers never share a shard).
+const SHARDS: usize = 16;
+
+/// Builds a fresh gate for one measurement cell (no cell inherits another
+/// cell's cache warmth or MRU order).
+type GateMaker<'a> = Box<dyn Fn() -> Box<dyn GateFactory> + 'a>;
+
+#[derive(Debug)]
+struct Args {
+    requests: usize,
+    repeat: usize,
+    threads: Vec<usize>,
+    pipe_latency: Duration,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 96,
+        repeat: 3,
+        threads: vec![1, 2, 4, 8],
+        pipe_latency: Duration::from_micros(400),
+        out: "results/BENCH_scaling.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().expect("--requests"),
+            "--repeat" => args.repeat = value().parse().expect("--repeat"),
+            "--threads" => {
+                args.threads =
+                    value().split(',').map(|t| t.trim().parse().expect("--threads")).collect();
+            }
+            "--pipe-latency-us" => {
+                args.pipe_latency =
+                    Duration::from_micros(value().parse().expect("--pipe-latency-us"));
+            }
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(!args.threads.is_empty(), "--threads needs at least one entry");
+    args
+}
+
+/// The engine configuration under test: the paper's optimized deployment
+/// plus the sharded core and the modeled off-CPU daemon wait.
+fn scaled_config(pipe_latency: Duration) -> JozaConfig {
+    let mut cfg = JozaConfig::optimized();
+    cfg.shards = SHARDS;
+    cfg.pti.pipe_latency = pipe_latency;
+    cfg
+}
+
+/// One measured cell: a gate at a thread count.
+#[derive(Debug, Clone)]
+struct Cell {
+    threads: usize,
+    requests_per_sec: f64,
+    queries_per_sec: f64,
+    gate_p50: Duration,
+    gate_p99: Duration,
+    verdicts_match: bool,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The workload: pass-unique comment posts (query-cache hostile), so
+/// warmup and every measured repetition carry fresh INSERT content.
+fn workload(n: usize, pass: usize) -> Vec<HttpRequest> {
+    joza_bench::workload::write_requests_pass(n, pass)
+}
+
+/// Serves `repeat` fresh-content passes through `factory` at `threads`
+/// workers and aggregates throughput + latency over the measured passes.
+/// Pass 0 is untimed warmup (daemons spawned, SELECT side of the route
+/// cached); passes `1..=repeat` are measured.
+fn measure(
+    factory: &dyn GateFactory,
+    threads: usize,
+    requests: usize,
+    repeat: usize,
+    reference: &[bool],
+) -> Cell {
+    let _ = serve_parallel(build_lab, factory, threads, &workload(requests, 0));
+    let mut wall = Duration::ZERO;
+    let mut served = 0usize;
+    let mut queries = 0usize;
+    let mut gate_times: Vec<Duration> = Vec::with_capacity(requests * repeat);
+    let mut verdicts_match = true;
+    for pass in 1..=repeat.max(1) {
+        let reqs = workload(requests, pass);
+        let run: ParallelRun = serve_parallel(build_lab, factory, threads, &reqs);
+        wall += run.wall;
+        served += run.responses.len();
+        for (resp, expected_blocked) in run.responses.iter().zip(reference) {
+            queries += resp.queries.len();
+            gate_times.push(resp.gate_time);
+            if resp.blocked != *expected_blocked {
+                verdicts_match = false;
+            }
+        }
+    }
+    gate_times.sort();
+    let secs = wall.as_secs_f64();
+    Cell {
+        threads,
+        requests_per_sec: if secs > 0.0 { served as f64 / secs } else { 0.0 },
+        queries_per_sec: if secs > 0.0 { queries as f64 / secs } else { 0.0 },
+        gate_p50: percentile(&gate_times, 0.50),
+        gate_p99: percentile(&gate_times, 0.99),
+        verdicts_match,
+    }
+}
+
+/// Blocked-flags from a fresh single-threaded engine serving the same
+/// measured passes — the consistency reference every cell is checked
+/// against. (All passes use the same per-pass request generator, and
+/// the workload is benign, so one pass's flags cover them all.)
+fn single_thread_reference(make: &dyn Fn() -> Box<dyn GateFactory>, requests: usize) -> Vec<bool> {
+    let factory = make();
+    let _ = serve_parallel(build_lab, factory.as_ref(), 1, &workload(requests, 0));
+    let run = serve_parallel(build_lab, factory.as_ref(), 1, &workload(requests, 1));
+    run.responses.iter().map(|r| r.blocked).collect()
+}
+
+fn json_cells(cells: &[Cell]) -> String {
+    let base = cells.first().map_or(0.0, |c| c.queries_per_sec);
+    cells
+        .iter()
+        .map(|c| {
+            let speedup = if base > 0.0 { c.queries_per_sec / base } else { 0.0 };
+            format!(
+                "      {{\"threads\": {}, \"requests_per_sec\": {:.1}, \"queries_per_sec\": {:.1}, \
+                 \"gate_p50_us\": {}, \"gate_p99_us\": {}, \"speedup_vs_1t\": {:.2}, \
+                 \"verdicts_match_single_thread\": {}}}",
+                c.threads,
+                c.requests_per_sec,
+                c.queries_per_sec,
+                c.gate_p50.as_micros(),
+                c.gate_p99.as_micros(),
+                speedup,
+                c.verdicts_match
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args = parse_args();
+    let lab: Lab = build_lab();
+
+    let fast_routes = taint_free_routes(&analyze_app(&lab.server.app));
+    println!(
+        "scaling: {} requests x {} passes, threads {:?}, pipe latency {:?}, {} fast-path routes",
+        args.requests,
+        args.repeat,
+        args.threads,
+        args.pipe_latency,
+        fast_routes.len()
+    );
+
+    let gates: Vec<(&str, GateMaker)> = vec![
+        ("plain", Box::new(|| Box::new(AllowAll))),
+        ("joza-optimized", {
+            let app = &lab.server.app;
+            let latency = args.pipe_latency;
+            Box::new(move || Box::new(Joza::install(app, scaled_config(latency))))
+        }),
+        ("static-fastpath", {
+            let app = &lab.server.app;
+            let latency = args.pipe_latency;
+            let routes = fast_routes.clone();
+            Box::new(move || {
+                Box::new(StaticFastPath::new(
+                    Joza::install(app, scaled_config(latency)),
+                    routes.iter().cloned(),
+                ))
+            })
+        }),
+    ];
+
+    let mut json_gates = Vec::new();
+    for (name, make) in &gates {
+        let reference = single_thread_reference(make.as_ref(), args.requests);
+        assert!(
+            reference.iter().all(|b| !b),
+            "{name}: benign workload blocked single-threaded (false positive)"
+        );
+        let mut cells = Vec::new();
+        for &t in &args.threads {
+            let factory = make();
+            cells.push(measure(factory.as_ref(), t, args.requests, args.repeat, &reference));
+        }
+        let base = cells[0].queries_per_sec;
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.threads.to_string(),
+                    format!("{:.1}", c.requests_per_sec),
+                    format!("{:.1}", c.queries_per_sec),
+                    format!("{:?}", c.gate_p50),
+                    format!("{:?}", c.gate_p99),
+                    format!("{:.2}x", if base > 0.0 { c.queries_per_sec / base } else { 0.0 }),
+                    if c.verdicts_match { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        println!("\n== {name} ==");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "Threads",
+                    "Req/s",
+                    "Checked q/s",
+                    "Gate p50",
+                    "Gate p99",
+                    "Speedup",
+                    "Verdicts ok"
+                ],
+                &rows
+            )
+        );
+        for c in &cells {
+            assert!(c.verdicts_match, "{name}: verdict mismatch at {} threads", c.threads);
+        }
+        json_gates.push(format!(
+            "    {{\"gate\": \"{name}\", \"cells\": [\n{}\n    ]}}",
+            json_cells(&cells)
+        ));
+    }
+
+    let json = format!
+    (
+        "{{\n  \"benchmark\": \"scaling\",\n  \"requests_per_pass\": {},\n  \"passes\": {},\n  \
+         \"pipe_latency_us\": {},\n  \"shards\": {},\n  \"workload\": \"fresh-content comment posts\",\n  \
+         \"gates\": [\n{}\n  ]\n}}\n",
+        args.requests,
+        args.repeat,
+        args.pipe_latency.as_micros(),
+        SHARDS,
+        json_gates.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.out, &json).expect("write scaling results");
+    println!("wrote {}", args.out);
+}

@@ -105,6 +105,7 @@ impl Setup {
                     pipe_cost,
                     response_parse_cost,
                     spawn_cost,
+                    ..Default::default()
                 }
             }
             Setup::DaemonNoCache => {
@@ -117,6 +118,7 @@ impl Setup {
                     pipe_cost,
                     response_parse_cost,
                     spawn_cost,
+                    ..Default::default()
                 }
             }
             Setup::DaemonQueryCache => {
@@ -129,6 +131,7 @@ impl Setup {
                     pipe_cost,
                     response_parse_cost,
                     spawn_cost,
+                    ..Default::default()
                 }
             }
             Setup::DaemonFullCache => {
@@ -306,10 +309,7 @@ impl MeasureBench {
         let mut stats = RunStats { requests: requests.len(), ..Default::default() };
         for req in requests {
             let resp = match &self.joza {
-                Some(j) => {
-                    let mut gate = j.gate();
-                    self.lab.server.handle_gated(req, &mut gate)
-                }
+                Some(j) => self.lab.server.handle_with(req, j),
                 None => self.lab.server.handle(req),
             };
             assert!(!resp.blocked, "benign workload request blocked: {req:?}");
@@ -397,10 +397,7 @@ pub fn run_workload_in(lab: &mut Lab, requests: &[HttpRequest], setup: Option<Se
     let mut stats = RunStats { requests: requests.len(), ..Default::default() };
     for req in requests {
         let resp = match &joza {
-            Some(j) => {
-                let mut gate = j.gate();
-                lab.server.handle_gated(req, &mut gate)
-            }
+            Some(j) => lab.server.handle_with(req, j),
             None => lab.server.handle(req),
         };
         assert!(!resp.blocked, "benign workload request blocked: {req:?}");

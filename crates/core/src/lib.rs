@@ -18,11 +18,24 @@
 //!
 //! * [`Joza`] + [`JozaSession`] — direct library use: capture inputs,
 //!   check queries;
-//! * [`JozaGate`] — a [`joza_webapp::gate::QueryGate`] implementation that
-//!   plugs Joza into the simulated web server as the paper's wrapper-based
-//!   interception does (§IV-A);
+//! * [`Joza`] as a [`joza_webapp::gate::GateFactory`] — the multi-worker
+//!   server integration: one engine hands an independent
+//!   [`JozaGateSession`] to each request (the legacy
+//!   [`JozaGate`]/[`joza_webapp::gate::QueryGate`] adapter remains for
+//!   single-worker callers);
 //! * [`Joza::install`] — the installer: extract string fragments from
 //!   every source file of a [`WebApp`].
+//!
+//! # Concurrency
+//!
+//! The engine is **lock-sharded** (see `DESIGN.md` §6). The read-mostly
+//! side — fragment store, compiled matchers, NTI analyzer, config — is
+//! shared and consulted through `&self` with no lock. The mutable side —
+//! PTI daemon clients, per-shard statistics — lives in per-worker shards
+//! selected by a thread-local worker id, with a [`SharedQueryCache`] read
+//! layer spanning all shards. `check_query` runs NTI entirely outside any
+//! lock and only locks the calling worker's own shard for PTI, so N
+//! workers proceed in parallel instead of serializing on one global mutex.
 //!
 //! # Examples
 //!
@@ -43,10 +56,14 @@
 
 use joza_nti::{NtiAnalyzer, NtiConfig};
 use joza_phpsim::fragments::FragmentSet;
+use joza_pti::cache::CacheStats;
 use joza_pti::daemon::{PtiComponent, PtiComponentConfig};
+use joza_pti::{FragmentStore, SharedQueryCache};
 use joza_webapp::app::WebApp;
-use joza_webapp::gate::{GateDecision, QueryGate, RawInput};
+use joza_webapp::gate::{GateDecision, GateFactory, GateSession, QueryGate, RawInput};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// What Joza does when an attack is detected (§IV-E).
@@ -80,6 +97,11 @@ pub struct JozaConfig {
     /// query regardless of deployment mode. Zero (free) by default; the
     /// benchmark harness sets a calibrated value (see `DESIGN.md`).
     pub wrapper_cost: Duration,
+    /// Number of engine shards (per-worker PTI components + stats cells).
+    /// `0` (the default) auto-sizes from available parallelism. More
+    /// shards than concurrent workers is harmless — unused shards are
+    /// never initialized; fewer means workers share shards and contend.
+    pub shards: usize,
 }
 
 impl JozaConfig {
@@ -112,22 +134,38 @@ pub enum Detector {
 }
 
 /// The verdict for one query.
+///
+/// Opaque by design: construct via [`Joza::check_query`], read via the
+/// accessors. `#[non_exhaustive]` keeps room to attach evidence (edit
+/// distances, uncovered tokens) without breaking downstream matches.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub struct Verdict {
-    /// `true` iff both enabled components deemed the query safe.
     safe: bool,
-    /// Who detected the attack (None when safe).
-    pub detected_by: Option<Detector>,
-    /// NTI's raw verdict (`None` when NTI disabled).
-    pub nti_attack: Option<bool>,
-    /// PTI's raw verdict (`None` when PTI disabled).
-    pub pti_attack: Option<bool>,
+    detected_by: Option<Detector>,
+    nti_attack: Option<bool>,
+    pti_attack: Option<bool>,
 }
 
 impl Verdict {
     /// Whether the query may proceed to the DBMS.
     pub fn is_safe(&self) -> bool {
         self.safe
+    }
+
+    /// Which component(s) detected the attack (`None` when safe).
+    pub fn detector(&self) -> Option<Detector> {
+        self.detected_by
+    }
+
+    /// NTI's raw verdict (`None` when NTI is disabled).
+    pub fn nti_attack(&self) -> Option<bool> {
+        self.nti_attack
+    }
+
+    /// PTI's raw verdict (`None` when PTI is disabled).
+    pub fn pti_attack(&self) -> Option<bool> {
+        self.pti_attack
     }
 }
 
@@ -148,17 +186,47 @@ pub struct JozaStats {
     pub pti_time: Duration,
 }
 
-struct Inner {
+impl JozaStats {
+    fn merge(&mut self, other: &JozaStats) {
+        self.queries += other.queries;
+        self.attacks += other.attacks;
+        self.nti_detections += other.nti_detections;
+        self.pti_detections += other.pti_detections;
+        self.nti_time += other.nti_time;
+        self.pti_time += other.pti_time;
+    }
+}
+
+/// One worker's slice of the mutable engine state.
+struct Shard {
     pti: PtiComponent,
     stats: JozaStats,
 }
 
-/// The Joza engine. Shareable by reference; interior state (PTI caches,
-/// statistics) is mutex-protected.
+/// Gives each OS thread that calls into Joza a stable worker index.
+/// Sequential assignment keeps ids dense: the main thread is worker 0
+/// (single-threaded behaviour is identical to the pre-sharded engine) and
+/// any batch of up to `shards` worker threads gets distinct shards.
+fn worker_index(shards: usize) -> usize {
+    static NEXT_WORKER: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static WORKER: usize = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
+    }
+    WORKER.with(|w| *w) % shards
+}
+
+/// The Joza engine — shareable across worker threads by reference.
+///
+/// The fragment store, NTI analyzer and configuration form the read-only
+/// side (no lock); PTI daemon clients and statistics are sharded
+/// per-worker (see the crate docs), with safe-query knowledge shared
+/// through a [`SharedQueryCache`].
 pub struct Joza {
     config: JozaConfig,
     nti: NtiAnalyzer,
-    inner: Mutex<Inner>,
+    store: Arc<FragmentStore>,
+    shared_query_cache: Option<Arc<SharedQueryCache>>,
+    shards: Box<[OnceLock<Mutex<Shard>>]>,
     fragment_count: usize,
 }
 
@@ -166,6 +234,7 @@ impl std::fmt::Debug for Joza {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Joza")
             .field("fragments", &self.fragment_count)
+            .field("shards", &self.shards.len())
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
@@ -197,9 +266,40 @@ impl Joza {
         self.fragment_count
     }
 
-    /// A snapshot of cumulative statistics.
+    /// Number of shards the engine was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A snapshot of cumulative statistics, aggregated over every shard
+    /// that has been touched so far.
     pub fn stats(&self) -> JozaStats {
-        self.inner.lock().stats
+        let mut total = JozaStats::default();
+        for cell in self.shards.iter() {
+            if let Some(shard) = cell.get() {
+                total.merge(&shard.lock().stats);
+            }
+        }
+        total
+    }
+
+    /// PTI query-cache statistics: the shared cache's counters when the
+    /// engine runs one (the default for cache-enabled configs), otherwise
+    /// the sum over per-shard local caches.
+    pub fn query_cache_stats(&self) -> CacheStats {
+        if let Some(shared) = &self.shared_query_cache {
+            return shared.stats();
+        }
+        let mut total = CacheStats::default();
+        for cell in self.shards.iter() {
+            if let Some(shard) = cell.get() {
+                let s = shard.lock().pti.query_cache_stats();
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.inserts += s.inserts;
+            }
+        }
+        total
     }
 
     /// Starts an analysis session (captures inputs for NTI, then checks
@@ -208,33 +308,54 @@ impl Joza {
         JozaSession { joza: self, inputs: Vec::new() }
     }
 
-    /// Wraps the engine as a [`QueryGate`] for the simulated web server.
+    /// Wraps the engine as a legacy [`QueryGate`] for single-worker
+    /// callers; multi-worker servers use the [`GateFactory`] impl instead.
     pub fn gate(&self) -> JozaGate<'_> {
         JozaGate { joza: self, inputs: Vec::new() }
+    }
+
+    /// The calling worker's shard, initialized on first touch. Lazy
+    /// initialization means an engine serving one thread runs exactly one
+    /// PTI component (and one daemon), however many shards are configured.
+    fn shard(&self) -> &Mutex<Shard> {
+        let cell = &self.shards[worker_index(self.shards.len())];
+        cell.get_or_init(|| {
+            Mutex::new(Shard {
+                pti: PtiComponent::with_store(
+                    Arc::clone(&self.store),
+                    self.config.pti.clone(),
+                    self.shared_query_cache.clone(),
+                ),
+                stats: JozaStats::default(),
+            })
+        })
     }
 
     /// Checks one query against a set of captured raw inputs.
     pub fn check_query(&self, inputs: &[&str], query: &str) -> Verdict {
         joza_phpsim::cost::simulate(self.config.wrapper_cost);
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
 
+        // NTI is pure over shared state: run it before taking any lock so
+        // workers never serialize on the edit-distance pass.
+        let (nti_attack, nti_time) = if self.config.disable_nti {
+            (None, Duration::ZERO)
+        } else {
+            let t0 = Instant::now();
+            let report = self.nti.analyze(inputs, query);
+            (Some(report.is_attack()), t0.elapsed())
+        };
+
+        let mut guard = self.shard().lock();
+        let shard = &mut *guard;
         let pti_attack = if self.config.disable_pti {
             None
         } else {
             let t0 = Instant::now();
-            let decision = inner.pti.check(query);
-            inner.stats.pti_time += t0.elapsed();
+            let decision = shard.pti.check(query);
+            shard.stats.pti_time += t0.elapsed();
             Some(!decision.safe)
         };
-        let nti_attack = if self.config.disable_nti {
-            None
-        } else {
-            let t0 = Instant::now();
-            let report = self.nti.analyze(inputs, query);
-            inner.stats.nti_time += t0.elapsed();
-            Some(report.is_attack())
-        };
+        shard.stats.nti_time += nti_time;
 
         let detected_by = match (nti_attack, pti_attack) {
             (Some(true), Some(true)) => Some(Detector::Both),
@@ -242,23 +363,63 @@ impl Joza {
             (_, Some(true)) => Some(Detector::Pti),
             _ => None,
         };
-        inner.stats.queries += 1;
+        shard.stats.queries += 1;
         if nti_attack == Some(true) {
-            inner.stats.nti_detections += 1;
+            shard.stats.nti_detections += 1;
         }
         if pti_attack == Some(true) {
-            inner.stats.pti_detections += 1;
+            shard.stats.pti_detections += 1;
         }
         if detected_by.is_some() {
-            inner.stats.attacks += 1;
+            shard.stats.attacks += 1;
         }
         Verdict { safe: detected_by.is_none(), detected_by, nti_attack, pti_attack }
     }
 
     fn begin_request_inner(&self) {
-        self.inner.lock().pti.begin_request();
+        self.shard().lock().pti.begin_request();
+    }
+
+    fn decide(&self, verdict: &Verdict) -> GateDecision {
+        if verdict.is_safe() {
+            GateDecision::Allow
+        } else {
+            match self.config.recovery {
+                RecoveryPolicy::Termination => GateDecision::Terminate,
+                RecoveryPolicy::ErrorVirtualization => GateDecision::ErrorVirtualize,
+            }
+        }
     }
 }
+
+/// Why [`JozaBuilder::try_build`] rejected a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JozaBuildError {
+    /// Both NTI and PTI are disabled — the engine would allow everything.
+    AllDetectorsDisabled,
+    /// PTI is enabled but the fragment vocabulary is empty, so *every*
+    /// query with a critical token would be flagged (the installer found
+    /// no application sources).
+    EmptyPtiVocabulary,
+}
+
+impl std::fmt::Display for JozaBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JozaBuildError::AllDetectorsDisabled => {
+                write!(f, "both NTI and PTI are disabled; the engine would detect nothing")
+            }
+            JozaBuildError::EmptyPtiVocabulary => {
+                write!(
+                    f,
+                    "PTI is enabled but no fragments were provided; every query would be flagged"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JozaBuildError {}
 
 /// Builder for [`Joza`].
 #[derive(Debug, Default)]
@@ -293,17 +454,47 @@ impl JozaBuilder {
         self
     }
 
-    /// Builds the engine (spawns the PTI daemon in long-lived mode).
-    pub fn build(self) -> Joza {
+    /// Builds the engine, validating the configuration first.
+    ///
+    /// Rejects configurations that cannot protect anything
+    /// ([`JozaBuildError::AllDetectorsDisabled`]) or that would flag all
+    /// traffic ([`JozaBuildError::EmptyPtiVocabulary`]). The per-worker
+    /// PTI components (and their daemons) spawn lazily, on each worker's
+    /// first check.
+    pub fn try_build(self) -> Result<Joza, JozaBuildError> {
+        if self.config.disable_nti && self.config.disable_pti {
+            return Err(JozaBuildError::AllDetectorsDisabled);
+        }
+        if !self.config.disable_pti && self.fragments.is_empty() {
+            return Err(JozaBuildError::EmptyPtiVocabulary);
+        }
         let nti = NtiAnalyzer::new(self.config.nti.clone());
         let fragment_count = self.fragments.len();
-        let pti = PtiComponent::new(&self.fragments, self.config.pti.clone());
-        Joza {
+        let store = Arc::new(FragmentStore::new(&self.fragments, self.config.pti.pti.matcher));
+        let shared_query_cache =
+            self.config.pti.query_cache.then(|| Arc::new(SharedQueryCache::new()));
+        let shard_count = if self.config.shards == 0 {
+            std::thread::available_parallelism().map_or(8, |p| (p.get() * 2).clamp(8, 64))
+        } else {
+            self.config.shards
+        };
+        Ok(Joza {
             config: self.config,
             nti,
-            inner: Mutex::new(Inner { pti, stats: JozaStats::default() }),
+            store,
+            shared_query_cache,
+            shards: (0..shard_count).map(|_| OnceLock::new()).collect(),
             fragment_count,
-        }
+        })
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the configurations [`JozaBuilder::try_build`] rejects.
+    pub fn build(self) -> Joza {
+        self.try_build().expect("invalid Joza configuration")
     }
 }
 
@@ -332,7 +523,9 @@ impl JozaSession<'_> {
     }
 }
 
-/// [`QueryGate`] adapter: plugs Joza into `joza_webapp::Server`.
+/// Legacy [`QueryGate`] adapter: plugs Joza into `joza_webapp::Server`
+/// for single-worker callers. Multi-worker servers should use the
+/// [`GateFactory`] impl on [`Joza`] itself.
 pub struct JozaGate<'a> {
     joza: &'a Joza,
     inputs: Vec<String>,
@@ -353,14 +546,38 @@ impl QueryGate for JozaGate<'_> {
     fn check(&mut self, sql: &str) -> GateDecision {
         let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
         let verdict = self.joza.check_query(&refs, sql);
-        if verdict.is_safe() {
-            GateDecision::Allow
-        } else {
-            match self.joza.config.recovery {
-                RecoveryPolicy::Termination => GateDecision::Terminate,
-                RecoveryPolicy::ErrorVirtualization => GateDecision::ErrorVirtualize,
-            }
-        }
+        self.joza.decide(&verdict)
+    }
+}
+
+/// One request's gate session on a shared [`Joza`] engine, created by the
+/// [`GateFactory`] impl with the request's raw inputs already captured.
+pub struct JozaGateSession<'a> {
+    joza: &'a Joza,
+    inputs: Vec<String>,
+}
+
+impl std::fmt::Debug for JozaGateSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JozaGateSession").field("inputs", &self.inputs.len()).finish()
+    }
+}
+
+impl GateSession for JozaGateSession<'_> {
+    fn check(&mut self, sql: &str) -> GateDecision {
+        let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
+        let verdict = self.joza.check_query(&refs, sql);
+        self.joza.decide(&verdict)
+    }
+}
+
+impl GateFactory for Joza {
+    fn session<'a>(&'a self, _route: &str, inputs: &[RawInput]) -> Box<dyn GateSession + 'a> {
+        let values = inputs.iter().map(|i| i.value.clone()).collect();
+        // Per-request PTI lifecycle (daemon spawn in PerRequest mode) on
+        // the calling worker's shard.
+        self.begin_request_inner();
+        Box::new(JozaGateSession { joza: self, inputs: values })
     }
 }
 
@@ -379,7 +596,7 @@ mod tests {
         let j = joza();
         let v = j.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
         assert!(v.is_safe());
-        assert_eq!(v.detected_by, None);
+        assert_eq!(v.detector(), None);
         assert_eq!(j.stats().queries, 1);
         assert_eq!(j.stats().attacks, 0);
     }
@@ -391,7 +608,7 @@ mod tests {
         let q = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
         let v = j.check_query(&[payload], &q);
         assert!(!v.is_safe());
-        assert_eq!(v.detected_by, Some(Detector::Both));
+        assert_eq!(v.detector(), Some(Detector::Both));
     }
 
     #[test]
@@ -402,10 +619,10 @@ mod tests {
         let payload_in_query = payload_input.replace('\'', "\\'");
         let q = format!("SELECT * FROM records WHERE ID={payload_in_query} LIMIT 5");
         let v = joza().check_query(&[payload_input], &q);
-        assert_eq!(v.nti_attack, Some(false), "NTI must be evaded: {v:?}");
-        assert_eq!(v.pti_attack, Some(true), "PTI must catch it");
+        assert_eq!(v.nti_attack(), Some(false), "NTI must be evaded: {v:?}");
+        assert_eq!(v.pti_attack(), Some(true), "PTI must catch it");
         assert!(!v.is_safe());
-        assert_eq!(v.detected_by, Some(Detector::Pti));
+        assert_eq!(v.detector(), Some(Detector::Pti));
     }
 
     #[test]
@@ -419,23 +636,48 @@ mod tests {
         let payload = "1 OR 1 = 1";
         let q = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
         let v = j.check_query(&[payload], &q);
-        assert_eq!(v.pti_attack, Some(false), "PTI must be evaded: {v:?}");
-        assert_eq!(v.nti_attack, Some(true), "NTI must catch it");
+        assert_eq!(v.pti_attack(), Some(false), "PTI must be evaded: {v:?}");
+        assert_eq!(v.nti_attack(), Some(true), "NTI must catch it");
         assert!(!v.is_safe());
-        assert_eq!(v.detected_by, Some(Detector::Nti));
+        assert_eq!(v.detector(), Some(Detector::Nti));
     }
 
     #[test]
     fn ablation_configs() {
         let nti_only = Joza::builder().fragments(FRAGS).config(JozaConfig::nti_only()).build();
         let v = nti_only.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
-        assert!(v.pti_attack.is_none());
-        assert!(v.nti_attack.is_some());
+        assert!(v.pti_attack().is_none());
+        assert!(v.nti_attack().is_some());
 
         let pti_only = Joza::builder().fragments(FRAGS).config(JozaConfig::pti_only()).build();
         let v = pti_only.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
-        assert!(v.nti_attack.is_none());
-        assert!(v.pti_attack.is_some());
+        assert!(v.nti_attack().is_none());
+        assert!(v.pti_attack().is_some());
+    }
+
+    #[test]
+    fn try_build_rejects_all_disabled() {
+        let err = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig { disable_nti: true, disable_pti: true, ..JozaConfig::optimized() })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, JozaBuildError::AllDetectorsDisabled);
+        assert!(err.to_string().contains("disabled"));
+    }
+
+    #[test]
+    fn try_build_rejects_empty_pti_vocabulary() {
+        let err = Joza::builder().config(JozaConfig::optimized()).try_build().unwrap_err();
+        assert_eq!(err, JozaBuildError::EmptyPtiVocabulary);
+        // NTI-only with no fragments is fine: PTI never consults them.
+        assert!(Joza::builder().config(JozaConfig::nti_only()).try_build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Joza configuration")]
+    fn build_panics_on_invalid_config() {
+        let _ = Joza::builder().config(JozaConfig::optimized()).build();
     }
 
     #[test]
@@ -461,6 +703,45 @@ mod tests {
         assert_eq!(st.attacks, 1);
         assert!(st.nti_detections >= 1);
         assert!(st.pti_detections >= 1);
+    }
+
+    #[test]
+    fn stats_aggregate_across_worker_shards() {
+        let j = Arc::new(
+            Joza::builder()
+                .fragments(FRAGS)
+                .config(JozaConfig { shards: 4, ..JozaConfig::optimized() })
+                .build(),
+        );
+        assert_eq!(j.shard_count(), 4);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        let id = t * 100 + i;
+                        let q = format!("SELECT * FROM records WHERE ID={id} LIMIT 5");
+                        assert!(j.check_query(&[&id.to_string()], &q).is_safe());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker panicked");
+        }
+        let st = j.stats();
+        assert_eq!(st.queries, 40);
+        assert_eq!(st.attacks, 0);
+    }
+
+    #[test]
+    fn shared_query_cache_reported() {
+        let j = joza();
+        j.check_query(&["5"], "SELECT * FROM records WHERE ID=5 LIMIT 5");
+        j.check_query(&["5"], "SELECT * FROM records WHERE ID=5 LIMIT 5");
+        let cs = j.query_cache_stats();
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.inserts, 1);
     }
 
     #[test]
@@ -503,5 +784,24 @@ mod tests {
             gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
             GateDecision::ErrorVirtualize
         );
+    }
+
+    #[test]
+    fn factory_session_matches_legacy_gate() {
+        let j = joza();
+        let attack = RawInput {
+            source: joza_webapp::request::InputSource::Get,
+            name: "id".to_string(),
+            value: "-1 UNION SELECT 1".to_string(),
+        };
+        let mut s = GateFactory::session(&j, "route", std::slice::from_ref(&attack));
+        assert_eq!(s.check("SELECT * FROM records WHERE ID=1 LIMIT 5"), GateDecision::Allow);
+        assert_eq!(
+            s.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::Terminate
+        );
+        drop(s);
+        assert_eq!(j.stats().queries, 2);
+        assert_eq!(j.stats().attacks, 1);
     }
 }

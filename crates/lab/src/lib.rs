@@ -39,12 +39,14 @@
 pub mod cms;
 pub mod corpus;
 pub mod nti_evasion;
+pub mod serve;
 pub mod sqlmap;
 pub mod taintless;
 pub mod verify;
 pub mod wordpress;
 
 pub use corpus::{AttackType, Exploit, VulnPlugin};
+pub use serve::{serve_parallel, ParallelRun};
 
 use joza_webapp::server::Server;
 

@@ -1,0 +1,141 @@
+//! Multi-worker request serving over the testbed.
+//!
+//! The paper's deployment interposes Joza on a production web server,
+//! where many PHP workers serve requests concurrently against **one**
+//! shared protection engine. This module reproduces that regime: a pool
+//! of worker threads, each with its own application instance (PHP workers
+//! share no interpreter state), all funnelling queries through a single
+//! shared [`GateFactory`] — exactly the seam the lock-sharded engine core
+//! is designed for.
+//!
+//! Workers get *independent* database instances, so the workload must
+//! tolerate per-worker write isolation (reads, or writes whose responses
+//! don't depend on other workers' writes). What is genuinely shared — and
+//! genuinely contended — is the gate: fragment store, automaton, query
+//! cache, and the per-worker PTI shards behind it.
+
+use crate::Lab;
+use joza_webapp::gate::GateFactory;
+use joza_webapp::request::HttpRequest;
+use joza_webapp::server::Response;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Outcome of one parallel serving run.
+#[derive(Debug)]
+pub struct ParallelRun {
+    /// Responses in the same order as the input request list.
+    pub responses: Vec<Response>,
+    /// Wall-clock time from the moment every worker was ready (labs
+    /// built, caches whatever the factory left them) until the last
+    /// worker finished its partition. Lab construction is excluded.
+    pub wall: Duration,
+}
+
+impl ParallelRun {
+    /// Requests served per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.responses.len() as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Serves `requests` from `threads` worker threads against one shared
+/// gate factory.
+///
+/// Each worker builds its own lab with `build` (untimed), takes the
+/// requests at indices `w, w + threads, w + 2·threads, …`, and serves
+/// them through `factory`. All workers start together behind a barrier;
+/// the returned [`ParallelRun::wall`] covers only the serving phase.
+/// Responses come back in input order regardless of which worker served
+/// them.
+///
+/// With `threads == 1` this is equivalent to a plain sequential loop over
+/// `Server::handle_with`, which is what makes single-threaded and
+/// multi-threaded verdicts directly comparable.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn serve_parallel<F>(
+    build: F,
+    factory: &dyn GateFactory,
+    threads: usize,
+    requests: &[HttpRequest],
+) -> ParallelRun
+where
+    F: Fn() -> Lab + Sync,
+{
+    assert!(threads > 0, "serve_parallel needs at least one worker");
+    let barrier = Barrier::new(threads + 1);
+    let mut indexed: Vec<(usize, Response)> = Vec::with_capacity(requests.len());
+    let mut wall = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let barrier = &barrier;
+                let build = &build;
+                s.spawn(move || {
+                    let mut lab = build();
+                    barrier.wait();
+                    requests
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(threads)
+                        .map(|(i, req)| (i, lab.server.handle_with(req, factory)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        for h in handles {
+            indexed.extend(h.join().expect("serve_parallel worker panicked"));
+        }
+        wall = started.elapsed();
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    ParallelRun { responses: indexed.into_iter().map(|(_, r)| r).collect(), wall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_lab;
+    use joza_core::{Joza, JozaConfig};
+    use joza_webapp::gate::AllowAll;
+
+    fn crawl(n: usize) -> Vec<HttpRequest> {
+        (0..n)
+            .map(|i| HttpRequest::get("single-post").param("p", &(1 + i % 5).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_order_and_bodies() {
+        let requests = crawl(12);
+        let mut reference = build_lab();
+        let expected: Vec<String> =
+            requests.iter().map(|r| reference.server.handle(r).body.clone()).collect();
+        let run = serve_parallel(build_lab, &AllowAll, 3, &requests);
+        assert_eq!(run.responses.len(), 12);
+        let got: Vec<String> = run.responses.iter().map(|r| r.body.clone()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_verdicts_match_single_threaded_gate() {
+        let lab = build_lab();
+        let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
+        let requests = crawl(10);
+        let single = serve_parallel(build_lab, &joza, 1, &requests);
+        let joza2 = Joza::install(&lab.server.app, JozaConfig::optimized());
+        let multi = serve_parallel(build_lab, &joza2, 4, &requests);
+        let flags = |run: &ParallelRun| run.responses.iter().map(|r| r.blocked).collect::<Vec<_>>();
+        assert_eq!(flags(&single), flags(&multi));
+        assert!(flags(&single).iter().all(|b| !b), "benign crawl must not be blocked");
+    }
+}

@@ -2,9 +2,11 @@
 //! (§IV-C1, §VI-A).
 
 use joza_sqlparse::fingerprint::fingerprint;
+use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Statistics shared by both caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,6 +138,67 @@ impl StructureCache {
     }
 }
 
+/// A thread-safe query cache shared by every shard of a lock-sharded
+/// engine: the *shared read layer* of the striped PTI caches.
+///
+/// Same contract as [`QueryCache`] — only safe verdicts are remembered —
+/// but lookups take `&self` (reader lock) so N server workers can consult
+/// it concurrently; a safe query found by one worker is immediately
+/// visible to all others. Statistics are lock-free atomic counters, so
+/// snapshots taken while workers are running are always consistent
+/// totals.
+#[derive(Debug, Default)]
+pub struct SharedQueryCache {
+    safe: RwLock<HashSet<u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl SharedQueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether this exact query was previously found safe (by any worker).
+    pub fn lookup(&self, query: &str) -> bool {
+        let hit = self.safe.read().contains(&hash_str(query));
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records a safe query.
+    pub fn insert_safe(&self, query: &str) {
+        if self.safe.write().insert(hash_str(query)) {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached safe queries.
+    pub fn len(&self) -> usize {
+        self.safe.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.safe.read().is_empty()
+    }
+
+    /// Lookup/insert statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
 fn hash_str(s: &str) -> u64 {
     let mut h = DefaultHasher::new();
     s.hash(&mut h);
@@ -198,5 +261,29 @@ mod tests {
         c.insert_safe("q");
         assert_eq!(c.stats().inserts, 1);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_matches_local_semantics() {
+        let c = SharedQueryCache::new();
+        assert!(!c.lookup("SELECT 1"));
+        c.insert_safe("SELECT 1");
+        c.insert_safe("SELECT 1");
+        assert!(c.lookup("SELECT 1"));
+        assert!(!c.lookup("SELECT 2"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_visible_across_threads() {
+        let c = std::sync::Arc::new(SharedQueryCache::new());
+        let writer = std::sync::Arc::clone(&c);
+        std::thread::spawn(move || writer.insert_safe("warm"))
+            .join()
+            .expect("writer thread panicked");
+        assert!(c.lookup("warm"), "insert from another thread must be visible");
     }
 }

@@ -19,7 +19,7 @@
 //!   the "PTI as PHP extension" overhead estimate.
 
 use crate::analyzer::{PtiAnalyzer, PtiConfig};
-use crate::cache::{CacheStats, QueryCache, StructureCache};
+use crate::cache::{CacheStats, QueryCache, SharedQueryCache, StructureCache};
 use crate::store::FragmentStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -200,6 +200,16 @@ pub struct PtiComponentConfig {
     /// [`DaemonMode::LongLived`], once per request in
     /// [`DaemonMode::PerRequest`]. Zero by default.
     pub spawn_cost: Duration,
+    /// Modeled *off-CPU* wait for one daemon round trip: in the paper's
+    /// deployment the PHP worker **blocks** on the named pipe while the
+    /// daemon computes, burning no CPU. Unlike [`pipe_cost`] (a spinning,
+    /// CPU-bound marshalling model) this is a real `thread::sleep`, so
+    /// independent workers can overlap their waits — exactly the win a
+    /// sharded engine buys over one that holds a global lock across the
+    /// round trip. Not paid in [`DaemonMode::InProcess`]. Zero by default.
+    ///
+    /// [`pipe_cost`]: PtiComponentConfig::pipe_cost
+    pub pipe_latency: Duration,
 }
 
 impl PtiComponentConfig {
@@ -258,6 +268,7 @@ pub struct PtiComponent {
     long_lived: Option<PtiClient>,
     per_request: Option<PtiClient>,
     query_cache: QueryCache,
+    shared_query_cache: Option<Arc<SharedQueryCache>>,
     in_process_structure_cache: StructureCache,
     daemon_spawns: u64,
 }
@@ -270,6 +281,24 @@ impl PtiComponent {
         S: AsRef<str>,
     {
         let store = Arc::new(FragmentStore::new(fragments, config.pti.matcher));
+        Self::with_store(store, config, None)
+    }
+
+    /// Builds the component over an already-compiled (shared) fragment
+    /// store, optionally wiring it to a [`SharedQueryCache`].
+    ///
+    /// This is the constructor a lock-sharded engine uses: N per-worker
+    /// components share one `Arc<FragmentStore>` (the read-mostly side) and
+    /// one `Arc<SharedQueryCache>` (the shared read layer of the query
+    /// cache), so a safe query analyzed by one worker is a cache hit for
+    /// every other. When `shared_query_cache` is `Some`, it replaces the
+    /// component-local [`QueryCache`] entirely (still gated by
+    /// `config.query_cache`).
+    pub fn with_store(
+        store: Arc<FragmentStore>,
+        config: PtiComponentConfig,
+        shared_query_cache: Option<Arc<SharedQueryCache>>,
+    ) -> Self {
         let analyzer = PtiAnalyzer::new(Arc::clone(&store), config.pti.clone());
         let mut component = PtiComponent {
             config,
@@ -278,6 +307,7 @@ impl PtiComponent {
             long_lived: None,
             per_request: None,
             query_cache: QueryCache::new(),
+            shared_query_cache,
             in_process_structure_cache: StructureCache::new(),
             daemon_spawns: 0,
         };
@@ -302,9 +332,19 @@ impl PtiComponent {
         &self.store
     }
 
-    /// Query-cache statistics.
+    /// Query-cache statistics (from the shared cache when one is wired).
     pub fn query_cache_stats(&self) -> CacheStats {
-        self.query_cache.stats()
+        match &self.shared_query_cache {
+            Some(shared) => shared.stats(),
+            None => self.query_cache.stats(),
+        }
+    }
+
+    /// Blocks for the modeled off-CPU pipe round-trip latency.
+    fn pipe_wait(&self) {
+        if !self.config.pipe_latency.is_zero() {
+            std::thread::sleep(self.config.pipe_latency);
+        }
     }
 
     /// Number of daemon processes spawned so far.
@@ -330,13 +370,20 @@ impl PtiComponent {
 
     /// Checks one query.
     pub fn check(&mut self, query: &str) -> PtiDecision {
-        if self.config.query_cache && self.query_cache.lookup(query) {
-            return PtiDecision { safe: true, via: PtiVia::QueryCache };
+        if self.config.query_cache {
+            let hit = match &self.shared_query_cache {
+                Some(shared) => shared.lookup(query),
+                None => self.query_cache.lookup(query),
+            };
+            if hit {
+                return PtiDecision { safe: true, via: PtiVia::QueryCache };
+            }
         }
         let verdict = match self.config.mode {
             DaemonMode::PerQuery => {
                 let client = self.spawn_daemon();
                 simulate(self.config.pipe_cost);
+                self.pipe_wait();
                 let v = client.check(query);
                 if !v.structure_cache_hit {
                     simulate(self.config.response_parse_cost);
@@ -365,6 +412,7 @@ impl PtiComponent {
                     self.begin_request();
                 }
                 simulate(self.config.pipe_cost);
+                self.pipe_wait();
                 let v = self.per_request.as_ref().expect("spawned above").check(query);
                 if !v.structure_cache_hit {
                     simulate(self.config.response_parse_cost);
@@ -373,6 +421,7 @@ impl PtiComponent {
             }
             DaemonMode::LongLived => {
                 simulate(self.config.pipe_cost);
+                self.pipe_wait();
                 let v = self.long_lived.as_ref().expect("spawned in new").check(query);
                 if !v.structure_cache_hit {
                     simulate(self.config.response_parse_cost);
@@ -381,7 +430,10 @@ impl PtiComponent {
             }
         };
         if verdict.safe && self.config.query_cache {
-            self.query_cache.insert_safe(query);
+            match &self.shared_query_cache {
+                Some(shared) => shared.insert_safe(query),
+                None => self.query_cache.insert_safe(query),
+            }
         }
         PtiDecision {
             safe: verdict.safe,
@@ -482,6 +534,29 @@ mod tests {
         for q in [SAFE_Q, ATTACK_Q, "SELECT * FROM records WHERE ID=9 LIMIT 5"] {
             assert_eq!(daemon.check(q).safe, inproc.check(q).safe, "{q}");
         }
+    }
+
+    #[test]
+    fn shared_query_cache_spans_components() {
+        let store = Arc::new(FragmentStore::new(FRAGS, PtiConfig::optimized().matcher));
+        let shared = Arc::new(SharedQueryCache::new());
+        let mut a = PtiComponent::with_store(
+            Arc::clone(&store),
+            PtiComponentConfig::optimized(),
+            Some(Arc::clone(&shared)),
+        );
+        let mut b = PtiComponent::with_store(
+            store,
+            PtiComponentConfig::optimized(),
+            Some(Arc::clone(&shared)),
+        );
+        assert_eq!(a.check(SAFE_Q).via, PtiVia::Analysis);
+        // Component B never saw the query, yet hits the shared layer.
+        assert_eq!(b.check(SAFE_Q).via, PtiVia::QueryCache);
+        // Attacks are never cached, in either component.
+        assert!(!a.check(ATTACK_Q).safe);
+        assert!(!b.check(ATTACK_Q).safe);
+        assert_eq!(shared.stats().inserts, 1);
     }
 
     #[test]

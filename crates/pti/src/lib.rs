@@ -45,6 +45,6 @@ pub mod daemon;
 pub mod store;
 
 pub use analyzer::{PtiAnalyzer, PtiConfig, PtiReport};
-pub use cache::{QueryCache, StructureCache};
+pub use cache::{CacheStats, QueryCache, SharedQueryCache, StructureCache};
 pub use daemon::{DaemonMode, PtiClient, PtiComponent, PtiDaemon};
 pub use store::{FragmentStore, MatcherKind};

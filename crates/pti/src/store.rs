@@ -4,6 +4,8 @@ use joza_phpsim::fragments::FragmentSet;
 use joza_strmatch::ahocorasick::AhoCorasick;
 use joza_strmatch::mru::{Match, MruScanner, NaiveScanner};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Which multi-pattern matching strategy the store uses. The paper's
 /// unoptimized prototype corresponds to [`MatcherKind::Naive`]; its first
@@ -21,17 +23,41 @@ pub enum MatcherKind {
     AhoCorasick,
 }
 
+/// Number of independent MRU scanner stripes. Stripe selection is
+/// per-thread, so this bounds how many concurrent threads can scan
+/// without contending on a scanner lock.
+const MRU_STRIPES: usize = 16;
+
+/// Hands each OS thread that scans a stable stripe index. Sequential
+/// assignment (not hashing) keeps a single-threaded process on stripe 0 —
+/// bit-identical MRU behaviour to the pre-sharded engine — and gives any
+/// batch of up to [`MRU_STRIPES`] concurrently spawned scanning threads
+/// distinct stripes.
+fn stripe_index() -> usize {
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+    }
+    STRIPE.with(|s| *s) % MRU_STRIPES
+}
+
 /// An immutable fragment vocabulary with a compiled matcher.
 ///
 /// Fragment indices are stable: `occurrences` reports matches by fragment
 /// index into [`FragmentStore::fragments`].
+///
+/// The store is the *shared read side* of a lock-sharded engine: one
+/// `Arc<FragmentStore>` serves every worker. The naive scanner and the
+/// Aho–Corasick automaton are immutable and scanned through `&self`; the
+/// stateful MRU scanner is striped per scanning thread (lazily built), so
+/// concurrent workers never serialize on a single scanner lock.
 #[derive(Debug)]
 pub struct FragmentStore {
     fragments: Vec<String>,
     kind: MatcherKind,
     ac: Option<AhoCorasick>,
     naive: Option<NaiveScanner>,
-    mru: Option<Mutex<MruScanner>>,
+    mru: Option<Box<[OnceLock<Mutex<MruScanner>>]>>,
 }
 
 impl FragmentStore {
@@ -46,7 +72,9 @@ impl FragmentStore {
         let mut store = FragmentStore { fragments, kind, ac: None, naive: None, mru: None };
         match kind {
             MatcherKind::Naive => store.naive = Some(NaiveScanner::new(&store.fragments)),
-            MatcherKind::Mru => store.mru = Some(Mutex::new(MruScanner::new(&store.fragments))),
+            MatcherKind::Mru => {
+                store.mru = Some((0..MRU_STRIPES).map(|_| OnceLock::new()).collect())
+            }
             MatcherKind::AhoCorasick => store.ac = Some(AhoCorasick::new(&store.fragments)),
         }
         store
@@ -77,13 +105,19 @@ impl FragmentStore {
         self.kind
     }
 
+    /// The calling thread's MRU scanner stripe (built on first use).
+    fn mru_stripe(&self) -> &Mutex<MruScanner> {
+        let stripes = self.mru.as_ref().expect("built in new");
+        stripes[stripe_index()].get_or_init(|| Mutex::new(MruScanner::new(&self.fragments)))
+    }
+
     /// All fragment occurrences in `query`, as `(fragment index, start,
     /// end)` spans.
     pub fn occurrences(&self, query: &str) -> Vec<Match> {
         let hay = query.as_bytes();
         match self.kind {
             MatcherKind::Naive => self.naive.as_ref().expect("built in new").find_all(hay),
-            MatcherKind::Mru => self.mru.as_ref().expect("built in new").lock().find_all(hay),
+            MatcherKind::Mru => self.mru_stripe().lock().find_all(hay),
             MatcherKind::AhoCorasick => self.ac.as_ref().expect("built in new").find_all(hay),
         }
     }
@@ -98,12 +132,7 @@ impl FragmentStore {
         F: Fn(&[Match]) -> bool,
     {
         match self.kind {
-            MatcherKind::Mru => self
-                .mru
-                .as_ref()
-                .expect("built in new")
-                .lock()
-                .find_all_until(query.as_bytes(), done),
+            MatcherKind::Mru => self.mru_stripe().lock().find_all_until(query.as_bytes(), done),
             _ => self.occurrences(query),
         }
     }
@@ -145,5 +174,35 @@ mod tests {
         let store = FragmentStore::from_set(&set, MatcherKind::Naive);
         assert_eq!(store.len(), 2);
         assert_eq!(store.occurrences("SELECT x FROM t").len(), 2);
+    }
+
+    #[test]
+    fn mru_stripes_agree_across_threads() {
+        let store = std::sync::Arc::new(FragmentStore::new(
+            ["SELECT * FROM t WHERE id=", "OR", "="],
+            MatcherKind::Mru,
+        ));
+        let q = "SELECT * FROM t WHERE id=5 OR 1=1";
+        let expected: Vec<(usize, usize, usize)> =
+            store.occurrences(q).iter().map(|m| (m.pattern, m.start, m.end)).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut occ: Vec<(usize, usize, usize)> = store
+                        .occurrences("SELECT * FROM t WHERE id=5 OR 1=1")
+                        .iter()
+                        .map(|m| (m.pattern, m.start, m.end))
+                        .collect();
+                    occ.sort_unstable();
+                    occ
+                })
+            })
+            .collect();
+        let mut want = expected;
+        want.sort_unstable();
+        for h in handles {
+            assert_eq!(h.join().expect("scan thread panicked"), want);
+        }
     }
 }

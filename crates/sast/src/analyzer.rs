@@ -3,11 +3,17 @@
 //! span table uses.
 //!
 //! The variable environment maps names to [`AbstractVal`]s; arrays are
-//! smashed (one abstract value per variable, indices joined in).
+//! smashed (one abstract value per variable, indices joined in — written
+//! *keys* included, since array keys are an injection channel).
 //! Branches are analyzed on cloned environments and joined afterwards, so
 //! a sanitizer inside only one `if` arm never clears taint on the join.
 //! Loop bodies iterate to a fixpoint on (taint, provenance) — the finite
 //! lattice guarantees termination; traces are bounded separately.
+//! `break`/`continue` terminate their abstract path: the environment at
+//! the jump is recorded (break states join the loop's exit state,
+//! continue states its next-iteration entry) and the statements after the
+//! jump are skipped on that path, so a strong update in unreachable tail
+//! code can never scrub taint that concretely escapes the loop.
 
 use crate::lattice::{AbstractVal, Taint};
 use crate::summaries::{effect_of, is_sink, Effect};
@@ -83,8 +89,15 @@ pub fn analyze_source(endpoint: &str, src: &str, config: &AnalyzerConfig) -> Tai
             };
         }
     };
-    let mut interp =
-        AbstractInterp { endpoint, src, spans: &spans, config, sinks: BTreeMap::new() };
+    let mut interp = AbstractInterp {
+        endpoint,
+        src,
+        spans: &spans,
+        config,
+        sinks: BTreeMap::new(),
+        break_frames: Vec::new(),
+        continue_frames: Vec::new(),
+    };
     let mut env = Env::new();
     let mut next = 0usize;
     interp.eval_block(&prog, &mut env, &mut next);
@@ -116,6 +129,16 @@ const SOURCE_SUPERGLOBALS: &[&str] = &["_GET", "_POST", "_COOKIE", "_REQUEST"];
 /// Loop-fixpoint safety bound; the lattice converges far earlier.
 const MAX_LOOP_ITERS: usize = 50;
 
+/// How a statement (or block) hands control onward on one abstract path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    /// Execution continues with the next statement.
+    Normal,
+    /// The path left via `break`/`continue`; its environment has already
+    /// been recorded with the enclosing loop.
+    Exited,
+}
+
 struct AbstractInterp<'a> {
     endpoint: &'a str,
     src: &'a str,
@@ -124,6 +147,12 @@ struct AbstractInterp<'a> {
     /// All sink call sites keyed by (stmt id, sink name); re-visits from
     /// loop fixpoints join in.
     sinks: BTreeMap<(usize, String), Finding>,
+    /// Per enclosing loop, the environments captured at `break`
+    /// statements — joined into the loop's exit state.
+    break_frames: Vec<Vec<Env>>,
+    /// Per enclosing loop, the environments captured at `continue`
+    /// statements — joined into the next iteration's entry state.
+    continue_frames: Vec<Vec<Env>>,
 }
 
 impl AbstractInterp<'_> {
@@ -137,13 +166,21 @@ impl AbstractInterp<'_> {
 
     /// Walks a statement list, assigning preorder ids that mirror
     /// `joza_phpsim::visit::walk_program`.
-    fn eval_block(&mut self, stmts: &[Stmt], env: &mut Env, next: &mut usize) {
-        for stmt in stmts {
-            self.eval_stmt(stmt, env, next);
+    ///
+    /// Stops evaluating after a statement that exits the path
+    /// (`break`/`continue`), but still advances `next` past the skipped
+    /// tail so preorder ids stay aligned with `walk_program`.
+    fn eval_block(&mut self, stmts: &[Stmt], env: &mut Env, next: &mut usize) -> Flow {
+        for (i, stmt) in stmts.iter().enumerate() {
+            if self.eval_stmt(stmt, env, next) == Flow::Exited {
+                *next += count_block(&stmts[i + 1..]);
+                return Flow::Exited;
+            }
         }
+        Flow::Normal
     }
 
-    fn eval_stmt(&mut self, stmt: &Stmt, env: &mut Env, next: &mut usize) {
+    fn eval_stmt(&mut self, stmt: &Stmt, env: &mut Env, next: &mut usize) -> Flow {
         let id = *next;
         *next += 1;
         match stmt {
@@ -151,8 +188,9 @@ impl AbstractInterp<'_> {
                 self.eval_expr(e, env, id);
             }
             Stmt::Assign { var, indices, op, expr } => {
+                let mut idx_taint = AbstractVal::untainted();
                 for idx in indices.iter().flatten() {
-                    self.eval_expr(idx, env, id);
+                    idx_taint = idx_taint.join(&self.eval_expr(idx, env, id));
                 }
                 let mut val = self.eval_expr(expr, env, id);
                 match op {
@@ -171,7 +209,10 @@ impl AbstractInterp<'_> {
                 if indices.is_empty() {
                     env.insert(var.clone(), val);
                 } else {
-                    // Smashed arrays: weak update (join into the whole).
+                    // Smashed arrays: weak update (join into the whole),
+                    // and the written *key* taints the array too — foreach
+                    // reads keys back out of the smashed value.
+                    val = val.join(&idx_taint);
                     let joined = env.get(var).map_or_else(|| val.clone(), |old| old.join(&val));
                     env.insert(var.clone(), joined);
                 }
@@ -179,10 +220,18 @@ impl AbstractInterp<'_> {
             Stmt::If { cond, then_branch, else_branch } => {
                 self.eval_expr(cond, env, id);
                 let mut then_env = env.clone();
-                self.eval_block(then_branch, &mut then_env, next);
+                let then_flow = self.eval_block(then_branch, &mut then_env, next);
                 let mut else_env = env.clone();
-                self.eval_block(else_branch, &mut else_env, next);
-                *env = join_env(&then_env, &else_env);
+                let else_flow = self.eval_block(else_branch, &mut else_env, next);
+                // A branch that exited contributes no state to the code
+                // after the `if` — its environment was recorded with the
+                // enclosing loop when the jump was evaluated.
+                match (then_flow, else_flow) {
+                    (Flow::Normal, Flow::Normal) => *env = join_env(&then_env, &else_env),
+                    (Flow::Normal, Flow::Exited) => *env = then_env,
+                    (Flow::Exited, Flow::Normal) => *env = else_env,
+                    (Flow::Exited, Flow::Exited) => return Flow::Exited,
+                }
             }
             Stmt::While { cond, body } => {
                 self.eval_expr(cond, env, id);
@@ -222,29 +271,55 @@ impl AbstractInterp<'_> {
                     self.eval_expr(e, env, id);
                 }
             }
-            Stmt::Break | Stmt::Continue => {}
+            Stmt::Break => {
+                if let Some(frame) = self.break_frames.last_mut() {
+                    frame.push(env.clone());
+                }
+                return Flow::Exited;
+            }
+            Stmt::Continue => {
+                if let Some(frame) = self.continue_frames.last_mut() {
+                    frame.push(env.clone());
+                }
+                return Flow::Exited;
+            }
         }
+        Flow::Normal
     }
 
     /// Runs `body` repeatedly (each pass numbering statements from the
     /// same preorder base) until the environment stops changing on
     /// (taint, provenance), then advances `next` past the body.
+    ///
+    /// `continue` states from a pass are joined into the next iteration's
+    /// entry; `break` states are joined into the loop's exit, so state at
+    /// a mid-body jump can never be scrubbed by the (unreachable) tail of
+    /// the body.
     fn loop_fixpoint<F>(&mut self, body: &[Stmt], env: &mut Env, next: &mut usize, mut pass: F)
     where
         F: FnMut(&mut Self, &[Stmt], &mut Env, &mut usize),
     {
         let body_start = *next;
         let body_len = count_block(body);
+        self.break_frames.push(Vec::new());
+        self.continue_frames.push(Vec::new());
         for _ in 0..MAX_LOOP_ITERS {
             let mut trial = env.clone();
             let mut counter = body_start;
             pass(self, body, &mut trial, &mut counter);
             debug_assert_eq!(counter, body_start + body_len);
+            for cont in self.continue_frames.last_mut().expect("loop frame").drain(..) {
+                trial = join_env(&trial, &cont);
+            }
             let joined = join_env(env, &trial);
             if env_converged(env, &joined) {
                 break;
             }
             *env = joined;
+        }
+        self.continue_frames.pop();
+        for broke in self.break_frames.pop().expect("loop frame") {
+            *env = join_env(env, &broke);
         }
         *next = body_start + body_len;
     }

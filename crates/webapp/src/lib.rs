@@ -51,7 +51,10 @@ pub mod server;
 pub mod transform;
 
 pub use app::{Plugin, WebApp};
-pub use gate::{FastPathStats, GateDecision, QueryGate, RawInput, StaticFastPath};
+pub use gate::{
+    AllowAll, FastPathStats, GateDecision, GateFactory, GateSession, LegacyGateSession, QueryGate,
+    RawInput, StaticFastPath,
+};
 pub use joza_phpsim::cost;
 pub use request::{HttpRequest, InputSource};
 pub use server::{Response, Server};

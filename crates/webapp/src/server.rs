@@ -2,7 +2,9 @@
 //! query, execute against the database.
 
 use crate::app::WebApp;
-use crate::gate::{AllowAll, GateDecision, QueryGate, RawInput};
+use crate::gate::{
+    AllowAll, GateDecision, GateFactory, GateSession, LegacyGateSession, QueryGate, RawInput,
+};
 use crate::request::HttpRequest;
 use joza_db::{Database, DbError};
 use joza_phpsim::interp::{Host, Interp, PhpError, QueryOutcome};
@@ -60,24 +62,43 @@ impl Server {
 
     /// Handles a request without protection (the plain baseline).
     pub fn handle(&mut self, request: &HttpRequest) -> Response {
-        self.handle_gated(request, &mut AllowAll)
+        self.handle_with(request, &AllowAll)
     }
 
-    /// Handles a request with every query routed through `gate`.
+    /// Handles a request with every query routed through a session opened
+    /// on `factory` — the multi-worker entry point: the factory is `&self`
+    /// and [`Sync`], so N servers (one per worker thread) can share one
+    /// protection engine.
+    pub fn handle_with(&mut self, request: &HttpRequest, factory: &dyn GateFactory) -> Response {
+        let started = Instant::now();
+        // Preprocessing: hand the gate the *raw* inputs (§IV-B).
+        let raw = raw_inputs(request);
+        let gate_t0 = Instant::now();
+        let mut session = factory.session(&request.path, &raw);
+        let gate_time = gate_t0.elapsed();
+        self.run_session(request, session.as_mut(), started, gate_time)
+    }
+
+    /// Handles a request with every query routed through a legacy
+    /// [`QueryGate`], via the [`LegacyGateSession`] adapter.
     pub fn handle_gated(&mut self, request: &HttpRequest, gate: &mut dyn QueryGate) -> Response {
         let started = Instant::now();
-
-        // 1. Preprocessing: hand the gate the *raw* inputs (§IV-B).
-        let raw: Vec<RawInput> = request
-            .all_inputs()
-            .into_iter()
-            .map(|(source, name, value)| RawInput { source, name, value })
-            .collect();
+        let raw = raw_inputs(request);
         let gate_t0 = Instant::now();
-        gate.begin_route(&request.path);
-        gate.begin_request(&raw);
-        let mut gate_time = gate_t0.elapsed();
+        let mut session = LegacyGateSession::begin(gate, &request.path, &raw);
+        let gate_time = gate_t0.elapsed();
+        self.run_session(request, &mut session, started, gate_time)
+    }
 
+    /// The gated request pipeline, generic over where the session came
+    /// from. `gate_time` carries the session-creation cost already paid.
+    fn run_session(
+        &mut self,
+        request: &HttpRequest,
+        gate: &mut dyn GateSession,
+        started: Instant,
+        mut gate_time: Duration,
+    ) -> Response {
         // 2. Apply the framework input pipeline and populate superglobals.
         let pipeline = self.app.input_pipeline.clone();
         let extra = self.app.plugin(&request.path).map(|p| p.extra_transforms.clone());
@@ -178,6 +199,14 @@ impl Server {
     }
 }
 
+fn raw_inputs(request: &HttpRequest) -> Vec<RawInput> {
+    request
+        .all_inputs()
+        .into_iter()
+        .map(|(source, name, value)| RawInput { source, name, value })
+        .collect()
+}
+
 fn apply_all(
     pipeline: &crate::transform::TransformPipeline,
     extra: &Option<crate::transform::TransformPipeline>,
@@ -193,7 +222,7 @@ fn apply_all(
 /// The interpreter host that enforces gate decisions.
 struct GatedHost<'a> {
     db: &'a mut Database,
-    gate: &'a mut dyn QueryGate,
+    gate: &'a mut dyn GateSession,
     queries: Vec<String>,
     executed: usize,
     gate_time: Duration,

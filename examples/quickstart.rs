@@ -34,8 +34,8 @@ fn main() {
     println!(
         "query is safe: {} (nti={:?}, pti={:?})\n",
         verdict.is_safe(),
-        verdict.nti_attack,
-        verdict.pti_attack
+        verdict.nti_attack(),
+        verdict.pti_attack()
     );
 
     println!("== union-based injection ==");
@@ -48,9 +48,9 @@ fn main() {
     println!(
         "attack detected: {} by {:?} (nti={:?}, pti={:?})\n",
         !verdict.is_safe(),
-        verdict.detected_by,
-        verdict.nti_attack,
-        verdict.pti_attack
+        verdict.detector(),
+        verdict.nti_attack(),
+        verdict.pti_attack()
     );
 
     println!("== why the hybrid matters ==");
@@ -65,8 +65,8 @@ fn main() {
     let verdict = vocab_rich.check_query(&[payload], &query);
     println!(
         "tautology {payload:?}: pti evaded={}, nti caught={}",
-        verdict.pti_attack == Some(false),
-        verdict.nti_attack == Some(true)
+        verdict.pti_attack() == Some(false),
+        verdict.nti_attack() == Some(true)
     );
     assert!(!verdict.is_safe(), "hybrid must detect the tautology");
 

@@ -13,4 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# The concurrency suite again, explicitly multi-threaded: the stress
+# tests must hold when the harness itself runs them in parallel.
+echo "==> cargo test -q --test concurrency -- --test-threads=4"
+cargo test -q --test concurrency -- --test-threads=4
+
+# Thread-scaling smoke: a tiny 2-thread run proving the sharded engine
+# serves concurrently with verdicts identical to single-threaded (the
+# binary asserts consistency and dies on any mismatch).
+echo "==> scaling smoke (2 threads)"
+cargo run --quiet --release -p joza-bench --bin scaling -- \
+    --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_scaling_smoke.json
+
 echo "==> CI green"

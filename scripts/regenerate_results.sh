@@ -13,4 +13,7 @@ for bin in table5 table6 fig7 fig8 ablation_matcher; do
     echo "== $bin (timed) =="
     cargo run --quiet --release -p joza-bench --bin "$bin" > "results/$bin.txt"
 done
+echo "== scaling (timed) =="
+cargo run --quiet --release -p joza-bench --bin scaling -- \
+    --out results/BENCH_scaling.json > results/scaling.txt
 echo "done: $(ls results | wc -l) result files in results/"

@@ -96,7 +96,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let verdict = joza.check_query(&refs, &query);
     println!(
         "nti: {}",
-        match verdict.nti_attack {
+        match verdict.nti_attack() {
             Some(true) => "ATTACK",
             Some(false) => "safe",
             None => "disabled",
@@ -104,7 +104,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     );
     println!(
         "pti: {}",
-        match verdict.pti_attack {
+        match verdict.pti_attack() {
             Some(true) => "ATTACK",
             Some(false) => "safe",
             None => "disabled",
@@ -114,7 +114,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         println!("verdict: safe");
         Ok(ExitCode::SUCCESS)
     } else {
-        println!("verdict: ATTACK (detected by {:?})", verdict.detected_by.expect("unsafe"));
+        println!("verdict: ATTACK (detected by {:?})", verdict.detector().expect("unsafe"));
         Ok(ExitCode::from(1))
     }
 }

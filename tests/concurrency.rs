@@ -66,6 +66,109 @@ fn concurrent_checks_are_consistent() {
     }
 }
 
+/// Many workers hammering an explicitly sharded engine: the per-shard
+/// stats cells must aggregate to exactly the work submitted — not one
+/// query more or less — and every verdict must match the single-threaded
+/// engine's.
+#[test]
+fn sharded_engine_aggregates_exact_stats_under_stress() {
+    const WORKERS: usize = 8;
+    const BENIGN_PER_WORKER: u64 = 150;
+    const ATTACKS_PER_WORKER: u64 = 25;
+
+    let config = JozaConfig { shards: 4, ..JozaConfig::optimized() };
+    let joza = Joza::builder().fragments(FRAGS).config(config).build();
+    assert_eq!(joza.shard_count(), 4);
+
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let joza = &joza;
+            s.spawn(move || {
+                for i in 0..BENIGN_PER_WORKER {
+                    let id = t as u64 * 10_000 + i;
+                    let q = format!("SELECT * FROM records WHERE ID={id} LIMIT 5");
+                    assert!(joza.check_query(&[&id.to_string()], &q).is_safe());
+                }
+                for i in 0..ATTACKS_PER_WORKER {
+                    let payload = format!("{i} UNION SELECT username()");
+                    let q = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+                    assert!(!joza.check_query(&[&payload], &q).is_safe());
+                }
+            });
+        }
+    });
+
+    let stats = joza.stats();
+    assert_eq!(stats.queries, WORKERS as u64 * (BENIGN_PER_WORKER + ATTACKS_PER_WORKER));
+    assert_eq!(stats.attacks, WORKERS as u64 * ATTACKS_PER_WORKER);
+}
+
+/// The shared query cache's counters must be monotone when sampled
+/// mid-flight from another thread, and add up exactly once the workers
+/// are done: every check does one lookup, and only safe queries insert.
+#[test]
+fn query_cache_stats_are_monotone_under_contention() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const WORKERS: u64 = 4;
+    const ROUNDS: u64 = 120;
+
+    let joza = Joza::builder()
+        .fragments(FRAGS)
+        .config(JozaConfig { shards: 4, ..JozaConfig::optimized() })
+        .build();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // A monitor thread samples the cache stats while workers hammer:
+        // no snapshot may ever go backwards.
+        let monitor = s.spawn({
+            let joza = &joza;
+            let done = &done;
+            move || {
+                let mut last = joza.query_cache_stats();
+                let mut samples = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let now = joza.query_cache_stats();
+                    assert!(now.hits >= last.hits, "hits went backwards");
+                    assert!(now.misses >= last.misses, "misses went backwards");
+                    assert!(now.inserts >= last.inserts, "inserts went backwards");
+                    last = now;
+                    samples += 1;
+                    std::thread::yield_now();
+                }
+                samples
+            }
+        });
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let joza = &joza;
+                s.spawn(move || {
+                    for i in 0..ROUNDS {
+                        // Every worker checks the same small query set, so
+                        // most lookups hit whatever another worker inserted.
+                        let id = i % 10;
+                        let q = format!("SELECT * FROM records WHERE ID={id} LIMIT 5");
+                        assert!(joza.check_query(&[&id.to_string()], &q).is_safe());
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        done.store(true, Ordering::Release);
+        let samples = monitor.join().expect("monitor panicked");
+        assert!(samples > 0, "monitor never sampled");
+    });
+
+    let end = joza.query_cache_stats();
+    assert_eq!(end.hits + end.misses, WORKERS * ROUNDS, "one lookup per check");
+    assert!(end.inserts <= end.misses, "inserts only on misses");
+    assert!(end.hits > 0, "shared cache must be shared: some hits expected");
+}
+
 #[test]
 fn concurrent_servers_share_one_engine() {
     use joza::lab::build_lab;
