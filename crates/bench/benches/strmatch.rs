@@ -9,6 +9,7 @@ use joza_phpsim::fragments::FragmentSet;
 use joza_strmatch::ahocorasick::AhoCorasick;
 use joza_strmatch::levenshtein::{bounded_distance, distance};
 use joza_strmatch::mru::{MruScanner, NaiveScanner};
+use joza_strmatch::myers::{bounded_myers_substring_distance, myers_substring_distance};
 use joza_strmatch::sellers::{
     bounded_substring_distance, naive_substring_distance, substring_distance,
 };
@@ -59,7 +60,33 @@ fn bench_sellers(c: &mut Criterion) {
                 bounded_substring_distance(black_box(input.as_bytes()), black_box(q.as_bytes()), 8)
             })
         });
+        g.bench_with_input(BenchmarkId::new("myers", qlen), &qlen, |bench, _| {
+            bench.iter(|| {
+                myers_substring_distance(black_box(input.as_bytes()), black_box(q.as_bytes()))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("myers_bounded", qlen), &qlen, |bench, _| {
+            bench.iter(|| {
+                bounded_myers_substring_distance(
+                    black_box(input.as_bytes()),
+                    black_box(q.as_bytes()),
+                    8,
+                )
+            })
+        });
     }
+    // The multi-word regime: a 100-byte pattern spans two kernel blocks.
+    let long_input = "-1 UNION SELECT user_login, user_pass, user_email, user_registered \
+                      FROM wp_users WHERE ID=1 -- -";
+    let q = query(1024);
+    g.bench_function("full_multiword_100", |bench| {
+        bench.iter(|| substring_distance(black_box(long_input.as_bytes()), black_box(q.as_bytes())))
+    });
+    g.bench_function("myers_multiword_100", |bench| {
+        bench.iter(|| {
+            myers_substring_distance(black_box(long_input.as_bytes()), black_box(q.as_bytes()))
+        })
+    });
     g.finish();
 }
 

@@ -1,13 +1,20 @@
-//! Ablation: fragment-matcher strategy vs vocabulary size.
+//! Ablation: matcher strategy vs workload size, for both components.
 //!
 //! The paper's PTI optimizations (§VI-A) are the MRU fragment cache and
-//! parse-first early exit. This sweep shows how each strategy's per-query
-//! cost scales with the fragment vocabulary — including the Aho–Corasick
-//! automaton, our beyond-paper alternative whose matching cost is
-//! independent of vocabulary size (at the price of build time and memory).
+//! parse-first early exit. The first sweep shows how each strategy's
+//! per-query cost scales with the fragment vocabulary — including the
+//! Aho–Corasick automaton, our beyond-paper alternative whose matching
+//! cost is independent of vocabulary size (at the price of build time and
+//! memory).
+//!
+//! The second sweep is the NTI analogue: the Sellers-classic kernel vs
+//! the bit-parallel Myers/Hyyrö kernel as the intercepted query grows —
+//! the Fig. 7-style side-by-side across all four matching strategies the
+//! engine can run.
 
 use joza_bench::report::render_table;
 use joza_lab::wordpress;
+use joza_nti::{MatchKernel, NtiAnalyzer, NtiConfig};
 use joza_phpsim::fragments::FragmentSet;
 use joza_pti::analyzer::{PtiAnalyzer, PtiConfig};
 use joza_pti::MatcherKind;
@@ -80,4 +87,51 @@ fn main() {
     println!("MRU+parse-first pair cuts warm benign-query cost by ~6-10x at every size;");
     println!("Aho-Corasick is flat and fastest per query but pays its cost at build time");
     println!("(see the `fragment_matching/aho_corasick_build` criterion bench).");
+
+    println!("\nABLATION: NTI approximate-matching kernel vs query length\n");
+    let inputs: Vec<String> = vec![
+        "-1 OR 1=1 -- probe".to_string(),
+        // Multi-word regime: > 64 bytes, spans two kernel blocks.
+        "-1 UNION SELECT user_login, user_pass, user_email FROM wp_users WHERE id=1".to_string(),
+    ];
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let mut nti_rows = Vec::new();
+    for target_len in [100usize, 400, 1600, 6400] {
+        let mut query = format!(
+            "SELECT * FROM wp_posts WHERE post_author={} AND post_title LIKE '%{}%'",
+            inputs[0].to_lowercase(),
+            inputs[1].to_lowercase()
+        );
+        let mut pad = 100_000usize;
+        while query.len() < target_len {
+            query.push_str(&format!(" OR ID={pad}"));
+            pad += 1;
+        }
+        let mut row = vec![format!("{}", query.len())];
+        let mut times = Vec::new();
+        for kernel in [MatchKernel::Classic, MatchKernel::BitParallel] {
+            let nti = NtiAnalyzer::new(NtiConfig { kernel, ..NtiConfig::default() });
+            let _ = nti.analyze(&input_refs, &query);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(nti.analyze(&input_refs, &query));
+            }
+            let t = t0.elapsed() / reps as u32;
+            times.push(t);
+            row.push(format!("{t:?}"));
+        }
+        row.push(format!("{:.2}x", times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-12)));
+        nti_rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Query bytes", "Sellers-classic", "Myers bit-parallel", "speedup"],
+            &nti_rows
+        )
+    );
+    println!("\nReading: the Sellers DP grows as |input|x|query| while the bit-parallel");
+    println!("kernel advances 64 DP rows per word op with a threshold cutoff, so the gap");
+    println!("widens with query length; verdicts and spans are identical by construction");
+    println!("(differential property tests + the nti_kernel corpus identity check).");
 }

@@ -1,0 +1,317 @@
+//! NTI matching-kernel benchmark: Classic (Sellers) vs BitParallel
+//! (Myers/Hyyrö) analyze-throughput and gate latency.
+//!
+//! NTI is the per-request hot path: every (input, query) pair that
+//! survives the prefilters pays a full semi-global alignment. The classic
+//! Sellers DP costs `O(|input|·|query|)` scalar cell updates; the
+//! bit-parallel kernel packs 64 DP rows per word and carries the
+//! threshold cutoff, so long queries — where the Sellers cost dominates
+//! gate latency — are where it pays off.
+//!
+//! Two workloads:
+//!
+//! * **short** — the lab corpus: every plugin served with its exploit
+//!   payload and its benign value (ungated), yielding the real
+//!   (inputs, query) pairs the gate sees on WordPress-style plugin
+//!   queries (tens to a few hundred bytes).
+//! * **long** — payload-like inputs (including multi-word inputs longer
+//!   than 64 bytes) embedded with realistic app transformations in
+//!   multi-kilobyte queries (large `IN`-lists), the regime the paper's
+//!   §VI-B optimizations target.
+//!
+//! For each workload × kernel the benchmark measures analyze-calls/sec on
+//! the raw [`NtiAnalyzer`] and p50/p99 per-query check latency through an
+//! NTI-only [`Joza`] engine. Before timing anything it asserts that both
+//! kernels produce **identical full reports** (markings, spans,
+//! distances, tainted criticals) on every pair of both workloads — the
+//! bit-parallel kernel is a pure optimization.
+//!
+//! Usage:
+//!
+//! ```text
+//! nti_kernel [--iters N] [--long-pairs N] [--out results/BENCH_nti_kernel.json]
+//! ```
+
+use joza_bench::report::render_table;
+use joza_core::{Joza, JozaConfig};
+use joza_lab::build_lab;
+use joza_lab::verify::request_for;
+use joza_nti::{MatchKernel, NtiAnalyzer, NtiConfig, NtiReport};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Args {
+    iters: usize,
+    long_pairs: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { iters: 30, long_pairs: 48, out: "results/BENCH_nti_kernel.json".to_string() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--iters" => args.iters = value().parse().expect("--iters"),
+            "--long-pairs" => args.long_pairs = value().parse().expect("--long-pairs"),
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.iters > 0, "--iters must be positive");
+    args
+}
+
+/// One (captured inputs, intercepted query) pair — the unit of NTI work.
+type Pair = (Vec<String>, String);
+
+/// The short workload: the entire lab corpus, served ungated. Every
+/// plugin contributes its exploit request and its benign request; each
+/// intercepted query becomes one pair with that request's raw inputs.
+fn corpus_pairs() -> Vec<Pair> {
+    let mut lab = build_lab();
+    let plugins = lab.plugins.clone();
+    let mut pairs = Vec::new();
+    for p in &plugins {
+        for payload in [p.exploit.primary_payload().to_string(), p.benign_value.clone()] {
+            let req = request_for(p, &payload);
+            let inputs: Vec<String> = req.all_inputs().into_iter().map(|(_, _, v)| v).collect();
+            let resp = lab.server.handle(&req);
+            for q in resp.queries {
+                pairs.push((inputs.clone(), q));
+            }
+        }
+    }
+    pairs
+}
+
+/// The long workload: payload-like inputs embedded (after an app
+/// transformation) in multi-kilobyte queries. Input lengths cycle through
+/// the single-word and multi-word kernel regimes. Each query carries
+/// *three* embedded inputs (the payload plus a search term and a slug —
+/// real requests interpolate several parameters into one query), and
+/// every fourth pair lands its payload in a numeric (unquoted) context —
+/// the classic WordPress-plugin injection point — so the workload carries
+/// genuine attack verdicts, not just markings.
+fn long_pairs(n: usize) -> Vec<Pair> {
+    (0..n)
+        .map(|i| {
+            let quoted = i % 4 != 0;
+            let payload = match i % 4 {
+                0 => format!("-{} OR {}={} -- probe", i + 1, 1 + i % 9, 1 + i % 9),
+                1 => format!(
+                    "-1 UNION SELECT user_login, user_pass, {} FROM wp_users WHERE id={} LIMIT 1",
+                    1000 + i,
+                    1 + i % 7
+                ),
+                2 => format!("' OR '{0}'='{0}' /*{1}*/ -- -", i % 13, "x".repeat(12 + i % 9)),
+                _ => format!("category-{}-with-a-perfectly-benign-slug-{}", i % 5, i),
+            };
+            let search = format!("annual budget overview {} quarterly report", 2000 + i % 30);
+            let slug = format!("widget-area-{}-sidebar-position-{}-theme-default", i % 9, i % 4);
+            // The app lowercases and escapes quotes before interpolation.
+            let embedded = payload.to_lowercase().replace('\'', "\\'");
+            let author_clause = if quoted {
+                format!("p.post_author='{embedded}'")
+            } else {
+                format!("p.post_author={embedded}")
+            };
+            let in_list: Vec<String> =
+                (0..380).map(|j| (100_000 + (i * 380 + j) % 900_000).to_string()).collect();
+            let query = format!(
+                "SELECT p.ID, p.post_title, p.post_date FROM wp_posts p \
+                 JOIN wp_term_relationships tr ON tr.object_id = p.ID \
+                 WHERE p.ID IN ({}) AND {} AND p.post_title LIKE '%{}%' \
+                 AND p.post_name <> '{}' AND p.post_status='publish' \
+                 ORDER BY p.post_date DESC LIMIT 50",
+                in_list.join(","),
+                author_clause,
+                search,
+                slug
+            );
+            let inputs = vec![
+                format!("{}", 1 + i % 37),
+                format!("sess-{:08x}", (i as u64).wrapping_mul(2_654_435_761)),
+                payload,
+                search,
+                slug,
+            ];
+            (inputs, query)
+        })
+        .collect()
+}
+
+fn analyzer(kernel: MatchKernel) -> NtiAnalyzer {
+    NtiAnalyzer::new(NtiConfig { kernel, ..NtiConfig::default() })
+}
+
+fn analyze_all(nti: &NtiAnalyzer, pairs: &[Pair]) -> Vec<NtiReport> {
+    pairs
+        .iter()
+        .map(|(inputs, query)| {
+            let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+            nti.analyze(&refs, query)
+        })
+        .collect()
+}
+
+/// Analyze-calls per second over `iters` passes of the workload.
+fn throughput(nti: &NtiAnalyzer, pairs: &[Pair], iters: usize) -> f64 {
+    let started = Instant::now();
+    let mut markings = 0usize;
+    for _ in 0..iters {
+        for (inputs, query) in pairs {
+            let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+            markings += std::hint::black_box(nti.analyze(&refs, query)).markings.len();
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(markings);
+    if secs > 0.0 {
+        (pairs.len() * iters) as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Per-query check latency through an NTI-only engine (one session per
+/// pair: capture the inputs, time the check).
+fn gate_latencies(kernel: MatchKernel, pairs: &[Pair]) -> Vec<Duration> {
+    let mut cfg = JozaConfig::nti_only();
+    cfg.nti.kernel = kernel;
+    let joza = Joza::builder().config(cfg).build();
+    let mut times: Vec<Duration> = pairs
+        .iter()
+        .map(|(inputs, query)| {
+            let mut session = joza.session();
+            for (i, v) in inputs.iter().enumerate() {
+                session.capture_input(&format!("in{i}"), v);
+            }
+            let started = Instant::now();
+            let verdict = session.check(query);
+            let elapsed = started.elapsed();
+            std::hint::black_box(verdict);
+            elapsed
+        })
+        .collect();
+    times.sort();
+    times
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Debug)]
+struct KernelCell {
+    kernel: MatchKernel,
+    analyses_per_sec: f64,
+    gate_p50: Duration,
+    gate_p99: Duration,
+}
+
+fn measure_workload(name: &str, pairs: &[Pair], iters: usize) -> (Vec<KernelCell>, f64) {
+    // Identity first: the kernels must agree on every full report before
+    // any number is worth printing.
+    let classic_reports = analyze_all(&analyzer(MatchKernel::Classic), pairs);
+    let fast_reports = analyze_all(&analyzer(MatchKernel::BitParallel), pairs);
+    assert_eq!(
+        classic_reports, fast_reports,
+        "{name}: kernel reports diverged — BitParallel must be bit-identical"
+    );
+    let attacks = classic_reports.iter().filter(|r| r.is_attack()).count();
+
+    let cells: Vec<KernelCell> = [MatchKernel::Classic, MatchKernel::BitParallel]
+        .into_iter()
+        .map(|kernel| {
+            let nti = analyzer(kernel);
+            let analyses_per_sec = throughput(&nti, pairs, iters);
+            let lat = gate_latencies(kernel, pairs);
+            KernelCell {
+                kernel,
+                analyses_per_sec,
+                gate_p50: percentile(&lat, 0.50),
+                gate_p99: percentile(&lat, 0.99),
+            }
+        })
+        .collect();
+    let speedup = if cells[0].analyses_per_sec > 0.0 {
+        cells[1].analyses_per_sec / cells[0].analyses_per_sec
+    } else {
+        0.0
+    };
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.kernel.to_string(),
+                format!("{:.0}", c.analyses_per_sec),
+                format!("{:?}", c.gate_p50),
+                format!("{:?}", c.gate_p99),
+            ]
+        })
+        .collect();
+    println!(
+        "\n== {name} workload ({} pairs, {} attacks, reports identical) ==",
+        pairs.len(),
+        attacks
+    );
+    println!("{}", render_table(&["Kernel", "Analyses/s", "Gate p50", "Gate p99"], &rows));
+    println!("bit-parallel speedup: {speedup:.2}x");
+    (cells, speedup)
+}
+
+fn json_workload(name: &str, pairs: usize, cells: &[KernelCell], speedup: f64) -> String {
+    let kernels = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "        {{\"kernel\": \"{}\", \"analyses_per_sec\": {:.1}, \
+                 \"gate_p50_us\": {}, \"gate_p99_us\": {}}}",
+                c.kernel,
+                c.analyses_per_sec,
+                c.gate_p50.as_micros(),
+                c.gate_p99.as_micros()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "    {{\"workload\": \"{name}\", \"pairs\": {pairs}, \"reports_identical\": true, \
+         \"speedup\": {speedup:.2}, \"kernels\": [\n{kernels}\n    ]}}"
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "nti_kernel: {} iters, {} synthetic long pairs, default threshold {}",
+        args.iters,
+        args.long_pairs,
+        NtiConfig::default().threshold
+    );
+
+    let short = corpus_pairs();
+    let long = long_pairs(args.long_pairs);
+    let (short_cells, short_speedup) = measure_workload("short", &short, args.iters);
+    let (long_cells, long_speedup) = measure_workload("long", &long, args.iters);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"nti_kernel\",\n  \"iters\": {},\n  \
+         \"corpus_verdicts_identical\": true,\n  \"workloads\": [\n{},\n{}\n  ]\n}}\n",
+        args.iters,
+        json_workload("short", short.len(), &short_cells, short_speedup),
+        json_workload("long", long.len(), &long_cells, long_speedup),
+    );
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.out, &json).expect("write nti_kernel results");
+    println!("wrote {}", args.out);
+}

@@ -54,6 +54,7 @@
 //! assert!(!verdict.is_safe());
 //! ```
 
+pub use joza_nti::MatchKernel;
 use joza_nti::{NtiAnalyzer, NtiConfig};
 use joza_phpsim::fragments::FragmentSet;
 use joza_pti::cache::CacheStats;
@@ -451,6 +452,18 @@ impl JozaBuilder {
     #[must_use]
     pub fn config(mut self, config: JozaConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Selects the NTI approximate-matching kernel (§III-A hot path).
+    ///
+    /// Both kernels produce bit-identical verdicts and taint spans;
+    /// [`MatchKernel::BitParallel`] (the default) is roughly an order of
+    /// magnitude cheaper on long queries, while [`MatchKernel::Classic`]
+    /// is kept for the Fig. 7-style kernel ablation.
+    #[must_use]
+    pub fn nti_kernel(mut self, kernel: MatchKernel) -> Self {
+        self.config.nti.kernel = kernel;
         self
     }
 

@@ -42,9 +42,12 @@
 use joza_sqlparse::critical::{critical_tokens, CriticalPolicy};
 use joza_sqlparse::lexer::lex;
 use joza_sqlparse::token::Token;
+use joza_strmatch::myers::bounded_myers_substring_distance;
+pub use joza_strmatch::myers::MatchKernel;
 use joza_strmatch::normalize::to_lower;
-use joza_strmatch::qgram;
+use joza_strmatch::qgram::{self, QgramProfile};
 use joza_strmatch::sellers::substring_distance;
+use std::borrow::Cow;
 
 /// Configuration for the NTI analyzer.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +62,11 @@ pub struct NtiConfig {
     pub normalize_case: bool,
     /// Use the q-gram lower bound to skip implausible comparisons (§VI-B).
     pub qgram_prefilter: bool,
+    /// Which approximate-matching kernel runs the §III-A alignment. Both
+    /// kernels produce bit-identical markings and verdicts;
+    /// [`MatchKernel::BitParallel`] is the production default,
+    /// [`MatchKernel::Classic`] is kept for the Fig. 7-style ablation.
+    pub kernel: MatchKernel,
     /// Critical-token policy shared with PTI.
     pub critical: CriticalPolicy,
 }
@@ -70,6 +78,7 @@ impl Default for NtiConfig {
             min_input_len: 3,
             normalize_case: true,
             qgram_prefilter: true,
+            kernel: MatchKernel::default(),
             critical: CriticalPolicy::default(),
         }
     }
@@ -138,20 +147,23 @@ impl NtiAnalyzer {
         let tokens = lex(query);
         let criticals = critical_tokens(query, &tokens, &self.config.critical);
 
-        let query_bytes: Vec<u8> = if self.config.normalize_case {
+        let query_bytes: Cow<'_, [u8]> = if self.config.normalize_case {
             to_lower(query.as_bytes())
         } else {
-            query.as_bytes().to_vec()
+            Cow::Borrowed(query.as_bytes())
         };
+        // The query's gram profile is input-independent: build it once per
+        // analyze call and reuse it for every input's prefilter check.
+        let query_profile = self.config.qgram_prefilter.then(|| QgramProfile::new(&query_bytes, 3));
 
         for (idx, input) in inputs.iter().enumerate() {
             if input.len() < self.config.min_input_len {
                 continue;
             }
-            let input_bytes: Vec<u8> = if self.config.normalize_case {
+            let input_bytes: Cow<'_, [u8]> = if self.config.normalize_case {
                 to_lower(input.as_bytes())
             } else {
-                input.as_bytes().to_vec()
+                Cow::Borrowed(input.as_bytes())
             };
             // Allowed distance bound: ratio < t with matched_len <= |p| + d
             // implies d < t·|p| / (1 − t).
@@ -161,14 +173,29 @@ impl NtiAnalyzer {
                 report.comparisons_skipped += 1;
                 continue;
             }
-            if self.config.qgram_prefilter
-                && qgram::lower_bound(&input_bytes, &query_bytes, 3) > cutoff
-            {
-                report.comparisons_skipped += 1;
-                continue;
+            if let Some(profile) = &query_profile {
+                if profile.lower_bound(&input_bytes) > cutoff {
+                    report.comparisons_skipped += 1;
+                    continue;
+                }
             }
             report.comparisons_run += 1;
-            let m = substring_distance(&input_bytes, &query_bytes);
+            let m = match self.config.kernel {
+                MatchKernel::Classic => Some(substring_distance(&input_bytes, &query_bytes)),
+                MatchKernel::BitParallel => {
+                    // Any span that survives the ratio filter below has
+                    // distance d < t·|p|/(1−t) ≤ cutoff, so a `None` here
+                    // and a filtered-out Classic match are the same
+                    // verdict. Outside t ∈ (0,1) the cutoff formula is
+                    // meaningless; fall back to the unbounded scan
+                    // (distances never exceed |p|).
+                    let k = if t > 0.0 && t < 1.0 { cutoff } else { input_bytes.len() };
+                    bounded_myers_substring_distance(&input_bytes, &query_bytes, k)
+                }
+            };
+            let Some(m) = m else {
+                continue;
+            };
             if m.is_empty() || m.diff_ratio() >= t {
                 continue;
             }

@@ -1,6 +1,6 @@
 //! Property-based tests for the NTI analyzer's invariants.
 
-use joza_nti::{NtiAnalyzer, NtiConfig};
+use joza_nti::{MatchKernel, NtiAnalyzer, NtiConfig};
 use proptest::prelude::*;
 
 fn analyzer(threshold: f64) -> NtiAnalyzer {
@@ -107,6 +107,50 @@ proptest! {
         prop_assert_eq!(
             with.analyze(&[&input], &query).is_attack(),
             without.analyze(&[&input], &query).is_attack()
+        );
+    }
+
+    /// The bit-parallel kernel is verdict- AND span-identical to Classic:
+    /// the full reports (markings, tainted criticals, skip/run counters)
+    /// must be equal on arbitrary inputs, queries, and thresholds.
+    #[test]
+    fn kernels_produce_identical_reports(
+        inputs in proptest::collection::vec("[ -~]{0,50}", 0..4),
+        query in "[ -~]{0,120}",
+        t_idx in 0usize..4,
+    ) {
+        let threshold = [0.05, 0.20, 0.35, 0.60][t_idx];
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let classic = NtiAnalyzer::new(NtiConfig {
+            threshold, kernel: MatchKernel::Classic, ..NtiConfig::default()
+        });
+        let fast = NtiAnalyzer::new(NtiConfig {
+            threshold, kernel: MatchKernel::BitParallel, ..NtiConfig::default()
+        });
+        prop_assert_eq!(classic.analyze(&refs, &query), fast.analyze(&refs, &query));
+    }
+
+    /// Same report identity on payload-like inputs embedded (with an app
+    /// transformation) in realistic queries — the path where markings
+    /// actually fire, including inputs longer than one 64-bit word.
+    #[test]
+    fn kernels_identical_on_embedded_payloads(
+        column in "[a-z_]{1,12}",
+        payload in "[a-z0-9 '=()_,]{3,90}",
+        escape in 0usize..2,
+    ) {
+        let in_query =
+            if escape == 1 { payload.replace('\'', "\\'") } else { payload.replace("  ", " ") };
+        let query = format!("SELECT * FROM t WHERE {column}='{in_query}' LIMIT 3");
+        let classic = NtiAnalyzer::new(NtiConfig {
+            kernel: MatchKernel::Classic, ..NtiConfig::default()
+        });
+        let fast = NtiAnalyzer::new(NtiConfig {
+            kernel: MatchKernel::BitParallel, ..NtiConfig::default()
+        });
+        prop_assert_eq!(
+            classic.analyze(&[&payload], &query),
+            fast.analyze(&[&payload], &query)
         );
     }
 }

@@ -9,8 +9,11 @@
 //!   (§III-A of the paper). This crate provides classic
 //!   [Levenshtein distance](levenshtein::distance) along with
 //!   [Sellers' semi-global alignment](sellers::substring_distance), a
-//!   linear-memory variant, a banded early-exit variant, and a
-//!   [q-gram prefilter](qgram) used to skip implausible comparisons.
+//!   linear-memory variant, a banded early-exit variant, a
+//!   [q-gram prefilter](qgram) used to skip implausible comparisons, and a
+//!   [bit-parallel Myers/Hyyrö kernel](myers) that packs 64 DP rows per
+//!   machine word and carries a threshold cutoff — the production NTI hot
+//!   path, bit-identical to Sellers.
 //!
 //! * **Positive taint inference (PTI)** needs *exact multi-pattern
 //!   matching*: finding every occurrence of every program string fragment
@@ -38,10 +41,12 @@
 pub mod ahocorasick;
 pub mod levenshtein;
 pub mod mru;
+pub mod myers;
 pub mod normalize;
 pub mod qgram;
 pub mod sellers;
 
 pub use ahocorasick::{AhoCorasick, Match};
 pub use levenshtein::{bounded_distance, distance};
+pub use myers::{bounded_myers_substring_distance, myers_substring_distance, MatchKernel};
 pub use sellers::{substring_distance, SubstringMatch};

@@ -6,17 +6,35 @@
 //! edits; these helpers let the NTI configuration additionally normalize
 //! case and whitespace before matching.
 
-/// ASCII-lowercases a byte string.
+use std::borrow::Cow;
+
+/// ASCII-lowercases a byte string, borrowing when no byte needs changing.
+///
+/// Inputs and queries on the NTI hot path are overwhelmingly already
+/// lowercase (numeric ids, slugs, lowercased SQL), so the common case
+/// allocates nothing: the input is scanned once and returned as
+/// [`Cow::Borrowed`] unless an uppercase ASCII byte is found.
 ///
 /// # Examples
 ///
 /// ```
+/// use std::borrow::Cow;
 /// use joza_strmatch::normalize::to_lower;
 ///
-/// assert_eq!(to_lower(b"SeLeCt"), b"select");
+/// assert_eq!(to_lower(b"SeLeCt").as_ref(), b"select");
+/// assert!(matches!(to_lower(b"already lower 1=1"), Cow::Borrowed(_)));
 /// ```
-pub fn to_lower(s: &[u8]) -> Vec<u8> {
-    s.iter().map(|b| b.to_ascii_lowercase()).collect()
+pub fn to_lower(s: &[u8]) -> Cow<'_, [u8]> {
+    match s.iter().position(|b| b.is_ascii_uppercase()) {
+        None => Cow::Borrowed(s),
+        Some(first) => {
+            let mut out = s.to_vec();
+            for b in &mut out[first..] {
+                *b = b.to_ascii_lowercase();
+            }
+            Cow::Owned(out)
+        }
+    }
 }
 
 /// Collapses runs of ASCII whitespace to a single space and trims the ends.
@@ -61,7 +79,15 @@ mod tests {
 
     #[test]
     fn lower_passes_non_ascii() {
-        assert_eq!(to_lower("ÄB".as_bytes()), "Äb".as_bytes());
+        assert_eq!(to_lower("ÄB".as_bytes()).as_ref(), "Äb".as_bytes());
+    }
+
+    #[test]
+    fn lower_borrows_when_already_lower() {
+        assert!(matches!(to_lower(b"select * from t"), Cow::Borrowed(_)));
+        assert!(matches!(to_lower(b""), Cow::Borrowed(_)));
+        assert!(matches!(to_lower("ä 1=1 -- ".as_bytes()), Cow::Borrowed(_)));
+        assert!(matches!(to_lower(b"x WHERE y"), Cow::Owned(_)));
     }
 
     #[test]

@@ -44,20 +44,59 @@ fn profile(s: &[u8], q: usize) -> HashMap<&[u8], usize> {
 /// assert!(lb > 3); // enough to skip a threshold-3 comparison
 /// ```
 pub fn lower_bound(pattern: &[u8], text: &[u8], q: usize) -> usize {
-    if pattern.len() < q || q == 0 {
-        return 0;
+    QgramProfile::new(text, q).lower_bound(pattern)
+}
+
+/// A text's q-gram multiset, built once and reused across many patterns.
+///
+/// NTI checks every request input against the *same* intercepted query, so
+/// rebuilding the query's gram profile for each input (as the free
+/// [`lower_bound`] does) repeats the expensive half of the bound. Build a
+/// `QgramProfile` of the query once per `analyze` call and ask it for the
+/// per-input bound instead.
+///
+/// # Examples
+///
+/// ```
+/// use joza_strmatch::qgram::{lower_bound, QgramProfile};
+///
+/// let query = b"SELECT * FROM t WHERE id=-1 OR 1=1";
+/// let profile = QgramProfile::new(query, 3);
+/// for input in [b"-1 OR 1=1".as_slice(), b"zzzzzzzz".as_slice()] {
+///     assert_eq!(profile.lower_bound(input), lower_bound(input, query, 3));
+/// }
+/// ```
+pub struct QgramProfile<'t> {
+    q: usize,
+    grams: HashMap<&'t [u8], usize>,
+}
+
+impl<'t> QgramProfile<'t> {
+    /// Builds the q-gram multiset of `text`.
+    pub fn new(text: &'t [u8], q: usize) -> Self {
+        let grams = if q == 0 { HashMap::new() } else { profile(text, q) };
+        QgramProfile { q, grams }
     }
-    let p_grams = pattern.len() - q + 1;
-    let pp = profile(pattern, q);
-    let tp = profile(text, q);
-    let mut common = 0usize;
-    for (gram, &cnt) in &pp {
-        if let Some(&tcnt) = tp.get(gram) {
-            common += cnt.min(tcnt);
+
+    /// A lower bound on the edit distance between `pattern` and the
+    /// best-matching substring of the profiled text — identical to
+    /// [`lower_bound`] with the same `q`.
+    pub fn lower_bound(&self, pattern: &[u8]) -> usize {
+        let q = self.q;
+        if pattern.len() < q || q == 0 {
+            return 0;
         }
+        let p_grams = pattern.len() - q + 1;
+        let pp = profile(pattern, q);
+        let mut common = 0usize;
+        for (gram, &cnt) in &pp {
+            if let Some(&tcnt) = self.grams.get(gram) {
+                common += cnt.min(tcnt);
+            }
+        }
+        let missing = p_grams - common.min(p_grams);
+        missing.div_ceil(q)
     }
-    let missing = p_grams - common.min(p_grams);
-    missing.div_ceil(q)
 }
 
 /// Quick length-based plausibility check: can any substring of a text of

@@ -100,6 +100,32 @@ pub fn substring_distance(pattern: &[u8], text: &[u8]) -> SubstringMatch {
     if m == 0 {
         return SubstringMatch { start: 0, end: 0, distance: n };
     }
+    let (dist, start) = final_row(pattern, text);
+
+    let mut best = SubstringMatch { start: start[0], end: 0, distance: dist[0] };
+    let mut best_ratio = ratio_key(best.distance, best.len());
+    for j in 1..=m {
+        let cand = SubstringMatch { start: start[j], end: j, distance: dist[j] };
+        let key = ratio_key(cand.distance, cand.len());
+        if cand.distance < best.distance || (cand.distance == best.distance && key < best_ratio) {
+            best = cand;
+            best_ratio = key;
+        }
+    }
+    best
+}
+
+/// The last DP row of Sellers' semi-global alignment: for every end
+/// position `j` of `text`, the minimal edit distance of `pattern` against
+/// a substring ending at `j` (`dist[j]`) and where that substring begins
+/// (`start[j]`, following the diagonal-then-deletion-then-insertion tie
+/// break that keeps spans tight-but-leftmost).
+///
+/// `pattern` must be non-empty. Shared by the classic kernel (which scans
+/// the whole row) and the bit-parallel kernel (which runs it only over
+/// the small winning window to recover exact spans).
+pub(crate) fn final_row(pattern: &[u8], text: &[u8]) -> (Vec<usize>, Vec<usize>) {
+    let m = text.len();
     // dist[j]: min edit distance of pattern vs some substring of text
     // ending at j. start[j]: where that substring begins.
     let mut prev_dist: Vec<usize> = vec![0; m + 1];
@@ -130,18 +156,7 @@ pub fn substring_distance(pattern: &[u8], text: &[u8]) -> SubstringMatch {
         std::mem::swap(&mut prev_dist, &mut cur_dist);
         std::mem::swap(&mut prev_start, &mut cur_start);
     }
-
-    let mut best = SubstringMatch { start: prev_start[0], end: 0, distance: prev_dist[0] };
-    let mut best_ratio = ratio_key(best.distance, best.len());
-    for j in 1..=m {
-        let cand = SubstringMatch { start: prev_start[j], end: j, distance: prev_dist[j] };
-        let key = ratio_key(cand.distance, cand.len());
-        if cand.distance < best.distance || (cand.distance == best.distance && key < best_ratio) {
-            best = cand;
-            best_ratio = key;
-        }
-    }
-    best
+    (prev_dist, prev_start)
 }
 
 /// The paper's "simplest form" of NTI's substring matching: compare every
@@ -203,7 +218,7 @@ pub fn bounded_substring_distance(
     (m.distance <= cutoff).then_some(m)
 }
 
-fn ratio_key(distance: usize, len: usize) -> f64 {
+pub(crate) fn ratio_key(distance: usize, len: usize) -> f64 {
     if distance == 0 {
         0.0
     } else if len == 0 {

@@ -3,6 +3,7 @@
 use joza_strmatch::ahocorasick::AhoCorasick;
 use joza_strmatch::levenshtein::{bounded_distance, distance};
 use joza_strmatch::mru::{MruScanner, NaiveScanner};
+use joza_strmatch::myers::{bounded_myers_substring_distance, myers_substring_distance};
 use joza_strmatch::qgram;
 use joza_strmatch::sellers::{naive_substring_distance, substring_distance};
 use proptest::prelude::*;
@@ -74,6 +75,64 @@ proptest! {
         let fast = substring_distance(p.as_bytes(), t.as_bytes());
         let slow = naive_substring_distance(p.as_bytes(), t.as_bytes());
         prop_assert_eq!(fast.distance, slow.distance, "fast {:?} vs slow {:?}", fast, slow);
+    }
+
+    /// The bit-parallel kernel is a drop-in for Sellers: identical
+    /// distance, start, and end on arbitrary byte strings.
+    #[test]
+    fn myers_matches_classic(p in ".{0,30}", t in ".{0,60}") {
+        let classic = substring_distance(p.as_bytes(), t.as_bytes());
+        let fast = myers_substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert_eq!(fast, classic);
+    }
+
+    /// Same, on a tiny alphabet: equal-distance ties are everywhere, so
+    /// the span tie-break (min ratio, then leftmost) is exercised hard.
+    #[test]
+    fn myers_matches_classic_on_dense_ties(p in "[ab]{1,20}", t in "[ab]{0,60}") {
+        let classic = substring_distance(p.as_bytes(), t.as_bytes());
+        let fast = myers_substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert_eq!(fast, classic);
+    }
+
+    /// Multi-word patterns (> 64 bytes, up to three blocks) agree too.
+    #[test]
+    fn myers_matches_classic_multiword(p in "[a-d]{60,150}", t in "[a-d]{0,200}") {
+        let classic = substring_distance(p.as_bytes(), t.as_bytes());
+        let fast = myers_substring_distance(p.as_bytes(), t.as_bytes());
+        prop_assert_eq!(fast, classic);
+    }
+
+    /// An embedded noisy copy of the pattern forces a real match window;
+    /// the recovered span must still be bit-identical.
+    #[test]
+    fn myers_matches_classic_on_embedded_payload(
+        p in "[a-z '=0-9]{5,80}",
+        prefix in "[a-z ]{0,60}",
+        suffix in "[a-z ]{0,60}",
+        flip in 0usize..80,
+    ) {
+        let mut noisy = p.clone().into_bytes();
+        let i = flip % noisy.len();
+        noisy[i] = if noisy[i] == b'x' { b'y' } else { b'x' };
+        let t = [prefix.as_bytes(), &noisy, suffix.as_bytes()].concat();
+        let classic = substring_distance(p.as_bytes(), &t);
+        let fast = myers_substring_distance(p.as_bytes(), &t);
+        prop_assert_eq!(fast, classic);
+    }
+
+    /// The threshold-aware kernel: `Some` iff the true distance is ≤ k,
+    /// and when `Some` the match is the exact classic result.
+    #[test]
+    fn bounded_myers_agrees_with_classic(p in ".{0,40}", t in ".{0,80}", k in 0usize..20) {
+        let classic = substring_distance(p.as_bytes(), t.as_bytes());
+        match bounded_myers_substring_distance(p.as_bytes(), t.as_bytes(), k) {
+            Some(m) => {
+                prop_assert_eq!(m, classic);
+                prop_assert!(m.distance <= k);
+            }
+            None => prop_assert!(classic.distance > k, "classic {:?} within k {}", classic, k),
+        }
     }
 
     #[test]

@@ -18,11 +18,25 @@ cargo test -q --workspace
 echo "==> cargo test -q --test concurrency -- --test-threads=4"
 cargo test -q --test concurrency -- --test-threads=4
 
+# Differential kernel suite, explicitly: the bit-parallel NTI kernel must
+# be bit-identical to Sellers-classic on distances, spans, and reports.
+echo "==> differential kernel tests (strmatch myers + nti kernel agreement)"
+cargo test -q -p joza-strmatch myers
+cargo test -q -p joza-strmatch --test proptests myers
+cargo test -q -p joza-nti --test proptests kernels
+
 # Thread-scaling smoke: a tiny 2-thread run proving the sharded engine
 # serves concurrently with verdicts identical to single-threaded (the
 # binary asserts consistency and dies on any mismatch).
 echo "==> scaling smoke (2 threads)"
 cargo run --quiet --release -p joza-bench --bin scaling -- \
     --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_scaling_smoke.json
+
+# Kernel-benchmark smoke: tiny iteration count; the binary asserts full
+# Classic/BitParallel report identity over the lab corpus and both
+# workloads before timing anything.
+echo "==> nti_kernel smoke"
+cargo run --quiet --release -p joza-bench --bin nti_kernel -- \
+    --iters 2 --long-pairs 8 --out /tmp/joza_nti_kernel_smoke.json
 
 echo "==> CI green"

@@ -16,4 +16,7 @@ done
 echo "== scaling (timed) =="
 cargo run --quiet --release -p joza-bench --bin scaling -- \
     --out results/BENCH_scaling.json > results/scaling.txt
+echo "== nti_kernel (timed) =="
+cargo run --quiet --release -p joza-bench --bin nti_kernel -- \
+    --out results/BENCH_nti_kernel.json > results/nti_kernel.txt
 echo "done: $(ls results | wc -l) result files in results/"
