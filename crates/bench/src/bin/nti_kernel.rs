@@ -32,7 +32,7 @@
 //! nti_kernel [--iters N] [--long-pairs N] [--out results/BENCH_nti_kernel.json]
 //! ```
 
-use joza_bench::report::render_table;
+use joza_bench::report::{provenance_json, render_table};
 use joza_core::{Joza, JozaConfig};
 use joza_lab::build_lab;
 use joza_lab::verify::request_for;
@@ -303,8 +303,9 @@ fn main() {
     let (long_cells, long_speedup) = measure_workload("long", &long, args.iters);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"nti_kernel\",\n  \"iters\": {},\n  \
+        "{{\n  \"benchmark\": \"nti_kernel\",\n  \"provenance\": {},\n  \"iters\": {},\n  \
          \"corpus_verdicts_identical\": true,\n  \"workloads\": [\n{},\n{}\n  ]\n}}\n",
+        provenance_json(&format!("{}+{}", MatchKernel::Classic, MatchKernel::BitParallel)),
         args.iters,
         json_workload("short", short.len(), &short_cells, short_speedup),
         json_workload("long", long.len(), &long_cells, long_speedup),

@@ -28,8 +28,8 @@
 //!         [--pipe-latency-us US] [--out results/BENCH_scaling.json]
 //! ```
 
-use joza_bench::report::render_table;
-use joza_core::{Joza, JozaConfig};
+use joza_bench::report::{provenance_json, render_table};
+use joza_core::{Joza, JozaConfig, MatchKernel};
 use joza_lab::serve::{serve_parallel, ParallelRun};
 use joza_lab::{build_lab, Lab};
 use joza_sast::{analyze_app, taint_free_routes};
@@ -282,9 +282,10 @@ fn main() {
 
     let json = format!
     (
-        "{{\n  \"benchmark\": \"scaling\",\n  \"requests_per_pass\": {},\n  \"passes\": {},\n  \
+        "{{\n  \"benchmark\": \"scaling\",\n  \"provenance\": {},\n  \"requests_per_pass\": {},\n  \"passes\": {},\n  \
          \"pipe_latency_us\": {},\n  \"shards\": {},\n  \"workload\": \"fresh-content comment posts\",\n  \
          \"gates\": [\n{}\n  ]\n}}\n",
+        provenance_json(&MatchKernel::default().to_string()),
         args.requests,
         args.repeat,
         args.pipe_latency.as_micros(),

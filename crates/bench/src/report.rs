@@ -1,4 +1,47 @@
-//! Minimal aligned-column table rendering for experiment binaries.
+//! Minimal aligned-column table rendering for experiment binaries, plus
+//! the provenance stamp shared by every `results/BENCH_*.json` writer.
+
+/// The git revision of the working tree (`git rev-parse --short=12
+/// HEAD`), or `"unknown"` when git is unavailable — e.g. running from an
+/// exported source tarball.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The host's available hardware parallelism (1 when undetectable).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Provenance stamp for `results/BENCH_*.json` files, as a single-line
+/// JSON object: the git revision the numbers were produced from, the
+/// host thread count, and the NTI matching-kernel configuration. Every
+/// benchmark writer embeds this under a `"provenance"` key so results
+/// files stay comparable across PRs.
+///
+/// # Examples
+///
+/// ```
+/// let p = joza_bench::report::provenance_json("bitparallel");
+/// assert!(p.starts_with("{\"git_rev\": "));
+/// assert!(p.contains("\"nti_kernel\": \"bitparallel\""));
+/// ```
+pub fn provenance_json(nti_kernel: &str) -> String {
+    format!(
+        "{{\"git_rev\": \"{}\", \"host_threads\": {}, \"nti_kernel\": \"{}\"}}",
+        git_rev(),
+        host_threads(),
+        nti_kernel
+    )
+}
 
 /// Renders rows as an aligned text table with a header row and separator.
 ///

@@ -60,6 +60,7 @@ use joza_phpsim::fragments::FragmentSet;
 use joza_pti::cache::CacheStats;
 use joza_pti::daemon::{PtiComponent, PtiComponentConfig};
 use joza_pti::{FragmentStore, SharedQueryCache};
+pub use joza_sqlparse::template::{QueryModelIndex, RouteModel};
 use joza_webapp::app::WebApp;
 use joza_webapp::gate::{GateDecision, GateFactory, GateSession, QueryGate, RawInput};
 use parking_lot::Mutex;
@@ -103,6 +104,13 @@ pub struct JozaConfig {
     /// shards than concurrent workers is harmless — unused shards are
     /// never initialized; fewer means workers share shards and contend.
     pub shards: usize,
+    /// Treat a query that falls outside a *complete* static query model
+    /// as an attack on its own, even when NTI and PTI both pass. Off by
+    /// default: the anomaly is recorded as a fused signal
+    /// ([`Verdict::structural_anomaly`]) without changing the verdict,
+    /// because model completeness is an analysis judgement rather than a
+    /// ground truth.
+    pub block_on_structural_anomaly: bool,
 }
 
 impl JozaConfig {
@@ -132,6 +140,21 @@ pub enum Detector {
     Pti,
     /// Both flagged it.
     Both,
+    /// Neither dynamic detector flagged it, but the query fell outside
+    /// the route's complete static query model and
+    /// [`JozaConfig::block_on_structural_anomaly`] is enabled.
+    Structural,
+}
+
+/// How a query's verdict was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckPath {
+    /// The route's static query model accepted the query's skeleton:
+    /// NTI/PTI were skipped entirely.
+    ModelFastPath,
+    /// The full dynamic NTI/PTI pipeline ran.
+    #[default]
+    Dynamic,
 }
 
 /// The verdict for one query.
@@ -146,6 +169,8 @@ pub struct Verdict {
     detected_by: Option<Detector>,
     nti_attack: Option<bool>,
     pti_attack: Option<bool>,
+    path: CheckPath,
+    structural_anomaly: bool,
 }
 
 impl Verdict {
@@ -159,14 +184,30 @@ impl Verdict {
         self.detected_by
     }
 
-    /// NTI's raw verdict (`None` when NTI is disabled).
+    /// NTI's raw verdict (`None` when NTI is disabled or the model fast
+    /// path skipped it).
     pub fn nti_attack(&self) -> Option<bool> {
         self.nti_attack
     }
 
-    /// PTI's raw verdict (`None` when PTI is disabled).
+    /// PTI's raw verdict (`None` when PTI is disabled or the model fast
+    /// path skipped it).
     pub fn pti_attack(&self) -> Option<bool> {
         self.pti_attack
+    }
+
+    /// Whether the verdict came from the static-model fast path or the
+    /// dynamic NTI/PTI pipeline.
+    pub fn path(&self) -> CheckPath {
+        self.path
+    }
+
+    /// True when the route has a *complete* static query model and this
+    /// query's skeleton matched none of its templates — a structural
+    /// signal fused with the dynamic verdict (it blocks only under
+    /// [`JozaConfig::block_on_structural_anomaly`]).
+    pub fn structural_anomaly(&self) -> bool {
+        self.structural_anomaly
     }
 }
 
@@ -185,6 +226,10 @@ pub struct JozaStats {
     pub nti_time: Duration,
     /// Wall-clock time spent in PTI (including daemon round-trips).
     pub pti_time: Duration,
+    /// Queries answered by the static-model fast path (NTI/PTI skipped).
+    pub model_fast_hits: u64,
+    /// Queries that fell outside a complete static query model.
+    pub model_anomalies: u64,
 }
 
 impl JozaStats {
@@ -195,6 +240,8 @@ impl JozaStats {
         self.pti_detections += other.pti_detections;
         self.nti_time += other.nti_time;
         self.pti_time += other.pti_time;
+        self.model_fast_hits += other.model_fast_hits;
+        self.model_anomalies += other.model_anomalies;
     }
 }
 
@@ -229,6 +276,9 @@ pub struct Joza {
     shared_query_cache: Option<Arc<SharedQueryCache>>,
     shards: Box<[OnceLock<Mutex<Shard>>]>,
     fragment_count: usize,
+    /// Per-route static query models (read-only after build; consulted
+    /// through `&self` with no lock, like the NTI side).
+    models: Option<Arc<QueryModelIndex>>,
 }
 
 impl std::fmt::Debug for Joza {
@@ -255,6 +305,18 @@ impl Joza {
             set.add_source(src);
         }
         Joza::builder().fragment_set(&set).config(config).build()
+    }
+
+    /// The installer plus static query models: like [`Joza::install`],
+    /// but also compiles a per-route [`QueryModelIndex`] (from
+    /// `joza_sast::app_query_models`) into the gate, enabling the
+    /// skeleton fast path and the structural-anomaly signal.
+    pub fn install_with_models(app: &WebApp, config: JozaConfig, models: QueryModelIndex) -> Joza {
+        let mut set = FragmentSet::new();
+        for src in app.all_sources() {
+            set.add_source(src);
+        }
+        Joza::builder().fragment_set(&set).config(config).query_models(models).build()
     }
 
     /// The engine configuration.
@@ -304,15 +366,21 @@ impl Joza {
     }
 
     /// Starts an analysis session (captures inputs for NTI, then checks
-    /// queries).
+    /// queries) with no route context.
     pub fn session(&self) -> JozaSession<'_> {
-        JozaSession { joza: self, inputs: Vec::new() }
+        JozaSession { joza: self, inputs: Vec::new(), model: None }
+    }
+
+    /// Starts an analysis session scoped to `route`: checks go through
+    /// the route's static query model when one is installed.
+    pub fn session_for(&self, route: &str) -> JozaSession<'_> {
+        JozaSession { joza: self, inputs: Vec::new(), model: self.model_for(route) }
     }
 
     /// Wraps the engine as a legacy [`QueryGate`] for single-worker
     /// callers; multi-worker servers use the [`GateFactory`] impl instead.
     pub fn gate(&self) -> JozaGate<'_> {
-        JozaGate { joza: self, inputs: Vec::new() }
+        JozaGate { joza: self, inputs: Vec::new(), model: None }
     }
 
     /// The calling worker's shard, initialized on first touch. Lazy
@@ -332,9 +400,60 @@ impl Joza {
         })
     }
 
-    /// Checks one query against a set of captured raw inputs.
+    /// Checks one query against a set of captured raw inputs, with no
+    /// route context (never consults the static query models).
     pub fn check_query(&self, inputs: &[&str], query: &str) -> Verdict {
+        self.check_with_model(None, inputs, query)
+    }
+
+    /// Checks one query on a named route: the route's static query model
+    /// (when installed and applicable) supplies the fast path and the
+    /// structural-anomaly signal.
+    pub fn check_query_on_route(&self, route: &str, inputs: &[&str], query: &str) -> Verdict {
+        self.check_with_model(self.model_for(route), inputs, query)
+    }
+
+    /// The installed static query models, if any.
+    pub fn query_models(&self) -> Option<&QueryModelIndex> {
+        self.models.as_deref()
+    }
+
+    /// The static query model for `route`, if one was installed.
+    pub fn model_for(&self, route: &str) -> Option<&RouteModel> {
+        self.models.as_deref().and_then(|m| m.get(route))
+    }
+
+    fn check_with_model(
+        &self,
+        model: Option<&RouteModel>,
+        inputs: &[&str],
+        query: &str,
+    ) -> Verdict {
         joza_phpsim::cost::simulate(self.config.wrapper_cost);
+
+        // Static-model fast path: a skeleton the route's automaton
+        // accepts confines every dynamic value to a single data literal,
+        // so no token-level injection can be present — NTI and PTI are
+        // skipped entirely (see DESIGN.md §8 for the soundness argument).
+        if let Some(m) = model {
+            if m.accepts(query) {
+                let mut guard = self.shard().lock();
+                let shard = &mut *guard;
+                shard.stats.queries += 1;
+                shard.stats.model_fast_hits += 1;
+                return Verdict {
+                    safe: true,
+                    detected_by: None,
+                    nti_attack: None,
+                    pti_attack: None,
+                    path: CheckPath::ModelFastPath,
+                    structural_anomaly: false,
+                };
+            }
+        }
+        // Only a *complete* model may read a mismatch as a structural
+        // anomaly; an incomplete one merely forfeits the fast path.
+        let structural_anomaly = model.is_some_and(|m| m.complete);
 
         // NTI is pure over shared state: run it before taking any lock so
         // workers never serialize on the edit-distance pass.
@@ -358,13 +477,19 @@ impl Joza {
         };
         shard.stats.nti_time += nti_time;
 
-        let detected_by = match (nti_attack, pti_attack) {
+        let mut detected_by = match (nti_attack, pti_attack) {
             (Some(true), Some(true)) => Some(Detector::Both),
             (Some(true), _) => Some(Detector::Nti),
             (_, Some(true)) => Some(Detector::Pti),
             _ => None,
         };
+        if detected_by.is_none() && structural_anomaly && self.config.block_on_structural_anomaly {
+            detected_by = Some(Detector::Structural);
+        }
         shard.stats.queries += 1;
+        if structural_anomaly {
+            shard.stats.model_anomalies += 1;
+        }
         if nti_attack == Some(true) {
             shard.stats.nti_detections += 1;
         }
@@ -374,7 +499,14 @@ impl Joza {
         if detected_by.is_some() {
             shard.stats.attacks += 1;
         }
-        Verdict { safe: detected_by.is_none(), detected_by, nti_attack, pti_attack }
+        Verdict {
+            safe: detected_by.is_none(),
+            detected_by,
+            nti_attack,
+            pti_attack,
+            path: CheckPath::Dynamic,
+            structural_anomaly,
+        }
     }
 
     fn begin_request_inner(&self) {
@@ -427,6 +559,7 @@ impl std::error::Error for JozaBuildError {}
 pub struct JozaBuilder {
     fragments: Vec<String>,
     config: JozaConfig,
+    models: Option<QueryModelIndex>,
 }
 
 impl JozaBuilder {
@@ -452,6 +585,16 @@ impl JozaBuilder {
     #[must_use]
     pub fn config(mut self, config: JozaConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Installs per-route static query models (from
+    /// `joza_sast::app_query_models`). Routes with a model get the
+    /// skeleton fast path and, when the model is complete, the
+    /// structural-anomaly signal; routes without one are unaffected.
+    #[must_use]
+    pub fn query_models(mut self, models: QueryModelIndex) -> Self {
+        self.models = Some(models);
         self
     }
 
@@ -498,6 +641,7 @@ impl JozaBuilder {
             shared_query_cache,
             shards: (0..shard_count).map(|_| OnceLock::new()).collect(),
             fragment_count,
+            models: self.models.map(Arc::new),
         })
     }
 
@@ -516,6 +660,7 @@ impl JozaBuilder {
 pub struct JozaSession<'a> {
     joza: &'a Joza,
     inputs: Vec<(String, String)>,
+    model: Option<&'a RouteModel>,
 }
 
 impl JozaSession<'_> {
@@ -529,10 +674,11 @@ impl JozaSession<'_> {
         self.inputs.clear();
     }
 
-    /// Checks a query against the captured inputs.
+    /// Checks a query against the captured inputs (and the session's
+    /// route model, for sessions opened with [`Joza::session_for`]).
     pub fn check(&self, query: &str) -> Verdict {
         let refs: Vec<&str> = self.inputs.iter().map(|(_, v)| v.as_str()).collect();
-        self.joza.check_query(&refs, query)
+        self.joza.check_with_model(self.model, &refs, query)
     }
 }
 
@@ -542,6 +688,7 @@ impl JozaSession<'_> {
 pub struct JozaGate<'a> {
     joza: &'a Joza,
     inputs: Vec<String>,
+    model: Option<&'a RouteModel>,
 }
 
 impl std::fmt::Debug for JozaGate<'_> {
@@ -551,6 +698,10 @@ impl std::fmt::Debug for JozaGate<'_> {
 }
 
 impl QueryGate for JozaGate<'_> {
+    fn begin_route(&mut self, route: &str) {
+        self.model = self.joza.model_for(route);
+    }
+
     fn begin_request(&mut self, inputs: &[RawInput]) {
         self.inputs = inputs.iter().map(|i| i.value.clone()).collect();
         self.joza.begin_request_inner();
@@ -558,7 +709,7 @@ impl QueryGate for JozaGate<'_> {
 
     fn check(&mut self, sql: &str) -> GateDecision {
         let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
-        let verdict = self.joza.check_query(&refs, sql);
+        let verdict = self.joza.check_with_model(self.model, &refs, sql);
         self.joza.decide(&verdict)
     }
 }
@@ -568,6 +719,7 @@ impl QueryGate for JozaGate<'_> {
 pub struct JozaGateSession<'a> {
     joza: &'a Joza,
     inputs: Vec<String>,
+    model: Option<&'a RouteModel>,
 }
 
 impl std::fmt::Debug for JozaGateSession<'_> {
@@ -579,18 +731,18 @@ impl std::fmt::Debug for JozaGateSession<'_> {
 impl GateSession for JozaGateSession<'_> {
     fn check(&mut self, sql: &str) -> GateDecision {
         let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
-        let verdict = self.joza.check_query(&refs, sql);
+        let verdict = self.joza.check_with_model(self.model, &refs, sql);
         self.joza.decide(&verdict)
     }
 }
 
 impl GateFactory for Joza {
-    fn session<'a>(&'a self, _route: &str, inputs: &[RawInput]) -> Box<dyn GateSession + 'a> {
+    fn session<'a>(&'a self, route: &str, inputs: &[RawInput]) -> Box<dyn GateSession + 'a> {
         let values = inputs.iter().map(|i| i.value.clone()).collect();
         // Per-request PTI lifecycle (daemon spawn in PerRequest mode) on
         // the calling worker's shard.
         self.begin_request_inner();
-        Box::new(JozaGateSession { joza: self, inputs: values })
+        Box::new(JozaGateSession { joza: self, inputs: values, model: self.model_for(route) })
     }
 }
 
@@ -797,6 +949,136 @@ mod tests {
             gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
             GateDecision::ErrorVirtualize
         );
+    }
+
+    fn demo_models() -> QueryModelIndex {
+        use joza_sqlparse::template::{QueryTemplate, TemplatePart};
+        let t = QueryTemplate {
+            parts: vec![
+                TemplatePart::Lit("SELECT * FROM records WHERE ID=".to_string()),
+                TemplatePart::Hole,
+                TemplatePart::Lit(" LIMIT 5".to_string()),
+            ],
+        };
+        let mut ix = QueryModelIndex::new();
+        ix.insert("records", RouteModel::build(&[Some(vec![t])]));
+        ix
+    }
+
+    fn joza_with_models(config: JozaConfig) -> Joza {
+        Joza::builder().fragments(FRAGS).config(config).query_models(demo_models()).build()
+    }
+
+    #[test]
+    fn model_fast_path_skips_dynamic_detectors() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let mut s = j.session_for("records");
+        s.capture_input("id", "42");
+        let v = s.check("SELECT * FROM records WHERE ID=42 LIMIT 5");
+        assert!(v.is_safe());
+        assert_eq!(v.path(), CheckPath::ModelFastPath);
+        assert_eq!(v.nti_attack(), None, "NTI must be skipped on the fast path");
+        assert_eq!(v.pti_attack(), None, "PTI must be skipped on the fast path");
+        assert_eq!(j.stats().model_fast_hits, 1);
+        assert_eq!(j.stats().queries, 1);
+    }
+
+    #[test]
+    fn model_mismatch_still_runs_dynamic_path_and_detects() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let mut s = j.session_for("records");
+        let payload = "-1 UNION SELECT username()";
+        s.capture_input("id", payload);
+        let v = s.check(&format!("SELECT * FROM records WHERE ID={payload} LIMIT 5"));
+        assert!(!v.is_safe());
+        assert_eq!(v.path(), CheckPath::Dynamic);
+        assert!(v.structural_anomaly(), "complete model must flag the deformed skeleton");
+        assert_eq!(v.detector(), Some(Detector::Both));
+        assert_eq!(j.stats().model_fast_hits, 0);
+        assert_eq!(j.stats().model_anomalies, 1);
+    }
+
+    #[test]
+    fn structural_anomaly_fuses_without_blocking_by_default() {
+        let j = joza_with_models(JozaConfig::optimized());
+        // A query shape the app never emits, built only from benign
+        // vocabulary: NTI/PTI pass, the model does not.
+        let s = j.session_for("records");
+        let v = s.check("SELECT * FROM records WHERE ID=1");
+        assert!(v.is_safe(), "anomaly alone must not block by default: {v:?}");
+        assert!(v.structural_anomaly());
+        assert_eq!(j.stats().model_anomalies, 1);
+    }
+
+    #[test]
+    fn structural_anomaly_blocks_when_configured() {
+        let j = joza_with_models(JozaConfig {
+            block_on_structural_anomaly: true,
+            ..JozaConfig::optimized()
+        });
+        let s = j.session_for("records");
+        let v = s.check("SELECT * FROM records WHERE ID=1");
+        assert!(!v.is_safe());
+        assert_eq!(v.detector(), Some(Detector::Structural));
+        assert_eq!(j.stats().attacks, 1);
+    }
+
+    #[test]
+    fn incomplete_model_never_signals_anomaly() {
+        use joza_sqlparse::template::QueryTemplate;
+        let mut ix = QueryModelIndex::new();
+        // One modeled site, one ⊤ site: the route model is incomplete.
+        ix.insert("r", RouteModel::build(&[Some(vec![QueryTemplate::lit("SELECT 1")]), None]));
+        let j = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .query_models(ix)
+            .build();
+        let s = j.session_for("r");
+        let v = s.check("SELECT * FROM records WHERE ID=1 LIMIT 5");
+        assert!(v.is_safe());
+        assert!(!v.structural_anomaly());
+        assert_eq!(v.path(), CheckPath::Dynamic);
+        // The compiled branch still fast-paths.
+        assert_eq!(s.check("SELECT 1").path(), CheckPath::ModelFastPath);
+    }
+
+    #[test]
+    fn unmodeled_route_is_fully_dynamic() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let s = j.session_for("other-route");
+        let v = s.check("SELECT * FROM records WHERE ID=1 LIMIT 5");
+        assert!(v.is_safe());
+        assert_eq!(v.path(), CheckPath::Dynamic);
+        assert!(!v.structural_anomaly());
+        assert!(j.query_models().is_some());
+        assert!(j.model_for("other-route").is_none());
+    }
+
+    #[test]
+    fn factory_session_and_legacy_gate_use_route_models() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let input = RawInput {
+            source: joza_webapp::request::InputSource::Get,
+            name: "id".to_string(),
+            value: "7".to_string(),
+        };
+        let mut s = GateFactory::session(&j, "records", std::slice::from_ref(&input));
+        assert_eq!(s.check("SELECT * FROM records WHERE ID=7 LIMIT 5"), GateDecision::Allow);
+        drop(s);
+        assert_eq!(j.stats().model_fast_hits, 1);
+
+        let mut gate = j.gate();
+        gate.begin_route("records");
+        gate.begin_request(&[]);
+        assert_eq!(gate.check("SELECT * FROM records WHERE ID=8 LIMIT 5"), GateDecision::Allow);
+        assert_eq!(j.stats().model_fast_hits, 2);
+        // Attacks never ride the fast path, whichever API generation.
+        assert_eq!(
+            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::Terminate
+        );
+        assert_eq!(j.stats().model_fast_hits, 2);
     }
 
     #[test]

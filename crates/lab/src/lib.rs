@@ -102,6 +102,40 @@ pub fn ground_truth(lab: &Lab) -> Vec<(String, bool)> {
     out
 }
 
+/// Routes whose statically inferred query models are expected to be
+/// *incomplete*: `joza_sast::app_query_models` must leave at least one
+/// sink unmodeled there, so the gate treats a non-matching query as
+/// ordinary (model-unknown) rather than as a structural anomaly.
+///
+/// The only such route today is the Drupal case study: its `db_query`
+/// call passes a placeholder-arguments array, and Drupal's
+/// `expandArguments` splices array *keys* into the statement text
+/// (CVE-2014-3704) — the rewritten text is not derivable from the call
+/// site, so the model pass soundly tops out.
+pub const MODEL_INCOMPLETE_ROUTES: [&str; 1] = ["drupal-core"];
+
+/// Ground-truth query-model completeness labels for every routable
+/// endpoint, as `(route, expected_complete)` pairs sorted by route.
+///
+/// Every endpoint in the testbed builds its queries from literals and
+/// scalar request inputs through builtins the model pass understands
+/// (`intval`, `trim`, `stripslashes`, `base64_decode`, fetch loops), so
+/// all routes are expected complete except [`MODEL_INCOMPLETE_ROUTES`].
+/// `joza_sast::app_query_models` is scored against these labels: an
+/// expected-complete route that comes back incomplete forfeits the fast
+/// path (a model-precision regression), while an expected-incomplete
+/// route that comes back complete would raise false structural
+/// anomalies (a soundness bug).
+pub fn model_ground_truth(lab: &Lab) -> Vec<(String, bool)> {
+    ground_truth(lab)
+        .into_iter()
+        .map(|(route, _)| {
+            let complete = !MODEL_INCOMPLETE_ROUTES.contains(&route.as_str());
+            (route, complete)
+        })
+        .collect()
+}
+
 /// Builds the full WP-SQLI-LAB testbed.
 pub fn build_lab() -> Lab {
     let plugins = corpus::corpus();
@@ -140,6 +174,17 @@ mod tests {
         assert_eq!(gt.iter().filter(|(_, v)| !v).count(), 4);
         for (route, _) in &gt {
             assert!(lab.server.app.plugin(route).is_some(), "unroutable label {route}");
+        }
+    }
+
+    #[test]
+    fn model_ground_truth_covers_every_route() {
+        let lab = build_lab();
+        let mgt = model_ground_truth(&lab);
+        assert_eq!(mgt.len(), 4 + 50 + 3);
+        assert_eq!(mgt.iter().filter(|(_, c)| !c).count(), MODEL_INCOMPLETE_ROUTES.len());
+        for incomplete in MODEL_INCOMPLETE_ROUTES {
+            assert!(mgt.iter().any(|(r, c)| r == incomplete && !c));
         }
     }
 

@@ -786,6 +786,36 @@ mod tests {
     }
 
     #[test]
+    fn string_builders_carry_taint_to_sinks() {
+        // Soundness for the querymodel agreement: every construction the
+        // structural pass summarizes must still flow taint here.
+        let sprintf = analyze(
+            r#"
+            $q = sprintf("SELECT * FROM t WHERE name='%s'", $_GET['name']);
+            mysql_query($q);
+        "#,
+        );
+        assert!(!sprintf.taint_free, "sprintf embeds its arguments verbatim");
+
+        let implode = analyze(
+            r#"
+            $ids = $_GET['ids'];
+            $list = implode(",", $ids);
+            mysql_query("SELECT * FROM t WHERE id IN ($list)");
+        "#,
+        );
+        assert!(!implode.taint_free, "implode splices elements unescaped");
+
+        let replaced = analyze(
+            r#"
+            $v = str_replace("x", "y", $_POST['v']);
+            mysql_query("SELECT * FROM t WHERE v='$v'");
+        "#,
+        );
+        assert!(!replaced.taint_free, "str_replace is not a sanitizer");
+    }
+
+    #[test]
     fn fetch_results_are_trusted() {
         let s = analyze(
             r#"

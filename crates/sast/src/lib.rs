@@ -46,11 +46,13 @@
 
 pub mod analyzer;
 pub mod lattice;
+pub mod querymodel;
 pub mod report;
 pub mod summaries;
 
 pub use analyzer::{analyze_source, AnalyzerConfig, Finding, TaintSummary};
 pub use lattice::{AbstractVal, Taint};
+pub use querymodel::{app_query_models, infer_source, EndpointModel, SiteModel};
 pub use report::{render_finding, render_summary};
 pub use summaries::{effect_of, is_sink, Effect};
 

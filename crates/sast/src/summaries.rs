@@ -78,6 +78,15 @@ pub fn effect_of(name: &str) -> Effect {
         // The sinks themselves return result handles.
         "mysql_query" | "mysqli_query" | "db_query" => Effect::Fresh,
 
+        // String builders, explicitly: these are the constructors
+        // `sast::querymodel` gives structured template summaries, and the
+        // taint pass must agree they carry attacker bytes through
+        // unchanged. `sprintf('%s', $x)` embeds `$x` verbatim; `implode`
+        // splices every element (and the glue) into one string;
+        // `str_replace` keeps whatever it does not match. None of them
+        // escape anything.
+        "sprintf" | "vsprintf" | "implode" | "join" | "str_replace" => Effect::Propagate,
+
         // Everything else — string transforms, encoders, array plumbing,
         // and unknown names — propagates conservatively. Note
         // `sanitize_text_field` (WordPress) strips tags but does NOT
@@ -105,5 +114,16 @@ mod tests {
         assert_eq!(effect_of("trim"), Effect::Propagate);
         assert_eq!(effect_of("sanitize_text_field"), Effect::Propagate);
         assert_eq!(effect_of("totally_unknown_fn"), Effect::Propagate);
+    }
+
+    #[test]
+    fn string_builders_propagate_taint() {
+        // The querymodel pass models these structurally; the taint pass
+        // must classify them as pass-through so both analyses agree on
+        // which call sites carry attacker bytes.
+        for f in ["sprintf", "vsprintf", "implode", "join", "str_replace"] {
+            assert_eq!(effect_of(f), Effect::Propagate, "{f} must propagate");
+            assert!(!is_sink(f));
+        }
     }
 }

@@ -1,0 +1,150 @@
+//! Property tests for the inferred query models (fast-path soundness).
+//!
+//! Two directions, matching the fast path's one-sided contract:
+//!
+//! * **No false structural anomalies.** Instantiating an inferred
+//!   template's holes with a benign literal must always yield a query
+//!   the sink's automaton accepts — otherwise benign traffic would be
+//!   spuriously flagged as structurally anomalous (and lose the fast
+//!   path it is entitled to).
+//! * **No fast-pathed attacks.** A structural injection payload placed
+//!   in a hole spreads over multiple SQL tokens, so the skeleton no
+//!   longer matches: the lab's shipped exploit payloads must never be
+//!   accepted by their target route's automaton.
+
+use joza_lab::{build_lab, Exploit};
+use joza_sast::{infer_source, EndpointModel};
+use joza_sqlparse::template::TemplatePart;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Endpoint models for every routable endpoint of the lab, inferred once
+/// (proptest re-runs each property body many times).
+fn endpoint_models() -> &'static Vec<EndpointModel> {
+    static MODELS: OnceLock<Vec<EndpointModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let lab = build_lab();
+        let mut out: Vec<EndpointModel> =
+            lab.server.app.plugins().map(|p| infer_source(&p.name, &p.source)).collect();
+        out.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+        out
+    })
+}
+
+fn has_hole(parts: &[TemplatePart]) -> bool {
+    parts.iter().any(|p| match p {
+        TemplatePart::Hole => true,
+        TemplatePart::Rep(body) => has_hole(body),
+        TemplatePart::Lit(_) => false,
+    })
+}
+
+proptest! {
+    /// Benign integers are valid in every hole context (bare numeric
+    /// concatenation and inside quoted literals alike), so every
+    /// instantiation of every inferred template over the whole lab must
+    /// be accepted by its own route's automaton.
+    #[test]
+    fn integer_instantiations_are_always_accepted(n in 0u64..1_000_000_000) {
+        let value = n.to_string();
+        for em in endpoint_models() {
+            let model = em.compile();
+            // A rejected template is deliberately absent from the
+            // automaton; only fully-compiled routes promise acceptance.
+            if model.compiled == 0 || model.rejected > 0 {
+                continue;
+            }
+            for site in &em.sites {
+                let Some(templates) = &site.templates else { continue };
+                for t in templates {
+                    let q = t.instantiate(&value);
+                    prop_assert!(
+                        model.accepts(&q),
+                        "route {} rejected benign instantiation {q:?}",
+                        em.endpoint
+                    );
+                }
+            }
+        }
+    }
+
+    /// Quoted-context holes accept arbitrary quote-free text: whatever
+    /// the visitor types stays one string literal token.
+    #[test]
+    fn quote_free_strings_are_accepted_in_quoted_holes(s in "[a-zA-Z0-9 _.,-]{0,24}") {
+        let src = r#"
+            $n = $_GET['name'];
+            $r = mysql_query("SELECT id FROM t WHERE name='" . $n . "' AND hidden=0");
+        "#;
+        let em = infer_source("quoted", src);
+        let model = em.compile();
+        prop_assert!(model.complete);
+        let site = &em.sites[0];
+        for t in site.templates.as_ref().expect("modeled site") {
+            let q = t.instantiate(&s);
+            prop_assert!(model.accepts(&q), "rejected benign quoted value {q:?}");
+        }
+    }
+
+    /// A quote break-out deforms the skeleton and is never accepted,
+    /// whatever benign text surrounds it.
+    #[test]
+    fn quote_breakouts_are_never_accepted(pre in "[a-z0-9]{0,10}", col in "[a-z]{1,6}") {
+        let src = r#"
+            $n = $_GET['name'];
+            $r = mysql_query("SELECT id FROM t WHERE name='" . $n . "' AND hidden=0");
+        "#;
+        let em = infer_source("quoted", src);
+        let model = em.compile();
+        let payload = format!("{pre}' OR {col} LIKE '%");
+        let site = &em.sites[0];
+        for t in site.templates.as_ref().expect("modeled site") {
+            let q = t.instantiate(&payload);
+            prop_assert!(!model.accepts(&q), "break-out accepted: {q:?}");
+        }
+    }
+}
+
+/// Every exploit payload the lab ships, instantiated into every holed
+/// template of its target route, is rejected by that route's automaton —
+/// the fast path can never allow a shipped attack.
+#[test]
+fn lab_attack_payloads_never_match_the_automaton() {
+    let lab = build_lab();
+    let mut checked = 0usize;
+    for p in lab.plugins.iter().chain(lab.cms_cases.iter()) {
+        let em = infer_source(&p.slug, &p.source);
+        let model = em.compile();
+        if model.compiled == 0 {
+            // The Drupal case study is unmodeled (⊤ site): no automaton,
+            // no fast path to subvert.
+            continue;
+        }
+        let payloads: Vec<&str> = match &p.exploit {
+            Exploit::Leak { payload, .. } => vec![payload],
+            Exploit::BooleanDiff { true_payload, false_payload } => {
+                vec![true_payload, false_payload]
+            }
+            Exploit::TimingDiff { slow_payload, fast_payload, .. } => {
+                vec![slow_payload, fast_payload]
+            }
+        };
+        for site in &em.sites {
+            let Some(templates) = &site.templates else { continue };
+            for t in templates.iter().filter(|t| has_hole(&t.parts)) {
+                for payload in &payloads {
+                    let q = t.instantiate(payload);
+                    assert!(
+                        !model.accepts(&q),
+                        "{}: exploit payload accepted by the automaton: {q:?}",
+                        p.slug
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    // 15 union + 4 tautology + 2 CMS leaks at one payload each, plus
+    // 17 boolean-blind + 14 timing-blind at two payloads each = 83.
+    assert!(checked >= 80, "only {checked} payload instantiations exercised");
+}

@@ -10,14 +10,136 @@
 //! The caches in `joza-pti` use fingerprints so that a write query like
 //! `INSERT INTO comments VALUES ('…user text…')` only pays full analysis
 //! once per *shape*, not once per comment.
+//!
+//! # List collapsing
+//!
+//! Benign applications routinely build variable-length literal lists —
+//! `WHERE id IN (1,2,3)` from a loop, or multi-row
+//! `INSERT … VALUES (…),(…)` batches. If every list length had its own
+//! skeleton, the structure cache (and the query models built on top of it
+//! in [`crate::template`]) would never converge. [`skeleton`] therefore
+//! collapses:
+//!
+//! * any parenthesized group containing **only** literals and commas to the
+//!   canonical form `( ?* )`, and
+//! * a run of such collapsed groups following `VALUES` to a single tuple.
+//!
+//! Collapsing only ever merges *literal-only* regions, so an injected
+//! keyword, operator, or comment inside a list still changes the skeleton:
+//! `IN (1,2,3)` and `IN (1) OR 1=1` do not collide.
 
 use crate::lexer::lex;
 use crate::token::TokenKind;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+/// The placeholder a literal token renders to in a skeleton.
+pub const HOLE: &str = "?";
+/// The canonical rendering of a collapsed literal list (`IN (1,2,3)` and
+/// `IN (7)` both render their parenthesized part as `( ?* )`).
+pub const COLLAPSED: &str = "?*";
+
+/// Renders one token of `query` in skeleton normal form: literals become
+/// [`HOLE`], keywords are uppercased, comments collapse to `/*c*/`, quoted
+/// identifiers lose their backticks.
+pub(crate) fn render_token(query: &str, t: &crate::token::Token) -> String {
+    match t.kind {
+        TokenKind::Number | TokenKind::StringLit => HOLE.to_string(),
+        TokenKind::Keyword => t.text(query).to_ascii_uppercase(),
+        TokenKind::Comment => "/*c*/".to_string(),
+        TokenKind::QuotedIdentifier => t.text(query).trim_matches('`').to_string(),
+        _ => t.text(query).to_string(),
+    }
+}
+
+/// The skeleton token sequence of `query` **without** list collapsing: one
+/// normalized string per lexed token, in order.
+///
+/// This is the raw form the [`crate::template`] automata match against —
+/// matching on uncollapsed tokens keeps star groups aligned with what the
+/// application source actually concatenates.
+pub fn raw_skeleton_tokens(query: &str) -> Vec<String> {
+    lex(query).iter().map(|t| render_token(query, t)).collect()
+}
+
+/// True if `tok` is a skeleton rendering of a data literal.
+fn is_hole(tok: &str) -> bool {
+    tok == HOLE
+}
+
+/// Collapses literal-only parenthesized groups (`( ? , ? , ? )` → `( ?* )`)
+/// and then runs of collapsed tuples after `VALUES` to a single tuple.
+fn collapse(tokens: Vec<String>) -> Vec<String> {
+    // Pass 1: literal-only paren groups become `( ?* )`.
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i] == "(" {
+            // Find the matching close paren at depth 0 for this group and
+            // check the region is exclusively literals and commas.
+            let mut j = i + 1;
+            let mut literal_only = false;
+            let mut saw_literal = false;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t == ")" {
+                    literal_only = saw_literal;
+                    break;
+                }
+                if is_hole(t) {
+                    saw_literal = true;
+                } else if t != "," {
+                    break;
+                }
+                j += 1;
+            }
+            if literal_only {
+                out.push("(".to_string());
+                out.push(COLLAPSED.to_string());
+                out.push(")".to_string());
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    // Pass 2: `VALUES ( ?* ) , ( ?* ) , …` becomes `VALUES ( ?* )`.
+    let mut folded: Vec<String> = Vec::with_capacity(out.len());
+    let mut i = 0;
+    while i < out.len() {
+        folded.push(out[i].clone());
+        if out[i] == "VALUES" {
+            let tuple = |k: usize| {
+                out.get(k).map(String::as_str) == Some("(")
+                    && out.get(k + 1).map(String::as_str) == Some(COLLAPSED)
+                    && out.get(k + 2).map(String::as_str) == Some(")")
+            };
+            if tuple(i + 1) {
+                folded.extend(["(".to_string(), COLLAPSED.to_string(), ")".to_string()]);
+                let mut k = i + 4;
+                while out.get(k).map(String::as_str) == Some(",") && tuple(k + 1) {
+                    k += 4;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    folded
+}
+
+/// The skeleton token sequence of `query` with variable-length literal
+/// lists collapsed to canonical form (see the module docs).
+pub fn skeleton_tokens(query: &str) -> Vec<String> {
+    collapse(raw_skeleton_tokens(query))
+}
+
 /// Renders the structural skeleton of a query: every token in order, with
-/// literal contents replaced by `?` and keywords/identifiers normalized.
+/// literal contents replaced by `?`, keywords/identifiers normalized, and
+/// literal lists collapsed so benign list-length variation shares one
+/// skeleton.
 ///
 /// # Examples
 ///
@@ -30,25 +152,20 @@ use std::hash::{Hash, Hasher};
 ///
 /// let attacked = skeleton("SELECT * FROM t WHERE id = 42 OR 1=1");
 /// assert_ne!(a, attacked);
+///
+/// // List-length variation collapses…
+/// assert_eq!(
+///     skeleton("SELECT * FROM t WHERE id IN (1,2,3)"),
+///     skeleton("SELECT * FROM t WHERE id IN (7)"),
+/// );
+/// // …but injected structure does not.
+/// assert_ne!(
+///     skeleton("SELECT * FROM t WHERE id IN (1,2,3)"),
+///     skeleton("SELECT * FROM t WHERE id IN (1) OR 1=1"),
+/// );
 /// ```
 pub fn skeleton(query: &str) -> String {
-    let tokens = lex(query);
-    let mut out = String::with_capacity(query.len());
-    for t in tokens {
-        if !out.is_empty() {
-            out.push(' ');
-        }
-        match t.kind {
-            TokenKind::Number | TokenKind::StringLit => out.push('?'),
-            TokenKind::Keyword => out.push_str(&t.text(query).to_ascii_uppercase()),
-            TokenKind::Comment => out.push_str("/*c*/"),
-            TokenKind::QuotedIdentifier => {
-                out.push_str(t.text(query).trim_matches('`'));
-            }
-            _ => out.push_str(t.text(query)),
-        }
-    }
-    out
+    skeleton_tokens(query).join(" ")
 }
 
 /// Hashes the [`skeleton`] of a query to a 64-bit fingerprint.
@@ -137,5 +254,78 @@ mod tests {
     fn fingerprint_is_deterministic() {
         let q = "SELECT a, b FROM t WHERE x IN (1,2,3) ORDER BY a DESC LIMIT 5";
         assert_eq!(fingerprint(q), fingerprint(q));
+    }
+
+    #[test]
+    fn in_list_lengths_collapse() {
+        let one = skeleton("SELECT * FROM t WHERE id IN (7)");
+        let three = skeleton("SELECT * FROM t WHERE id IN (1,2,3)");
+        let many = skeleton("SELECT * FROM t WHERE id IN (1,2,3,4,5,6,7,8)");
+        assert_eq!(one, three);
+        assert_eq!(three, many);
+        assert!(one.contains("( ?* )"), "canonical form expected, got {one:?}");
+    }
+
+    #[test]
+    fn loop_built_trailing_comma_list_collapses() {
+        // `$frag .= $id . ","` style loops emit a trailing comma.
+        assert_eq!(
+            skeleton("SELECT * FROM t WHERE id IN (1,2,3,)"),
+            skeleton("SELECT * FROM t WHERE id IN (9,)"),
+        );
+    }
+
+    #[test]
+    fn values_tuple_runs_collapse() {
+        let one = skeleton("INSERT INTO t (a,b) VALUES (1,'x')");
+        let two = skeleton("INSERT INTO t (a,b) VALUES (1,'x'),(2,'y')");
+        let four = skeleton("INSERT INTO t (a,b) VALUES (1,'x'),(2,'y'),(3,'z'),(4,'w')");
+        assert_eq!(one, two);
+        assert_eq!(two, four);
+    }
+
+    #[test]
+    fn column_list_not_collapsed_into_values_run() {
+        // `(a,b)` is identifiers, not literals: it must stay distinct.
+        assert_ne!(
+            skeleton("INSERT INTO t (a,b) VALUES (1,2)"),
+            skeleton("INSERT INTO t VALUES (1,2)"),
+        );
+    }
+
+    #[test]
+    fn union_inside_in_list_still_changes_skeleton() {
+        assert_ne!(
+            skeleton("SELECT * FROM t WHERE id IN (1,2,3)"),
+            skeleton("SELECT * FROM t WHERE id IN (1,2,(SELECT user()))"),
+        );
+    }
+
+    #[test]
+    fn tautology_after_in_list_still_changes_skeleton() {
+        assert_ne!(
+            skeleton("SELECT * FROM t WHERE id IN (1,2,3)"),
+            skeleton("SELECT * FROM t WHERE id IN (1) OR 1=1"),
+        );
+    }
+
+    #[test]
+    fn values_injection_still_changes_skeleton() {
+        assert_ne!(
+            skeleton("INSERT INTO t VALUES (1,'x')"),
+            skeleton("INSERT INTO t VALUES (1,'x'),(2,(SELECT user()))"),
+        );
+    }
+
+    #[test]
+    fn raw_tokens_do_not_collapse() {
+        let raw = raw_skeleton_tokens("SELECT * FROM t WHERE id IN (1,2)");
+        assert!(raw.iter().filter(|t| *t == HOLE).count() == 2);
+        assert!(!raw.iter().any(|t| t == COLLAPSED));
+    }
+
+    #[test]
+    fn empty_parens_untouched() {
+        assert_eq!(skeleton("SELECT now()"), "SELECT now ( )");
     }
 }

@@ -39,13 +39,18 @@ pub mod fingerprint;
 pub mod keywords;
 pub mod lexer;
 pub mod parser;
+pub mod template;
 pub mod token;
 pub mod value;
 
 pub use ast::{Expr, SelectStatement, Statement};
 pub use critical::{critical_tokens, CriticalPolicy};
-pub use fingerprint::{fingerprint, skeleton};
+pub use fingerprint::{fingerprint, raw_skeleton_tokens, skeleton, skeleton_tokens};
 pub use lexer::lex;
 pub use parser::{parse, ParseError};
+pub use template::{
+    compile_template, QueryModelIndex, QueryTemplate, RouteModel, SkeletonAutomaton, Sym,
+    TemplatePart, TemplateReject,
+};
 pub use token::{Token, TokenKind};
 pub use value::Value;

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
@@ -38,5 +41,13 @@ cargo run --quiet --release -p joza-bench --bin scaling -- \
 echo "==> nti_kernel smoke"
 cargo run --quiet --release -p joza-bench --bin nti_kernel -- \
     --iters 2 --long-pairs 8 --out /tmp/joza_nti_kernel_smoke.json
+
+# Query-model smoke: the binary asserts model completeness against the
+# lab's ground-truth labels, zero verdict deltas model-on vs model-off
+# over benign + exploit traffic, no fast-pathed attacks, and a >= 50%
+# benign fast-path rate before timing anything.
+echo "==> querymodel smoke"
+cargo run --quiet --release -p joza-bench --bin querymodel -- \
+    --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_querymodel_smoke.json
 
 echo "==> CI green"

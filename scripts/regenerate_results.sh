@@ -19,4 +19,7 @@ cargo run --quiet --release -p joza-bench --bin scaling -- \
 echo "== nti_kernel (timed) =="
 cargo run --quiet --release -p joza-bench --bin nti_kernel -- \
     --out results/BENCH_nti_kernel.json > results/nti_kernel.txt
+echo "== querymodel (timed) =="
+cargo run --quiet --release -p joza-bench --bin querymodel -- \
+    --out results/BENCH_querymodel.json > results/querymodel.txt
 echo "done: $(ls results | wc -l) result files in results/"
