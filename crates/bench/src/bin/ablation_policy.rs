@@ -26,8 +26,7 @@ fn joza_with(lab_app: &WebApp, policy: CriticalPolicy) -> Joza {
 }
 
 fn detected(lab: &mut Lab, joza: &Joza, plugin: &joza_lab::VulnPlugin, payload: &str) -> bool {
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&request_for(plugin, payload), &mut gate);
+    let resp = lab.server.handle_with(&request_for(plugin, payload), joza);
     resp.blocked || resp.executed < resp.queries.len()
 }
 
@@ -88,8 +87,7 @@ fn main() {
         ];
         let mut broken = 0;
         for req in &benign {
-            let mut gate = search_joza.gate();
-            let resp = server.handle_gated(req, &mut gate);
+            let resp = server.handle_with(req, &search_joza);
             if resp.blocked || resp.executed < resp.queries.len() {
                 broken += 1;
             }

@@ -21,8 +21,7 @@ use joza_lab::{build_lab, Lab};
 use joza_nti::{NtiAnalyzer, NtiConfig};
 
 fn detected(lab: &mut Lab, joza: &Joza, plugin: &joza_lab::VulnPlugin, payload: &str) -> bool {
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&request_for(plugin, payload), &mut gate);
+    let resp = lab.server.handle_with(&request_for(plugin, payload), joza);
     resp.blocked || resp.executed < resp.queries.len()
 }
 

@@ -1,0 +1,224 @@
+//! Staged-pipeline benchmark: end-to-end checked-queries/sec with the
+//! full `CheckPipeline` live — static fast path, model fast path, NTI,
+//! PTI, structural — against a dynamic-only baseline, plus the per-stage
+//! latency/hit breakdown the pipeline's uniform stage accounting makes
+//! possible.
+//!
+//! The workload is the benign-heavy fresh-content comment workload of
+//! the `querymodel` benchmark, so the single-thread pipeline-on
+//! checked-q/s cell is directly comparable with
+//! `results/BENCH_querymodel.json`'s `model_on_qps`.
+//!
+//! Usage:
+//!
+//! ```text
+//! pipeline [--requests N] [--repeat R] [--threads 1,4]
+//!          [--pipe-latency-us US] [--out results/BENCH_pipeline.json]
+//! ```
+
+use joza_bench::report::{
+    pct, provenance_json, render_table, stage_breakdown_json, stage_breakdown_rows,
+};
+use joza_core::{Joza, JozaConfig, JozaStats, MatchKernel, STAGE_COUNT};
+use joza_lab::serve::serve_parallel;
+use joza_lab::{build_lab, Lab};
+use joza_sast::{analyze_app, app_query_models, taint_free_routes};
+use std::time::Duration;
+
+/// Engine shard count for the throughput cells (above the largest thread
+/// count so workers never share a shard).
+const SHARDS: usize = 16;
+
+#[derive(Debug)]
+struct Args {
+    requests: usize,
+    repeat: usize,
+    threads: Vec<usize>,
+    pipe_latency: Duration,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 96,
+        repeat: 2,
+        threads: vec![1, 4],
+        pipe_latency: Duration::from_micros(400),
+        out: "results/BENCH_pipeline.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().expect("--requests"),
+            "--repeat" => args.repeat = value().parse().expect("--repeat"),
+            "--threads" => {
+                args.threads = value().split(',').map(|t| t.parse().expect("--threads")).collect();
+            }
+            "--pipe-latency-us" => {
+                args.pipe_latency =
+                    Duration::from_micros(value().parse().expect("--pipe-latency-us"));
+            }
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn scaled_config(pipe_latency: Duration) -> JozaConfig {
+    let mut cfg = JozaConfig::optimized();
+    cfg.shards = SHARDS;
+    cfg.pti.pipe_latency = pipe_latency;
+    cfg
+}
+
+/// The fully-loaded engine: every pipeline stage assembled (query models
+/// for the model fast path, statically-proven routes for the static one).
+fn full_engine(lab: &Lab, pipe_latency: Duration) -> Joza {
+    Joza::installer(&lab.server.app, scaled_config(pipe_latency))
+        .query_models(app_query_models(&lab.server.app))
+        .taint_free_routes(taint_free_routes(&analyze_app(&lab.server.app)))
+        .build()
+}
+
+/// Counter deltas between two stats snapshots (the measured passes only,
+/// excluding warmup).
+fn delta(before: &JozaStats, after: &JozaStats) -> JozaStats {
+    let mut d = *after;
+    d.queries = after.queries - before.queries;
+    d.model_fast_hits = after.model_fast_hits - before.model_fast_hits;
+    d.static_hits = after.static_hits - before.static_hits;
+    d.full_checks = after.full_checks - before.full_checks;
+    for i in 0..STAGE_COUNT {
+        d.stage_runs[i] = after.stage_runs[i] - before.stage_runs[i];
+        d.stage_hits[i] = after.stage_hits[i] - before.stage_hits[i];
+        d.stage_ns[i] = after.stage_ns[i] - before.stage_ns[i];
+    }
+    d
+}
+
+/// One throughput cell: dynamic-only vs full pipeline at a thread count.
+#[derive(Debug)]
+struct Cell {
+    threads: usize,
+    dynamic_qps: f64,
+    pipeline_qps: f64,
+    fast_rate: f64,
+}
+
+fn measure(factory: &Joza, threads: usize, args: &Args) -> (f64, JozaStats) {
+    let workload = |pass: usize| joza_bench::workload::write_requests_pass(args.requests, pass);
+    let _ = serve_parallel(build_lab, factory, threads, &workload(0));
+    let base = factory.stats();
+    let mut wall = Duration::ZERO;
+    let mut queries = 0usize;
+    for pass in 1..=args.repeat.max(1) {
+        let reqs = workload(pass);
+        let run = serve_parallel(build_lab, factory, threads, &reqs);
+        wall += run.wall;
+        for resp in &run.responses {
+            assert!(!resp.blocked, "benign comment workload was blocked");
+            queries += resp.queries.len();
+        }
+    }
+    let d = delta(&base, &factory.stats());
+    assert_eq!(
+        d.model_fast_hits + d.static_hits + d.full_checks,
+        d.queries,
+        "path counters must partition checked queries"
+    );
+    let secs = wall.as_secs_f64();
+    (if secs > 0.0 { queries as f64 / secs } else { 0.0 }, d)
+}
+
+fn main() {
+    let args = parse_args();
+    let lab = build_lab();
+    println!(
+        "pipeline: {} requests x {} passes, threads {:?}, pipe latency {:?}",
+        args.requests, args.repeat, args.threads, args.pipe_latency
+    );
+
+    let mut cells = Vec::new();
+    let mut single_thread_stats: Option<JozaStats> = None;
+    for &t in &args.threads {
+        let dynamic_only = Joza::install(&lab.server.app, scaled_config(args.pipe_latency));
+        let (dynamic_qps, _) = measure(&dynamic_only, t, &args);
+        let pipeline = full_engine(&lab, args.pipe_latency);
+        let (pipeline_qps, stats) = measure(&pipeline, t, &args);
+        let fast_rate =
+            (stats.model_fast_hits + stats.static_hits) as f64 / stats.queries.max(1) as f64;
+        if t == 1 {
+            single_thread_stats = Some(stats);
+        }
+        cells.push(Cell { threads: t, dynamic_qps, pipeline_qps, fast_rate });
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.threads.to_string(),
+                format!("{:.1}", c.dynamic_qps),
+                format!("{:.1}", c.pipeline_qps),
+                format!(
+                    "{:.2}x",
+                    if c.dynamic_qps > 0.0 { c.pipeline_qps / c.dynamic_qps } else { 0.0 }
+                ),
+                pct(c.fast_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "\n== gate throughput (fresh-content comment posts) ==\n{}",
+        render_table(
+            &["Threads", "Dynamic-only q/s", "Pipeline q/s", "Improvement", "Fast rate"],
+            &rows
+        )
+    );
+
+    let stage_stats = single_thread_stats.unwrap_or_else(|| {
+        panic!("thread list {:?} must include 1 for the breakdown", args.threads)
+    });
+    println!(
+        "== per-stage breakdown (single-thread, full pipeline) ==\n{}",
+        render_table(
+            &["Stage", "Runs", "Hits", "Hit rate", "Total", "Mean/run"],
+            &stage_breakdown_rows(&stage_stats)
+        )
+    );
+
+    let json_cells = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "      {{\"threads\": {}, \"dynamic_qps\": {:.1}, \"pipeline_qps\": {:.1}, \
+                 \"improvement\": {:.3}, \"fast_rate\": {:.4}}}",
+                c.threads,
+                c.dynamic_qps,
+                c.pipeline_qps,
+                if c.dynamic_qps > 0.0 { c.pipeline_qps / c.dynamic_qps } else { 0.0 },
+                c.fast_rate
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"pipeline\",\n  \"provenance\": {},\n  \
+         \"throughput\": {{\"workload\": \"fresh-content comment posts\", \"requests_per_pass\": {}, \
+         \"passes\": {}, \"pipe_latency_us\": {}, \"cells\": [\n{}\n    ]}},\n  \
+         \"stages\": {}\n}}\n",
+        provenance_json(&MatchKernel::default().to_string()),
+        args.requests,
+        args.repeat,
+        args.pipe_latency.as_micros(),
+        json_cells,
+        stage_breakdown_json(&stage_stats)
+    );
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&args.out, &json).expect("write pipeline results");
+    println!("wrote {}", args.out);
+}

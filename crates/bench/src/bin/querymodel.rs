@@ -171,11 +171,9 @@ fn parity(lab: &mut Lab) -> Parity {
 
     let run = |req: &HttpRequest, lab: &mut Lab| -> (bool, bool) {
         lab.reset_database();
-        let mut off_gate = baseline.gate();
-        let off = lab.server.handle_gated(req, &mut off_gate);
+        let off = lab.server.handle_with(req, &baseline);
         lab.reset_database();
-        let mut on_gate = modeled.gate();
-        let on = lab.server.handle_gated(req, &mut on_gate);
+        let on = lab.server.handle_with(req, &modeled);
         (off.blocked, on.blocked)
     };
 

@@ -13,7 +13,6 @@ use joza_bench::workload::{crawl_requests, Setup};
 use joza_core::Joza;
 use joza_lab::{build_lab, ground_truth};
 use joza_sast::{analyze_app, render_summary, taint_free_routes, TaintSummary};
-use joza_webapp::gate::StaticFastPath;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -116,22 +115,22 @@ fn main() {
     let joza_plain = Joza::install(&lab.server.app, config.clone());
     let mut plain_gate_time = Duration::ZERO;
     for req in &requests {
-        let mut gate = joza_plain.gate();
-        let resp = lab.server.handle_gated(req, &mut gate);
+        let resp = lab.server.handle_with(req, &joza_plain);
         assert!(!resp.blocked, "benign request blocked: {req:?}");
         plain_gate_time += resp.gate_time;
     }
 
     lab.reset_database();
-    let joza_fast = Joza::install(&lab.server.app, config);
-    let mut fast = StaticFastPath::new(joza_fast.gate(), fast_routes.iter().cloned());
+    let joza_fast = Joza::installer(&lab.server.app, config)
+        .taint_free_routes(fast_routes.iter().cloned())
+        .build();
     let mut fast_gate_time = Duration::ZERO;
     for req in &requests {
-        let resp = lab.server.handle_gated(req, &mut fast);
+        let resp = lab.server.handle_with(req, &joza_fast);
         assert!(!resp.blocked, "benign request blocked on fast path: {req:?}");
         fast_gate_time += resp.gate_time;
     }
-    let stats = fast.stats();
+    let stats = joza_fast.stats();
 
     println!(
         "{}",
@@ -146,19 +145,19 @@ fn main() {
                     "all".into(),
                 ],
                 vec![
-                    "StaticFastPath<Joza>".into(),
+                    "Joza + static fast path".into(),
                     requests.len().to_string(),
                     format!("{fast_gate_time:?}"),
-                    stats.fast_queries.to_string(),
-                    stats.slow_queries.to_string(),
+                    stats.static_hits.to_string(),
+                    (stats.queries - stats.static_hits).to_string(),
                 ],
             ]
         )
     );
     println!(
-        "fast path served {}/{} requests statically; gate time {} of dynamic-only",
-        stats.fast_requests,
-        stats.fast_requests + stats.slow_requests,
+        "fast path served {}/{} queries statically; gate time {} of dynamic-only",
+        stats.static_hits,
+        stats.queries,
         pct(fast_gate_time.as_secs_f64() / plain_gate_time.as_secs_f64().max(f64::EPSILON)),
     );
 }

@@ -91,6 +91,51 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Per-stage pipeline breakdown rows for [`render_table`]: one row per
+/// [`StageId`](joza_core::StageId) in execution order — runs, hits
+/// (short-circuits or fires), hit rate, and total/mean latency.
+pub fn stage_breakdown_rows(stats: &joza_core::JozaStats) -> Vec<Vec<String>> {
+    joza_core::StageId::ALL
+        .iter()
+        .map(|&stage| {
+            let i = stage.index();
+            let (runs, hits, ns) = (stats.stage_runs[i], stats.stage_hits[i], stats.stage_ns[i]);
+            vec![
+                stage.name().to_string(),
+                runs.to_string(),
+                hits.to_string(),
+                pct(hits as f64 / runs.max(1) as f64),
+                format!("{:.3}ms", ns as f64 / 1e6),
+                format!("{:.0}ns", ns as f64 / runs.max(1) as f64),
+            ]
+        })
+        .collect()
+}
+
+/// The same per-stage breakdown as a JSON array (one object per stage,
+/// keyed by the stage's stable snake_case name), for the
+/// `results/BENCH_*.json` writers. `stage_ns` is the stage's total time
+/// across all runs; `stage_hits` counts short-circuits and fires.
+pub fn stage_breakdown_json(stats: &joza_core::JozaStats) -> String {
+    let entries = joza_core::StageId::ALL
+        .iter()
+        .map(|&stage| {
+            let i = stage.index();
+            format!(
+                "      {{\"stage\": \"{}\", \"stage_runs\": {}, \"stage_hits\": {}, \
+                 \"stage_ns\": {}, \"mean_ns\": {:.0}}}",
+                stage.name(),
+                stats.stage_runs[i],
+                stats.stage_hits[i],
+                stats.stage_ns[i],
+                stats.stage_ns[i] as f64 / stats.stage_runs[i].max(1) as f64
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{entries}\n    ]")
+}
+
 /// Formats a ratio as a percentage with two decimals.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)

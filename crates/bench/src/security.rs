@@ -44,9 +44,8 @@ pub struct SecurityEvaluation {
 /// Did the gate stop the attack request? Detection means at least one
 /// query was not allowed through.
 fn detected(lab: &mut Lab, joza: &Joza, plugin: &VulnPlugin, exploit: &Exploit) -> bool {
-    let mut gate = joza.gate();
     let payload = exploit.primary_payload();
-    let resp = lab.server.handle_gated(&request_for(plugin, payload), &mut gate);
+    let resp = lab.server.handle_with(&request_for(plugin, payload), joza);
     resp.blocked || resp.executed < resp.queries.len()
 }
 
@@ -172,8 +171,7 @@ pub fn false_positive_sweep() -> (usize, usize) {
     let mut total = 0usize;
     let mut blocked = 0usize;
     let mut run = |req: HttpRequest| {
-        let mut gate = joza.gate();
-        let resp = lab.server.handle_gated(&req, &mut gate);
+        let resp = lab.server.handle_with(&req, &joza);
         total += 1;
         if resp.blocked || resp.executed < resp.queries.len() {
             blocked += 1;

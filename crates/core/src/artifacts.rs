@@ -1,0 +1,128 @@
+//! Parse-once query artifacts shared by every pipeline stage.
+//!
+//! Before the pipeline refactor each detection path re-derived what it
+//! needed from the raw query string: the model fast path re-lexed to render
+//! a skeleton, NTI re-lexed for critical tokens and re-folded the bytes,
+//! PTI re-lexed inside the analyzer and re-fingerprinted for the structure
+//! cache. [`QueryArtifacts`] computes each derived form **once**, on first
+//! demand, and hands out shared references for the rest of the check; a
+//! stage that never runs never pays for the artifacts it alone would need.
+//!
+//! The struct lives on the stack of one `check` call and borrows the query
+//! text, so its lifetime — and the cache's — is exactly one checked query.
+//! Nothing here is shared across queries (cross-query caching remains the
+//! job of the PTI query/structure caches).
+
+use joza_sqlparse::critical::{critical_tokens, CriticalPolicy};
+use joza_sqlparse::fingerprint::{fingerprint_of, render_skeleton};
+use joza_sqlparse::lexer::lex;
+use joza_sqlparse::token::Token;
+use joza_strmatch::normalize::to_lower;
+use std::borrow::Cow;
+use std::cell::OnceCell;
+
+/// Lazily-computed derived forms of one checked query.
+///
+/// Each accessor computes its artifact on first call and returns the cached
+/// value afterwards. Derivations chain: the skeleton is rendered from the
+/// cached token stream, the fingerprint hashed from the cached skeleton.
+#[derive(Debug)]
+pub struct QueryArtifacts<'q> {
+    query: &'q str,
+    tokens: OnceCell<Vec<Token>>,
+    skeleton: OnceCell<Vec<String>>,
+    fingerprint: OnceCell<u64>,
+    folded: OnceCell<Cow<'q, [u8]>>,
+    criticals: OnceCell<Vec<Token>>,
+}
+
+impl<'q> QueryArtifacts<'q> {
+    /// Wraps a query with an empty artifact cache.
+    pub fn new(query: &'q str) -> Self {
+        QueryArtifacts {
+            query,
+            tokens: OnceCell::new(),
+            skeleton: OnceCell::new(),
+            fingerprint: OnceCell::new(),
+            folded: OnceCell::new(),
+            criticals: OnceCell::new(),
+        }
+    }
+
+    /// The raw query text.
+    pub fn query(&self) -> &'q str {
+        self.query
+    }
+
+    /// The lexed token stream (`joza_sqlparse::lexer::lex`).
+    pub fn tokens(&self) -> &[Token] {
+        self.tokens.get_or_init(|| lex(self.query))
+    }
+
+    /// The uncollapsed skeleton token rendering — the input the route
+    /// models' automata match against.
+    pub fn skeleton(&self) -> &[String] {
+        self.skeleton.get_or_init(|| render_skeleton(self.query, self.tokens()))
+    }
+
+    /// The structural fingerprint (collapsed-skeleton hash) used by the
+    /// PTI structure cache.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| fingerprint_of(self.skeleton()))
+    }
+
+    /// The query bytes in NTI's match normalization: case-folded when
+    /// `normalize` is set, the raw bytes otherwise.
+    ///
+    /// The flag is fixed per engine (it comes from the one `NtiConfig`),
+    /// so the first call's choice is cached for the whole check.
+    pub fn normalized(&self, normalize: bool) -> &[u8] {
+        self.folded.get_or_init(|| {
+            if normalize {
+                to_lower(self.query.as_bytes())
+            } else {
+                Cow::Borrowed(self.query.as_bytes())
+            }
+        })
+    }
+
+    /// The query's critical tokens under `policy`.
+    ///
+    /// Cached under the first caller's policy — in the engine only NTI
+    /// reads this accessor (PTI derives criticals inside its analyzer from
+    /// the shared [`QueryArtifacts::tokens`] stream), so the cache never
+    /// sees two policies in one check.
+    pub fn criticals(&self, policy: &CriticalPolicy) -> &[Token] {
+        self.criticals.get_or_init(|| critical_tokens(self.query, self.tokens(), policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joza_sqlparse::fingerprint::fingerprint;
+
+    #[test]
+    fn artifacts_agree_with_direct_computation() {
+        let q = "SELECT * FROM records WHERE ID=42 LIMIT 5";
+        let a = QueryArtifacts::new(q);
+        assert_eq!(a.tokens(), lex(q).as_slice());
+        assert_eq!(a.fingerprint(), fingerprint(q));
+        assert_eq!(a.normalized(true), to_lower(q.as_bytes()).as_ref());
+        let policy = CriticalPolicy::default();
+        assert_eq!(a.criticals(&policy), critical_tokens(q, &lex(q), &policy).as_slice());
+    }
+
+    #[test]
+    fn accessors_are_idempotent() {
+        let a = QueryArtifacts::new("SELECT 1");
+        let fp1 = a.fingerprint();
+        let t1 = a.tokens().len();
+        assert_eq!(a.fingerprint(), fp1);
+        assert_eq!(a.tokens().len(), t1);
+        // The unnormalized variant sticks after the first call.
+        let b = QueryArtifacts::new("SELECT A");
+        assert_eq!(b.normalized(false), b"SELECT A");
+        assert_eq!(b.normalized(true), b"SELECT A");
+    }
+}

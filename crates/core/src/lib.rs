@@ -14,28 +14,38 @@
 //!   application happens to contain) appear near-verbatim in the query and
 //!   get caught by NTI.
 //!
-//! The crate exposes three API layers:
+//! # The check pipeline
 //!
-//! * [`Joza`] + [`JozaSession`] — direct library use: capture inputs,
-//!   check queries;
-//! * [`Joza`] as a [`joza_webapp::gate::GateFactory`] — the multi-worker
-//!   server integration: one engine hands an independent
-//!   [`JozaGateSession`] to each request (the legacy
-//!   [`JozaGate`]/[`joza_webapp::gate::QueryGate`] adapter remains for
-//!   single-worker callers);
-//! * [`Joza::install`] — the installer: extract string fragments from
-//!   every source file of a [`WebApp`].
+//! Every check drives one fixed [`pipeline`] of stages — static fast path,
+//! model fast path, NTI, PTI, structural anomaly — assembled at build time
+//! from the [`JozaConfig`]. Derived query forms (token stream, skeleton,
+//! fingerprint, folded bytes) are computed **once** per checked query in a
+//! [`QueryArtifacts`] cache shared by all stages, and every [`Verdict`]
+//! carries a per-stage [`StageTrace`] recording which stages ran,
+//! short-circuited, or fired. See `DESIGN.md` §9.
+//!
+//! The API surface is one session type:
+//!
+//! * [`Joza`] + [`JozaSession`] — capture inputs, check queries; the same
+//!   type serves direct library use and, through the
+//!   [`joza_webapp::gate::GateFactory`] impl on [`Joza`], the multi-worker
+//!   server integration;
+//! * [`Joza::install`] / [`Joza::installer`] — the installer: extract
+//!   string fragments from every source file of a [`WebApp`];
+//! * [`shim`] — the deprecated legacy [`joza_webapp::gate::QueryGate`]
+//!   adapter, kept only for old integrations and equivalence testing.
 //!
 //! # Concurrency
 //!
 //! The engine is **lock-sharded** (see `DESIGN.md` §6). The read-mostly
-//! side — fragment store, compiled matchers, NTI analyzer, config — is
-//! shared and consulted through `&self` with no lock. The mutable side —
-//! PTI daemon clients, per-shard statistics — lives in per-worker shards
-//! selected by a thread-local worker id, with a [`SharedQueryCache`] read
-//! layer spanning all shards. `check_query` runs NTI entirely outside any
-//! lock and only locks the calling worker's own shard for PTI, so N
-//! workers proceed in parallel instead of serializing on one global mutex.
+//! side — fragment store, compiled matchers, NTI analyzer, config, query
+//! models — is shared and consulted through `&self` with no lock. The
+//! mutable side — PTI daemon clients, per-shard statistics — lives in
+//! per-worker shards selected by a thread-local worker id, with a
+//! [`SharedQueryCache`] read layer spanning all shards. The NTI stage runs
+//! entirely outside any lock; only the PTI stage and the final stats
+//! record take the calling worker's own shard lock, so N workers proceed
+//! in parallel instead of serializing on one global mutex.
 //!
 //! # Examples
 //!
@@ -54,7 +64,14 @@
 //! assert!(!verdict.is_safe());
 //! ```
 
+pub mod artifacts;
+pub mod pipeline;
+pub mod shim;
+
+pub use artifacts::QueryArtifacts;
 pub use joza_nti::MatchKernel;
+pub use pipeline::{StageId, StageStatus, StageTrace, STAGE_COUNT};
+
 use joza_nti::{NtiAnalyzer, NtiConfig};
 use joza_phpsim::fragments::FragmentSet;
 use joza_pti::cache::CacheStats;
@@ -62,11 +79,13 @@ use joza_pti::daemon::{PtiComponent, PtiComponentConfig};
 use joza_pti::{FragmentStore, SharedQueryCache};
 pub use joza_sqlparse::template::{QueryModelIndex, RouteModel};
 use joza_webapp::app::WebApp;
-use joza_webapp::gate::{GateDecision, GateFactory, GateSession, QueryGate, RawInput};
+use joza_webapp::gate::{GateDecision, GateFactory, GateSession, RawInput};
 use parking_lot::Mutex;
+use pipeline::{CheckCx, CheckPipeline};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What Joza does when an attack is detected (§IV-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,9 +165,13 @@ pub enum Detector {
     Structural,
 }
 
-/// How a query's verdict was reached.
+/// How a query's verdict was reached — a summary view derived from the
+/// verdict's [`StageTrace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckPath {
+    /// The route was proven taint-free by the static analyzer: every
+    /// detection stage was skipped.
+    StaticFastPath,
     /// The route's static query model accepted the query's skeleton:
     /// NTI/PTI were skipped entirely.
     ModelFastPath,
@@ -169,7 +192,7 @@ pub struct Verdict {
     detected_by: Option<Detector>,
     nti_attack: Option<bool>,
     pti_attack: Option<bool>,
-    path: CheckPath,
+    trace: StageTrace,
     structural_anomaly: bool,
 }
 
@@ -184,22 +207,33 @@ impl Verdict {
         self.detected_by
     }
 
-    /// NTI's raw verdict (`None` when NTI is disabled or the model fast
-    /// path skipped it).
+    /// NTI's raw verdict (`None` when NTI is disabled or a fast path
+    /// skipped it).
     pub fn nti_attack(&self) -> Option<bool> {
         self.nti_attack
     }
 
-    /// PTI's raw verdict (`None` when PTI is disabled or the model fast
-    /// path skipped it).
+    /// PTI's raw verdict (`None` when PTI is disabled or a fast path
+    /// skipped it).
     pub fn pti_attack(&self) -> Option<bool> {
         self.pti_attack
     }
 
-    /// Whether the verdict came from the static-model fast path or the
-    /// dynamic NTI/PTI pipeline.
+    /// Summary of how the verdict was reached, derived from the trace.
     pub fn path(&self) -> CheckPath {
-        self.path
+        if self.trace.status(StageId::ModelFastPath) == StageStatus::ShortCircuited {
+            CheckPath::ModelFastPath
+        } else if self.trace.status(StageId::StaticFastPath) == StageStatus::ShortCircuited {
+            CheckPath::StaticFastPath
+        } else {
+            CheckPath::Dynamic
+        }
+    }
+
+    /// The per-stage provenance trace: what every pipeline stage did for
+    /// this query.
+    pub fn trace(&self) -> &StageTrace {
+        &self.trace
     }
 
     /// True when the route has a *complete* static query model and this
@@ -212,6 +246,11 @@ impl Verdict {
 }
 
 /// Cumulative engine statistics.
+///
+/// The three path counters partition the checks:
+/// `model_fast_hits + static_hits + full_checks == queries` holds by
+/// construction — each check increments exactly one of them, under the
+/// same shard lock as `queries`, from the verdict's stage trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JozaStats {
     /// Queries checked.
@@ -222,14 +261,37 @@ pub struct JozaStats {
     pub nti_detections: u64,
     /// Queries PTI flagged.
     pub pti_detections: u64,
-    /// Wall-clock time spent in NTI.
+    /// Wall-clock time spent in the NTI stage.
     pub nti_time: Duration,
-    /// Wall-clock time spent in PTI (including daemon round-trips).
+    /// Wall-clock time spent in the PTI stage (daemon round-trips and
+    /// shard-lock acquisition included).
     pub pti_time: Duration,
     /// Queries answered by the static-model fast path (NTI/PTI skipped).
     pub model_fast_hits: u64,
+    /// Queries answered by the static-analysis fast path (route proven
+    /// taint-free; every detection stage skipped).
+    pub static_hits: u64,
+    /// Queries that ran the full dynamic pipeline.
+    pub full_checks: u64,
     /// Queries that fell outside a complete static query model.
     pub model_anomalies: u64,
+    /// Route-scoped checks ([`Joza::check_query_on_route`]) whose route
+    /// was unknown to the engine's route-keyed knowledge — neither in the
+    /// installed model index nor in the statically-proven taint-free set
+    /// (the check silently fell back to the fully dynamic pipeline). Zero
+    /// on engines without models or proven routes.
+    pub route_misses: u64,
+    /// Per-stage run counts, indexed by [`StageId::index`]: how many
+    /// checks each stage actually ran for (short-circuits and fires
+    /// included).
+    pub stage_runs: [u64; STAGE_COUNT],
+    /// Per-stage hit counts, indexed by [`StageId::index`]: checks where
+    /// the stage short-circuited (fast paths) or fired (detectors,
+    /// structural signal).
+    pub stage_hits: [u64; STAGE_COUNT],
+    /// Per-stage cumulative wall-clock nanoseconds, indexed by
+    /// [`StageId::index`].
+    pub stage_ns: [u64; STAGE_COUNT],
 }
 
 impl JozaStats {
@@ -241,7 +303,15 @@ impl JozaStats {
         self.nti_time += other.nti_time;
         self.pti_time += other.pti_time;
         self.model_fast_hits += other.model_fast_hits;
+        self.static_hits += other.static_hits;
+        self.full_checks += other.full_checks;
         self.model_anomalies += other.model_anomalies;
+        self.route_misses += other.route_misses;
+        for i in 0..STAGE_COUNT {
+            self.stage_runs[i] += other.stage_runs[i];
+            self.stage_hits[i] += other.stage_hits[i];
+            self.stage_ns[i] += other.stage_ns[i];
+        }
     }
 }
 
@@ -265,13 +335,13 @@ fn worker_index(shards: usize) -> usize {
 
 /// The Joza engine — shareable across worker threads by reference.
 ///
-/// The fragment store, NTI analyzer and configuration form the read-only
-/// side (no lock); PTI daemon clients and statistics are sharded
-/// per-worker (see the crate docs), with safe-query knowledge shared
-/// through a [`SharedQueryCache`].
+/// The fragment store, NTI analyzer, configuration, query models and the
+/// assembled [`pipeline`] form the read-only side (no lock); PTI daemon
+/// clients and statistics are sharded per-worker (see the crate docs),
+/// with safe-query knowledge shared through a [`SharedQueryCache`].
 pub struct Joza {
-    config: JozaConfig,
-    nti: NtiAnalyzer,
+    pub(crate) config: JozaConfig,
+    pub(crate) nti: NtiAnalyzer,
     store: Arc<FragmentStore>,
     shared_query_cache: Option<Arc<SharedQueryCache>>,
     shards: Box<[OnceLock<Mutex<Shard>>]>,
@@ -279,6 +349,10 @@ pub struct Joza {
     /// Per-route static query models (read-only after build; consulted
     /// through `&self` with no lock, like the NTI side).
     models: Option<Arc<QueryModelIndex>>,
+    /// Routes proven taint-free by the static analyzer: the static fast
+    /// path's whitelist.
+    pub(crate) taint_free: Option<BTreeSet<String>>,
+    checks: CheckPipeline,
 }
 
 impl std::fmt::Debug for Joza {
@@ -286,6 +360,7 @@ impl std::fmt::Debug for Joza {
         f.debug_struct("Joza")
             .field("fragments", &self.fragment_count)
             .field("shards", &self.shards.len())
+            .field("pipeline", &self.checks)
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
@@ -297,14 +372,23 @@ impl Joza {
         JozaBuilder::default()
     }
 
-    /// The installer (§IV-A): extracts string fragments from every source
-    /// file reachable in the application and builds an engine over them.
-    pub fn install(app: &WebApp, config: JozaConfig) -> Joza {
+    /// The installer (§IV-A) as a builder: extracts string fragments from
+    /// every source file reachable in the application and returns a
+    /// [`JozaBuilder`] preloaded with them, so callers can attach query
+    /// models, a taint-free whitelist, or kernel overrides before
+    /// building.
+    pub fn installer(app: &WebApp, config: JozaConfig) -> JozaBuilder {
         let mut set = FragmentSet::new();
         for src in app.all_sources() {
             set.add_source(src);
         }
-        Joza::builder().fragment_set(&set).config(config).build()
+        Joza::builder().fragment_set(&set).config(config)
+    }
+
+    /// The installer (§IV-A): extracts string fragments from every source
+    /// file reachable in the application and builds an engine over them.
+    pub fn install(app: &WebApp, config: JozaConfig) -> Joza {
+        Joza::installer(app, config).build()
     }
 
     /// The installer plus static query models: like [`Joza::install`],
@@ -312,11 +396,7 @@ impl Joza {
     /// `joza_sast::app_query_models`) into the gate, enabling the
     /// skeleton fast path and the structural-anomaly signal.
     pub fn install_with_models(app: &WebApp, config: JozaConfig, models: QueryModelIndex) -> Joza {
-        let mut set = FragmentSet::new();
-        for src in app.all_sources() {
-            set.add_source(src);
-        }
-        Joza::builder().fragment_set(&set).config(config).query_models(models).build()
+        Joza::installer(app, config).query_models(models).build()
     }
 
     /// The engine configuration.
@@ -368,25 +448,25 @@ impl Joza {
     /// Starts an analysis session (captures inputs for NTI, then checks
     /// queries) with no route context.
     pub fn session(&self) -> JozaSession<'_> {
-        JozaSession { joza: self, inputs: Vec::new(), model: None }
+        JozaSession { joza: self, route: None, model: None, inputs: Vec::new() }
     }
 
     /// Starts an analysis session scoped to `route`: checks go through
-    /// the route's static query model when one is installed.
+    /// the route's fast paths (taint-free whitelist, static query model)
+    /// when the engine has them installed.
     pub fn session_for(&self, route: &str) -> JozaSession<'_> {
-        JozaSession { joza: self, inputs: Vec::new(), model: self.model_for(route) }
-    }
-
-    /// Wraps the engine as a legacy [`QueryGate`] for single-worker
-    /// callers; multi-worker servers use the [`GateFactory`] impl instead.
-    pub fn gate(&self) -> JozaGate<'_> {
-        JozaGate { joza: self, inputs: Vec::new(), model: None }
+        JozaSession {
+            joza: self,
+            route: Some(route.to_string()),
+            model: self.model_for(route),
+            inputs: Vec::new(),
+        }
     }
 
     /// The calling worker's shard, initialized on first touch. Lazy
     /// initialization means an engine serving one thread runs exactly one
     /// PTI component (and one daemon), however many shards are configured.
-    fn shard(&self) -> &Mutex<Shard> {
+    pub(crate) fn shard(&self) -> &Mutex<Shard> {
         let cell = &self.shards[worker_index(self.shards.len())];
         cell.get_or_init(|| {
             Mutex::new(Shard {
@@ -403,14 +483,15 @@ impl Joza {
     /// Checks one query against a set of captured raw inputs, with no
     /// route context (never consults the static query models).
     pub fn check_query(&self, inputs: &[&str], query: &str) -> Verdict {
-        self.check_with_model(None, inputs, query)
+        self.check_on(None, None, inputs, query)
     }
 
-    /// Checks one query on a named route: the route's static query model
-    /// (when installed and applicable) supplies the fast path and the
-    /// structural-anomaly signal.
+    /// Checks one query on a named route: the route's fast paths (when
+    /// installed and applicable) run first; an unknown route is recorded
+    /// as a [`JozaStats::route_misses`] and falls back to the fully
+    /// dynamic pipeline.
     pub fn check_query_on_route(&self, route: &str, inputs: &[&str], query: &str) -> Verdict {
-        self.check_with_model(self.model_for(route), inputs, query)
+        self.check_on(Some(route), self.model_for(route), inputs, query)
     }
 
     /// The installed static query models, if any.
@@ -423,97 +504,112 @@ impl Joza {
         self.models.as_deref().and_then(|m| m.get(route))
     }
 
-    fn check_with_model(
+    /// The one check entry point: every session, gate and legacy-shim
+    /// check funnels here and drives the assembled pipeline.
+    pub(crate) fn check_on(
         &self,
+        route: Option<&str>,
         model: Option<&RouteModel>,
         inputs: &[&str],
         query: &str,
     ) -> Verdict {
         joza_phpsim::cost::simulate(self.config.wrapper_cost);
 
-        // Static-model fast path: a skeleton the route's automaton
-        // accepts confines every dynamic value to a single data literal,
-        // so no token-level injection can be present — NTI and PTI are
-        // skipped entirely (see DESIGN.md §8 for the soundness argument).
-        if let Some(m) = model {
-            if m.accepts(query) {
-                let mut guard = self.shard().lock();
-                let shard = &mut *guard;
-                shard.stats.queries += 1;
-                shard.stats.model_fast_hits += 1;
-                return Verdict {
-                    safe: true,
-                    detected_by: None,
-                    nti_attack: None,
-                    pti_attack: None,
-                    path: CheckPath::ModelFastPath,
-                    structural_anomaly: false,
-                };
-            }
-        }
-        // Only a *complete* model may read a mismatch as a structural
-        // anomaly; an incomplete one merely forfeits the fast path.
-        let structural_anomaly = model.is_some_and(|m| m.complete);
+        // A route-scoped check on an engine with route knowledge (models
+        // or statically-proven routes), for a route known to neither:
+        // silent fallback to dynamic, but counted.
+        let route_miss = route.is_some_and(|r| {
+            let has_route_knowledge = self.models.is_some() || self.taint_free.is_some();
+            let static_known = self.taint_free.as_ref().is_some_and(|t| t.contains(r));
+            has_route_knowledge && model.is_none() && !static_known
+        });
 
-        // NTI is pure over shared state: run it before taking any lock so
-        // workers never serialize on the edit-distance pass.
-        let (nti_attack, nti_time) = if self.config.disable_nti {
-            (None, Duration::ZERO)
-        } else {
-            let t0 = Instant::now();
-            let report = self.nti.analyze(inputs, query);
-            (Some(report.is_attack()), t0.elapsed())
+        let artifacts = QueryArtifacts::new(query);
+        let mut cx = CheckCx {
+            route,
+            model,
+            inputs,
+            artifacts: &artifacts,
+            nti_attack: None,
+            pti_attack: None,
+            structural_anomaly: false,
+            trace: StageTrace::default(),
+            stage_ns: [0; STAGE_COUNT],
         };
+        self.checks.run(self, &mut cx);
 
-        let mut guard = self.shard().lock();
-        let shard = &mut *guard;
-        let pti_attack = if self.config.disable_pti {
-            None
-        } else {
-            let t0 = Instant::now();
-            let decision = shard.pti.check(query);
-            shard.stats.pti_time += t0.elapsed();
-            Some(!decision.safe)
-        };
-        shard.stats.nti_time += nti_time;
-
-        let mut detected_by = match (nti_attack, pti_attack) {
+        let mut detected_by = match (cx.nti_attack, cx.pti_attack) {
             (Some(true), Some(true)) => Some(Detector::Both),
             (Some(true), _) => Some(Detector::Nti),
             (_, Some(true)) => Some(Detector::Pti),
             _ => None,
         };
-        if detected_by.is_none() && structural_anomaly && self.config.block_on_structural_anomaly {
+        if detected_by.is_none() && cx.structural_anomaly && self.config.block_on_structural_anomaly
+        {
             detected_by = Some(Detector::Structural);
         }
-        shard.stats.queries += 1;
-        if structural_anomaly {
-            shard.stats.model_anomalies += 1;
-        }
-        if nti_attack == Some(true) {
-            shard.stats.nti_detections += 1;
-        }
-        if pti_attack == Some(true) {
-            shard.stats.pti_detections += 1;
-        }
-        if detected_by.is_some() {
-            shard.stats.attacks += 1;
-        }
-        Verdict {
+        let verdict = Verdict {
             safe: detected_by.is_none(),
             detected_by,
-            nti_attack,
-            pti_attack,
-            path: CheckPath::Dynamic,
-            structural_anomaly,
-        }
+            nti_attack: cx.nti_attack,
+            pti_attack: cx.pti_attack,
+            trace: cx.trace,
+            structural_anomaly: cx.structural_anomaly,
+        };
+        self.record(&cx, &verdict, route_miss);
+        verdict
     }
 
-    fn begin_request_inner(&self) {
+    /// Finalizes one check's statistics under a single shard-lock
+    /// acquisition, from the stage trace alone — the one place every
+    /// counter is incremented, which is what makes the path partition
+    /// (`model_fast_hits + static_hits + full_checks == queries`) drift-
+    /// free by construction.
+    fn record(&self, cx: &CheckCx<'_, '_>, verdict: &Verdict, route_miss: bool) {
+        let mut guard = self.shard().lock();
+        let stats = &mut guard.stats;
+        stats.queries += 1;
+        for id in StageId::ALL {
+            let i = id.index();
+            stats.stage_ns[i] += cx.stage_ns[i];
+            match cx.trace.status(id) {
+                StageStatus::Skipped => {}
+                StageStatus::Passed => stats.stage_runs[i] += 1,
+                StageStatus::ShortCircuited | StageStatus::Fired => {
+                    stats.stage_runs[i] += 1;
+                    stats.stage_hits[i] += 1;
+                }
+            }
+        }
+        match verdict.path() {
+            CheckPath::ModelFastPath => stats.model_fast_hits += 1,
+            CheckPath::StaticFastPath => stats.static_hits += 1,
+            CheckPath::Dynamic => stats.full_checks += 1,
+        }
+        if route_miss {
+            stats.route_misses += 1;
+        }
+        if cx.structural_anomaly {
+            stats.model_anomalies += 1;
+        }
+        if cx.nti_attack == Some(true) {
+            stats.nti_detections += 1;
+        }
+        if cx.pti_attack == Some(true) {
+            stats.pti_detections += 1;
+        }
+        if !verdict.safe {
+            stats.attacks += 1;
+        }
+        stats.nti_time += Duration::from_nanos(cx.stage_ns[StageId::Nti.index()]);
+        stats.pti_time += Duration::from_nanos(cx.stage_ns[StageId::Pti.index()]);
+    }
+
+    pub(crate) fn begin_request_inner(&self) {
         self.shard().lock().pti.begin_request();
     }
 
-    fn decide(&self, verdict: &Verdict) -> GateDecision {
+    pub(crate) fn decide(&self, verdict: &Verdict) -> GateDecision {
         if verdict.is_safe() {
             GateDecision::Allow
         } else {
@@ -560,6 +656,7 @@ pub struct JozaBuilder {
     fragments: Vec<String>,
     config: JozaConfig,
     models: Option<QueryModelIndex>,
+    taint_free: Option<BTreeSet<String>>,
 }
 
 impl JozaBuilder {
@@ -598,6 +695,21 @@ impl JozaBuilder {
         self
     }
 
+    /// Installs the static fast path: requests on these routes — proven
+    /// taint-free by the static analyzer (`joza_sast::taint_free_routes`)
+    /// — are allowed without running any detection stage.
+    #[must_use]
+    pub fn taint_free_routes<I, S>(mut self, routes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.taint_free
+            .get_or_insert_with(BTreeSet::new)
+            .extend(routes.into_iter().map(|r| r.as_ref().to_string()));
+        self
+    }
+
     /// Selects the NTI approximate-matching kernel (§III-A hot path).
     ///
     /// Both kernels produce bit-identical verdicts and taint spans;
@@ -614,9 +726,10 @@ impl JozaBuilder {
     ///
     /// Rejects configurations that cannot protect anything
     /// ([`JozaBuildError::AllDetectorsDisabled`]) or that would flag all
-    /// traffic ([`JozaBuildError::EmptyPtiVocabulary`]). The per-worker
-    /// PTI components (and their daemons) spawn lazily, on each worker's
-    /// first check.
+    /// traffic ([`JozaBuildError::EmptyPtiVocabulary`]). The check
+    /// pipeline is assembled here, once: stages for disabled or absent
+    /// subsystems are left out. The per-worker PTI components (and their
+    /// daemons) spawn lazily, on each worker's first check.
     pub fn try_build(self) -> Result<Joza, JozaBuildError> {
         if self.config.disable_nti && self.config.disable_pti {
             return Err(JozaBuildError::AllDetectorsDisabled);
@@ -634,6 +747,12 @@ impl JozaBuilder {
         } else {
             self.config.shards
         };
+        let checks = CheckPipeline::assemble(
+            self.taint_free.is_some(),
+            self.models.is_some(),
+            self.config.disable_nti,
+            self.config.disable_pti,
+        );
         Ok(Joza {
             config: self.config,
             nti,
@@ -642,6 +761,8 @@ impl JozaBuilder {
             shards: (0..shard_count).map(|_| OnceLock::new()).collect(),
             fragment_count,
             models: self.models.map(Arc::new),
+            taint_free: self.taint_free,
+            checks,
         })
     }
 
@@ -655,12 +776,21 @@ impl JozaBuilder {
     }
 }
 
-/// A library-level analysis session: collected inputs + query checks.
+/// The unified analysis session: collected inputs + query checks, scoped
+/// to an optional route.
+///
+/// One type serves every integration level. Library callers open it with
+/// [`Joza::session`] / [`Joza::session_for`] and read full [`Verdict`]s
+/// from [`JozaSession::check`]; the [`GateFactory`] impl on [`Joza`] boxes
+/// the same type as a [`GateSession`] (whose trait `check` collapses the
+/// verdict to a [`GateDecision`] under the engine's recovery policy) for
+/// `joza_webapp::Server::handle_with`.
 #[derive(Debug)]
 pub struct JozaSession<'a> {
     joza: &'a Joza,
-    inputs: Vec<(String, String)>,
+    route: Option<String>,
     model: Option<&'a RouteModel>,
+    inputs: Vec<(String, String)>,
 }
 
 impl JozaSession<'_> {
@@ -675,74 +805,30 @@ impl JozaSession<'_> {
     }
 
     /// Checks a query against the captured inputs (and the session's
-    /// route model, for sessions opened with [`Joza::session_for`]).
+    /// route context, for sessions opened with [`Joza::session_for`]).
     pub fn check(&self, query: &str) -> Verdict {
         let refs: Vec<&str> = self.inputs.iter().map(|(_, v)| v.as_str()).collect();
-        self.joza.check_with_model(self.model, &refs, query)
+        self.joza.check_on(self.route.as_deref(), self.model, &refs, query)
     }
 }
 
-/// Legacy [`QueryGate`] adapter: plugs Joza into `joza_webapp::Server`
-/// for single-worker callers. Multi-worker servers should use the
-/// [`GateFactory`] impl on [`Joza`] itself.
-pub struct JozaGate<'a> {
-    joza: &'a Joza,
-    inputs: Vec<String>,
-    model: Option<&'a RouteModel>,
-}
-
-impl std::fmt::Debug for JozaGate<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JozaGate").field("inputs", &self.inputs.len()).finish()
-    }
-}
-
-impl QueryGate for JozaGate<'_> {
-    fn begin_route(&mut self, route: &str) {
-        self.model = self.joza.model_for(route);
-    }
-
-    fn begin_request(&mut self, inputs: &[RawInput]) {
-        self.inputs = inputs.iter().map(|i| i.value.clone()).collect();
-        self.joza.begin_request_inner();
-    }
-
+impl GateSession for JozaSession<'_> {
     fn check(&mut self, sql: &str) -> GateDecision {
-        let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
-        let verdict = self.joza.check_with_model(self.model, &refs, sql);
-        self.joza.decide(&verdict)
-    }
-}
-
-/// One request's gate session on a shared [`Joza`] engine, created by the
-/// [`GateFactory`] impl with the request's raw inputs already captured.
-pub struct JozaGateSession<'a> {
-    joza: &'a Joza,
-    inputs: Vec<String>,
-    model: Option<&'a RouteModel>,
-}
-
-impl std::fmt::Debug for JozaGateSession<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JozaGateSession").field("inputs", &self.inputs.len()).finish()
-    }
-}
-
-impl GateSession for JozaGateSession<'_> {
-    fn check(&mut self, sql: &str) -> GateDecision {
-        let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
-        let verdict = self.joza.check_with_model(self.model, &refs, sql);
+        let verdict = JozaSession::check(self, sql);
         self.joza.decide(&verdict)
     }
 }
 
 impl GateFactory for Joza {
     fn session<'a>(&'a self, route: &str, inputs: &[RawInput]) -> Box<dyn GateSession + 'a> {
-        let values = inputs.iter().map(|i| i.value.clone()).collect();
         // Per-request PTI lifecycle (daemon spawn in PerRequest mode) on
         // the calling worker's shard.
         self.begin_request_inner();
-        Box::new(JozaGateSession { joza: self, inputs: values, model: self.model_for(route) })
+        let mut session = self.session_for(route);
+        for input in inputs {
+            session.capture_input(&input.name, &input.value);
+        }
+        Box::new(session)
     }
 }
 
@@ -774,6 +860,8 @@ mod tests {
         let v = j.check_query(&[payload], &q);
         assert!(!v.is_safe());
         assert_eq!(v.detector(), Some(Detector::Both));
+        assert_eq!(v.trace().status(StageId::Nti), StageStatus::Fired);
+        assert_eq!(v.trace().status(StageId::Pti), StageStatus::Fired);
     }
 
     #[test]
@@ -813,11 +901,13 @@ mod tests {
         let v = nti_only.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
         assert!(v.pti_attack().is_none());
         assert!(v.nti_attack().is_some());
+        assert!(!v.trace().ran(StageId::Pti), "disabled PTI stage must stay Skipped");
 
         let pti_only = Joza::builder().fragments(FRAGS).config(JozaConfig::pti_only()).build();
         let v = pti_only.check_query(&["42"], "SELECT * FROM records WHERE ID=42 LIMIT 5");
         assert!(v.nti_attack().is_none());
         assert!(v.pti_attack().is_some());
+        assert!(!v.trace().ran(StageId::Nti), "disabled NTI stage must stay Skipped");
     }
 
     #[test]
@@ -868,6 +958,22 @@ mod tests {
         assert_eq!(st.attacks, 1);
         assert!(st.nti_detections >= 1);
         assert!(st.pti_detections >= 1);
+        assert_eq!(st.full_checks, 2);
+        assert_eq!(st.stage_runs[StageId::Nti.index()], 2);
+        assert_eq!(st.stage_hits[StageId::Nti.index()], 1);
+    }
+
+    #[test]
+    fn path_counters_partition_checks() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let mut s = j.session_for("records");
+        s.capture_input("id", "42");
+        s.check("SELECT * FROM records WHERE ID=42 LIMIT 5"); // model fast path
+        s.check("SELECT * FROM records WHERE ID=42"); // dynamic (skeleton mismatch)
+        j.check_query(&["1"], "SELECT * FROM records WHERE ID=1 LIMIT 5"); // dynamic
+        let st = j.stats();
+        assert_eq!(st.model_fast_hits + st.static_hits + st.full_checks, st.queries);
+        assert_eq!((st.model_fast_hits, st.static_hits, st.full_checks), (1, 0, 2));
     }
 
     #[test]
@@ -897,6 +1003,7 @@ mod tests {
         let st = j.stats();
         assert_eq!(st.queries, 40);
         assert_eq!(st.attacks, 0);
+        assert_eq!(st.full_checks, 40);
     }
 
     #[test]
@@ -923,32 +1030,6 @@ mod tests {
         assert!(j.fragment_count() >= 3);
         let v = j.check_query(&["7"], "SELECT * FROM data WHERE ID=7");
         assert!(v.is_safe(), "{v:?}");
-    }
-
-    #[test]
-    fn gate_enforces_recovery_policy() {
-        let j = joza();
-        let mut gate = j.gate();
-        gate.begin_request(&[]);
-        assert_eq!(gate.check("SELECT * FROM records WHERE ID=1 LIMIT 5"), GateDecision::Allow);
-        assert_eq!(
-            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
-            GateDecision::Terminate
-        );
-
-        let j2 = Joza::builder()
-            .fragments(FRAGS)
-            .config(JozaConfig {
-                recovery: RecoveryPolicy::ErrorVirtualization,
-                ..JozaConfig::optimized()
-            })
-            .build();
-        let mut gate = j2.gate();
-        gate.begin_request(&[]);
-        assert_eq!(
-            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
-            GateDecision::ErrorVirtualize
-        );
     }
 
     fn demo_models() -> QueryModelIndex {
@@ -979,6 +1060,9 @@ mod tests {
         assert_eq!(v.path(), CheckPath::ModelFastPath);
         assert_eq!(v.nti_attack(), None, "NTI must be skipped on the fast path");
         assert_eq!(v.pti_attack(), None, "PTI must be skipped on the fast path");
+        assert_eq!(v.trace().status(StageId::ModelFastPath), StageStatus::ShortCircuited);
+        assert!(!v.trace().ran(StageId::Nti));
+        assert!(!v.trace().ran(StageId::Pti));
         assert_eq!(j.stats().model_fast_hits, 1);
         assert_eq!(j.stats().queries, 1);
     }
@@ -994,6 +1078,8 @@ mod tests {
         assert_eq!(v.path(), CheckPath::Dynamic);
         assert!(v.structural_anomaly(), "complete model must flag the deformed skeleton");
         assert_eq!(v.detector(), Some(Detector::Both));
+        assert_eq!(v.trace().status(StageId::ModelFastPath), StageStatus::Passed);
+        assert_eq!(v.trace().status(StageId::Structural), StageStatus::Fired);
         assert_eq!(j.stats().model_fast_hits, 0);
         assert_eq!(j.stats().model_anomalies, 1);
     }
@@ -1056,7 +1142,62 @@ mod tests {
     }
 
     #[test]
-    fn factory_session_and_legacy_gate_use_route_models() {
+    fn unknown_route_records_route_miss_and_falls_back_to_dynamic() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let v = j.check_query_on_route(
+            "no-such-route",
+            &["1"],
+            "SELECT * FROM records WHERE ID=1 LIMIT 5",
+        );
+        // Fallback-to-dynamic pinned: both detectors actually ran.
+        assert!(v.is_safe());
+        assert_eq!(v.path(), CheckPath::Dynamic);
+        assert_eq!(v.nti_attack(), Some(false));
+        assert_eq!(v.pti_attack(), Some(false));
+        assert_eq!(j.stats().route_misses, 1);
+
+        // A known route is not a miss, whether it fast-paths or not.
+        j.check_query_on_route("records", &["1"], "SELECT * FROM records WHERE ID=1 LIMIT 5");
+        assert_eq!(j.stats().route_misses, 1);
+
+        // A route-less check is never a miss.
+        j.check_query(&["1"], "SELECT * FROM records WHERE ID=1 LIMIT 5");
+        assert_eq!(j.stats().route_misses, 1);
+
+        // An engine without models never counts misses: there is no index
+        // the route could be missing from.
+        let plain = joza();
+        plain.check_query_on_route("whatever", &["1"], "SELECT 1");
+        assert_eq!(plain.stats().route_misses, 0);
+    }
+
+    #[test]
+    fn static_fast_path_short_circuits_everything() {
+        let j = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .taint_free_routes(["clean-route"])
+            .build();
+        let payload = "-1 UNION SELECT username()";
+        let q = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+        let v = j.check_query_on_route("clean-route", &[payload], &q);
+        assert!(v.is_safe(), "a proven-taint-free route skips all detection");
+        assert_eq!(v.path(), CheckPath::StaticFastPath);
+        assert_eq!(v.trace().status(StageId::StaticFastPath), StageStatus::ShortCircuited);
+        assert!(!v.trace().ran(StageId::Nti));
+        assert!(!v.trace().ran(StageId::Pti));
+        assert_eq!(j.stats().static_hits, 1);
+
+        // Other routes pass the whitelist stage and run the detectors.
+        let v = j.check_query_on_route("dirty-route", &[payload], &q);
+        assert!(!v.is_safe());
+        assert_eq!(v.trace().status(StageId::StaticFastPath), StageStatus::Passed);
+        let st = j.stats();
+        assert_eq!(st.model_fast_hits + st.static_hits + st.full_checks, st.queries);
+    }
+
+    #[test]
+    fn factory_session_uses_route_models() {
         let j = joza_with_models(JozaConfig::optimized());
         let input = RawInput {
             source: joza_webapp::request::InputSource::Get,
@@ -1068,21 +1209,17 @@ mod tests {
         drop(s);
         assert_eq!(j.stats().model_fast_hits, 1);
 
-        let mut gate = j.gate();
-        gate.begin_route("records");
-        gate.begin_request(&[]);
-        assert_eq!(gate.check("SELECT * FROM records WHERE ID=8 LIMIT 5"), GateDecision::Allow);
-        assert_eq!(j.stats().model_fast_hits, 2);
-        // Attacks never ride the fast path, whichever API generation.
+        // Attacks never ride the fast path.
+        let mut s = GateFactory::session(&j, "records", &[]);
         assert_eq!(
-            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            s.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
             GateDecision::Terminate
         );
-        assert_eq!(j.stats().model_fast_hits, 2);
+        assert_eq!(j.stats().model_fast_hits, 1);
     }
 
     #[test]
-    fn factory_session_matches_legacy_gate() {
+    fn factory_session_enforces_recovery_policy() {
         let j = joza();
         let attack = RawInput {
             source: joza_webapp::request::InputSource::Get,
@@ -1098,5 +1235,18 @@ mod tests {
         drop(s);
         assert_eq!(j.stats().queries, 2);
         assert_eq!(j.stats().attacks, 1);
+
+        let j2 = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig {
+                recovery: RecoveryPolicy::ErrorVirtualization,
+                ..JozaConfig::optimized()
+            })
+            .build();
+        let mut s = GateFactory::session(&j2, "route", &[]);
+        assert_eq!(
+            s.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::ErrorVirtualize
+        );
     }
 }

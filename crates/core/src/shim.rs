@@ -1,0 +1,152 @@
+//! Legacy [`QueryGate`] adapter, kept as a deprecated shim.
+//!
+//! Single-worker callers used to drive the engine through
+//! [`JozaGate`]'s `begin_route` / `begin_request` / `check` handshake.
+//! The unified [`crate::JozaSession`] (plus the
+//! [`joza_webapp::gate::GateFactory`] impl on [`Joza`]) replaces it; the
+//! shim remains so old integrations keep compiling and so the
+//! `pipeline_equivalence` differential test can replay traffic through
+//! both API generations. It contains no detection logic of its own — every
+//! check funnels into the same `CheckPipeline` — and CI rejects any new
+//! use of it outside this module and that test.
+
+#![allow(deprecated)]
+
+use crate::{Joza, RouteModel, Verdict};
+use joza_webapp::gate::{GateDecision, QueryGate, RawInput};
+
+impl Joza {
+    /// Wraps the engine as a legacy [`QueryGate`] for single-worker
+    /// callers.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Joza::session/session_for or the GateFactory impl; \
+                the legacy QueryGate adapter is kept only for equivalence testing"
+    )]
+    pub fn gate(&self) -> JozaGate<'_> {
+        JozaGate { joza: self, route: None, inputs: Vec::new(), model: None }
+    }
+}
+
+/// Legacy [`QueryGate`] adapter: plugs Joza into `joza_webapp::Server`
+/// for single-worker callers via `Server::handle_gated`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Joza::session/session_for or the GateFactory impl; \
+            the legacy QueryGate adapter is kept only for equivalence testing"
+)]
+pub struct JozaGate<'a> {
+    joza: &'a Joza,
+    route: Option<String>,
+    inputs: Vec<String>,
+    model: Option<&'a RouteModel>,
+}
+
+impl std::fmt::Debug for JozaGate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JozaGate").field("inputs", &self.inputs.len()).finish()
+    }
+}
+
+impl JozaGate<'_> {
+    /// Checks one query and returns the full [`Verdict`] (the trait's
+    /// `check` collapses it to a [`GateDecision`]). Exists so the
+    /// differential test can compare verdict provenance, not just
+    /// decisions, across API generations.
+    pub fn check_verdict(&mut self, sql: &str) -> Verdict {
+        let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
+        self.joza.check_on(self.route.as_deref(), self.model, &refs, sql)
+    }
+}
+
+impl QueryGate for JozaGate<'_> {
+    fn begin_route(&mut self, route: &str) {
+        self.route = Some(route.to_string());
+        self.model = self.joza.model_for(route);
+    }
+
+    fn begin_request(&mut self, inputs: &[RawInput]) {
+        self.inputs = inputs.iter().map(|i| i.value.clone()).collect();
+        self.joza.begin_request_inner();
+    }
+
+    fn check(&mut self, sql: &str) -> GateDecision {
+        let verdict = self.check_verdict(sql);
+        self.joza.decide(&verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckPath, JozaConfig, RecoveryPolicy};
+    use joza_sqlparse::template::{QueryModelIndex, QueryTemplate, TemplatePart};
+
+    const FRAGS: &[&str] = &["id", "SELECT * FROM records WHERE ID=", " LIMIT 5"];
+
+    fn joza() -> Joza {
+        Joza::builder().fragments(FRAGS).config(JozaConfig::optimized()).build()
+    }
+
+    #[test]
+    fn gate_enforces_recovery_policy() {
+        let j = joza();
+        let mut gate = j.gate();
+        gate.begin_request(&[]);
+        assert_eq!(gate.check("SELECT * FROM records WHERE ID=1 LIMIT 5"), GateDecision::Allow);
+        assert_eq!(
+            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::Terminate
+        );
+
+        let j2 = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig {
+                recovery: RecoveryPolicy::ErrorVirtualization,
+                ..JozaConfig::optimized()
+            })
+            .build();
+        let mut gate = j2.gate();
+        gate.begin_request(&[]);
+        assert_eq!(
+            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::ErrorVirtualize
+        );
+    }
+
+    #[test]
+    fn legacy_gate_uses_route_models_and_matches_session_verdicts() {
+        let t = QueryTemplate {
+            parts: vec![
+                TemplatePart::Lit("SELECT * FROM records WHERE ID=".to_string()),
+                TemplatePart::Hole,
+                TemplatePart::Lit(" LIMIT 5".to_string()),
+            ],
+        };
+        let mut ix = QueryModelIndex::new();
+        ix.insert("records", crate::RouteModel::build(&[Some(vec![t])]));
+        let j = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .query_models(ix)
+            .build();
+
+        let mut gate = j.gate();
+        gate.begin_route("records");
+        gate.begin_request(&[]);
+        let v = gate.check_verdict("SELECT * FROM records WHERE ID=8 LIMIT 5");
+        assert_eq!(v.path(), CheckPath::ModelFastPath);
+        assert_eq!(j.stats().model_fast_hits, 1);
+
+        // Same check through the unified session: identical verdict.
+        let s = j.session_for("records");
+        assert_eq!(s.check("SELECT * FROM records WHERE ID=8 LIMIT 5"), v);
+
+        // Attacks never ride the fast path through the legacy adapter.
+        assert_eq!(
+            gate.check("SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5"),
+            GateDecision::Terminate
+        );
+        assert_eq!(j.stats().model_fast_hits, 2);
+    }
+}

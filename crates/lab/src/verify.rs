@@ -7,7 +7,7 @@
 //! with a Joza gate installed to decide "detected / not detected".
 
 use crate::corpus::{Exploit, VulnPlugin};
-use joza_webapp::gate::QueryGate;
+use joza_webapp::gate::GateFactory;
 use joza_webapp::request::HttpRequest;
 use joza_webapp::server::{Response, Server};
 
@@ -37,14 +37,15 @@ pub fn run_plain(server: &mut Server, plugin: &VulnPlugin, value: &str) -> Respo
     server.handle(&request_for(plugin, value))
 }
 
-/// Runs the plugin behind a protection gate.
+/// Runs the plugin behind a protection engine: every query of the request
+/// goes through a gate session opened on `factory`.
 pub fn run_gated(
     server: &mut Server,
     plugin: &VulnPlugin,
     value: &str,
-    gate: &mut dyn QueryGate,
+    factory: &dyn GateFactory,
 ) -> Response {
-    server.handle_gated(&request_for(plugin, value), gate)
+    server.handle_with(&request_for(plugin, value), factory)
 }
 
 /// Verifies that the plugin's shipped exploit works against the
@@ -60,11 +61,11 @@ pub fn exploit_effect_observed(
     server: &mut Server,
     plugin: &VulnPlugin,
     exploit: &Exploit,
-    mut gate: Option<&mut dyn QueryGate>,
+    gate: Option<&dyn GateFactory>,
 ) -> bool {
     let mut run = |value: &str| -> Response {
-        match gate.as_deref_mut() {
-            Some(g) => run_gated(server, plugin, value, g),
+        match gate {
+            Some(f) => run_gated(server, plugin, value, f),
             None => run_plain(server, plugin, value),
         }
     };
@@ -94,9 +95,9 @@ pub fn attack_detected(
     server: &mut Server,
     plugin: &VulnPlugin,
     payload: &str,
-    gate: &mut dyn QueryGate,
+    factory: &dyn GateFactory,
 ) -> bool {
-    let resp = run_gated(server, plugin, payload, gate);
+    let resp = run_gated(server, plugin, payload, factory);
     resp.blocked || resp.executed < resp.queries.len()
 }
 

@@ -121,6 +121,22 @@ impl NtiReport {
     }
 }
 
+/// A parse-once view of the query under analysis: the artifacts
+/// [`NtiAnalyzer::analyze`] would otherwise recompute per call (lexing,
+/// critical-token extraction, case folding), precomputed by the caller
+/// and shared with the other detection stages.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryView<'q> {
+    /// The original query text.
+    pub query: &'q str,
+    /// Critical tokens of `query` under the analyzer's
+    /// [`NtiConfig::critical`] policy.
+    pub criticals: &'q [Token],
+    /// The query bytes in the analyzer's match normalization: case-folded
+    /// when [`NtiConfig::normalize_case`] is set, raw otherwise.
+    pub normalized: &'q [u8],
+}
+
 /// The NTI analysis component.
 #[derive(Debug, Clone, Default)]
 pub struct NtiAnalyzer {
@@ -143,10 +159,8 @@ impl NtiAnalyzer {
     /// Inputs are the *raw* request values (pre-transformation, §IV-B);
     /// markings from different inputs are never combined.
     pub fn analyze(&self, inputs: &[&str], query: &str) -> NtiReport {
-        let mut report = NtiReport::default();
         let tokens = lex(query);
         let criticals = critical_tokens(query, &tokens, &self.config.critical);
-
         let query_bytes: Cow<'_, [u8]> = if self.config.normalize_case {
             to_lower(query.as_bytes())
         } else {
@@ -155,6 +169,33 @@ impl NtiAnalyzer {
         // The query's gram profile is input-independent: build it once per
         // analyze call and reuse it for every input's prefilter check.
         let query_profile = self.config.qgram_prefilter.then(|| QgramProfile::new(&query_bytes, 3));
+        self.analyze_view(
+            inputs,
+            QueryView { query, criticals: &criticals, normalized: &query_bytes },
+            query_profile.as_ref(),
+        )
+    }
+
+    /// [`NtiAnalyzer::analyze`] over precomputed query artifacts — the
+    /// parse-once entry point. The caller supplies the critical tokens and
+    /// normalized bytes (see [`QueryView`]) plus, when
+    /// [`NtiConfig::qgram_prefilter`] is enabled, the q-gram profile of
+    /// `view.normalized`; passing `None` there simply skips the q-gram
+    /// bound (the length-plausibility prefilter still applies).
+    ///
+    /// Verdicts, markings, and counters are bit-identical to
+    /// [`NtiAnalyzer::analyze`] when the view matches what that method
+    /// would compute itself.
+    pub fn analyze_view(
+        &self,
+        inputs: &[&str],
+        view: QueryView<'_>,
+        query_profile: Option<&QgramProfile<'_>>,
+    ) -> NtiReport {
+        let mut report = NtiReport::default();
+        let criticals = view.criticals;
+        let query_bytes = view.normalized;
+        let query_profile = if self.config.qgram_prefilter { query_profile } else { None };
 
         for (idx, input) in inputs.iter().enumerate() {
             if input.len() < self.config.min_input_len {
@@ -181,7 +222,7 @@ impl NtiAnalyzer {
             }
             report.comparisons_run += 1;
             let m = match self.config.kernel {
-                MatchKernel::Classic => Some(substring_distance(&input_bytes, &query_bytes)),
+                MatchKernel::Classic => Some(substring_distance(&input_bytes, query_bytes)),
                 MatchKernel::BitParallel => {
                     // Any span that survives the ratio filter below has
                     // distance d < t·|p|/(1−t) ≤ cutoff, so a `None` here
@@ -190,7 +231,7 @@ impl NtiAnalyzer {
                     // meaningless; fall back to the unbounded scan
                     // (distances never exceed |p|).
                     let k = if t > 0.0 && t < 1.0 { cutoff } else { input_bytes.len() };
-                    bounded_myers_substring_distance(&input_bytes, &query_bytes, k)
+                    bounded_myers_substring_distance(&input_bytes, query_bytes, k)
                 }
             };
             let Some(m) = m else {
@@ -209,7 +250,7 @@ impl NtiAnalyzer {
             // Whole-token rule + critical coverage: find critical tokens
             // fully inside this marking.
             let mark_idx = report.markings.len();
-            for c in &criticals {
+            for c in criticals {
                 if c.start >= mark.start && c.end <= mark.end {
                     report.tainted_critical.push((mark_idx, *c));
                 }

@@ -103,7 +103,14 @@ impl PtiAnalyzer {
     /// entire set of fragments".
     pub fn analyze(&self, query: &str) -> PtiReport {
         let tokens = lex(query);
-        let criticals = critical_tokens(query, &tokens, &self.config.critical);
+        self.analyze_tokens(query, &tokens)
+    }
+
+    /// [`PtiAnalyzer::analyze`] over a pre-lexed token stream — the
+    /// parse-once entry point. `tokens` must be `lex(query)`; the report is
+    /// bit-identical to [`PtiAnalyzer::analyze`] under that contract.
+    pub fn analyze_tokens(&self, query: &str, tokens: &[Token]) -> PtiReport {
+        let criticals = critical_tokens(query, tokens, &self.config.critical);
         let covered_by = |occ: &[joza_strmatch::Match], c: &Token| {
             occ.iter().any(|m| m.start <= c.start && c.end <= m.end)
         };

@@ -106,7 +106,14 @@ impl StructureCache {
 
     /// Whether a query with this structure was previously found safe.
     pub fn lookup(&mut self, query: &str) -> bool {
-        let hit = self.safe.contains(&fingerprint(query));
+        self.lookup_fp(fingerprint(query))
+    }
+
+    /// [`StructureCache::lookup`] with a precomputed fingerprint — the
+    /// parse-once entry point for callers that already hold the query's
+    /// [`fingerprint`].
+    pub fn lookup_fp(&mut self, fp: u64) -> bool {
+        let hit = self.safe.contains(&fp);
         if hit {
             self.stats.hits += 1;
         } else {
@@ -117,7 +124,12 @@ impl StructureCache {
 
     /// Records a safe query's structure.
     pub fn insert_safe(&mut self, query: &str) {
-        if self.safe.insert(fingerprint(query)) {
+        self.insert_safe_fp(fingerprint(query));
+    }
+
+    /// [`StructureCache::insert_safe`] with a precomputed fingerprint.
+    pub fn insert_safe_fp(&mut self, fp: u64) {
+        if self.safe.insert(fp) {
             self.stats.inserts += 1;
         }
     }

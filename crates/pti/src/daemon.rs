@@ -238,6 +238,21 @@ impl PtiComponentConfig {
     }
 }
 
+/// Parse-once artifacts for one query, computed upstream by the engine's
+/// check pipeline and handed to [`PtiComponent::check_prepared`].
+///
+/// Contract: `tokens` must be `lex(query)` for the exact query string
+/// passed alongside, and `fingerprint`, when `Some`, must equal
+/// `joza_sqlparse::fingerprint::fingerprint(query)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedSql<'q> {
+    /// The query's lexed token stream.
+    pub tokens: &'q [joza_sqlparse::token::Token],
+    /// The query's structural fingerprint, if the caller already computed
+    /// it (only consulted when the structure cache is enabled).
+    pub fingerprint: Option<u64>,
+}
+
 /// The verdict the component reports upward to Joza.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PtiDecision {
@@ -370,6 +385,19 @@ impl PtiComponent {
 
     /// Checks one query.
     pub fn check(&mut self, query: &str) -> PtiDecision {
+        self.check_prepared(query, None)
+    }
+
+    /// [`PtiComponent::check`] with optional parse-once artifacts.
+    ///
+    /// `prep` carries the query's token stream (and, when already known,
+    /// its structural fingerprint) computed upstream by the engine's
+    /// pipeline. Only [`DaemonMode::InProcess`] can exploit it — the daemon
+    /// modes serialize the raw query over the pipe protocol and re-lex on
+    /// the daemon side, exactly as the paper's deployment does. Verdicts
+    /// and cache behavior are bit-identical to [`PtiComponent::check`]
+    /// under the [`PreparedSql`] contract.
+    pub fn check_prepared(&mut self, query: &str, prep: Option<PreparedSql<'_>>) -> PtiDecision {
         if self.config.query_cache {
             let hit = match &self.shared_query_cache {
                 Some(shared) => shared.lookup(query),
@@ -392,13 +420,23 @@ impl PtiComponent {
                 v
             }
             DaemonMode::InProcess => {
-                if self.config.structure_cache && self.in_process_structure_cache.lookup(query) {
+                let fp = self.config.structure_cache.then(|| {
+                    prep.as_ref()
+                        .and_then(|p| p.fingerprint)
+                        .unwrap_or_else(|| joza_sqlparse::fingerprint::fingerprint(query))
+                });
+                if fp.is_some_and(|fp| self.in_process_structure_cache.lookup_fp(fp)) {
                     DaemonVerdict { safe: true, structure_cache_hit: true, uncovered: 0 }
                 } else {
-                    let report = self.analyzer.analyze(query);
+                    let report = match &prep {
+                        Some(p) => self.analyzer.analyze_tokens(query, p.tokens),
+                        None => self.analyzer.analyze(query),
+                    };
                     let safe = !report.is_attack();
-                    if safe && self.config.structure_cache {
-                        self.in_process_structure_cache.insert_safe(query);
+                    if safe {
+                        if let Some(fp) = fp {
+                            self.in_process_structure_cache.insert_safe_fp(fp);
+                        }
                     }
                     DaemonVerdict {
                         safe,
@@ -557,6 +595,28 @@ mod tests {
         assert!(!a.check(ATTACK_Q).safe);
         assert!(!b.check(ATTACK_Q).safe);
         assert_eq!(shared.stats().inserts, 1);
+    }
+
+    #[test]
+    fn check_prepared_matches_check() {
+        let make = || {
+            PtiComponent::new(
+                FRAGS,
+                PtiComponentConfig {
+                    mode: DaemonMode::InProcess,
+                    ..PtiComponentConfig::optimized()
+                },
+            )
+        };
+        let mut plain = make();
+        let mut prepped = make();
+        for q in [SAFE_Q, ATTACK_Q, "SELECT * FROM records WHERE ID=7 LIMIT 5", SAFE_Q] {
+            let tokens = joza_sqlparse::lexer::lex(q);
+            let fp = joza_sqlparse::fingerprint::fingerprint(q);
+            let prep = PreparedSql { tokens: &tokens, fingerprint: Some(fp) };
+            assert_eq!(plain.check(q), prepped.check_prepared(q, Some(prep)), "{q}");
+        }
+        assert_eq!(plain.query_cache_stats(), prepped.query_cache_stats());
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod store;
 
 pub use analyzer::{PtiAnalyzer, PtiConfig, PtiReport};
 pub use cache::{CacheStats, QueryCache, SharedQueryCache, StructureCache};
-pub use daemon::{DaemonMode, PtiClient, PtiComponent, PtiDaemon};
+pub use daemon::{DaemonMode, PreparedSql, PtiClient, PtiComponent, PtiDaemon};
 pub use store::{FragmentStore, MatcherKind};

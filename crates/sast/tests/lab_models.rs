@@ -65,12 +65,10 @@ fn benign_traffic_fast_paths_with_identical_responses() {
 
     for req in &reqs {
         lab.reset_database();
-        let mut off_gate = baseline.gate();
-        let off = lab.server.handle_gated(req, &mut off_gate);
+        let off = lab.server.handle_with(req, &baseline);
 
         lab.reset_database();
-        let mut on_gate = modeled.gate();
-        let on = lab.server.handle_gated(req, &mut on_gate);
+        let on = lab.server.handle_with(req, &modeled);
 
         assert!(!off.blocked, "model-off baseline blocked benign request {req:?}");
         assert!(!on.blocked, "model-on gate blocked benign request {req:?}");
@@ -99,13 +97,11 @@ fn exploits_never_take_the_fast_path_and_verdicts_match_baseline() {
         let req = request_for(p, p.exploit.primary_payload());
 
         lab.reset_database();
-        let mut off_gate = baseline.gate();
-        let off = lab.server.handle_gated(&req, &mut off_gate);
+        let off = lab.server.handle_with(&req, &baseline);
 
         let fast_before = modeled.stats().model_fast_hits;
         lab.reset_database();
-        let mut on_gate = modeled.gate();
-        let on = lab.server.handle_gated(&req, &mut on_gate);
+        let on = lab.server.handle_with(&req, &modeled);
         let fast_after = modeled.stats().model_fast_hits;
 
         assert_eq!(

@@ -1,16 +1,15 @@
 //! Soundness of the static fast path against the full WP-SQLI-LAB corpus.
 //!
-//! The contract under test: whenever `StaticFastPath` short-circuits a
-//! query to `Allow` without consulting the dynamic gate, the wrapped
-//! dynamic gate would also have allowed it — the fast path may only skip
-//! work, never change a decision. And attack traffic must always fall
-//! through to full dynamic analysis, because no vulnerable route may ever
-//! be proven taint-free.
+//! The contract under test: whenever the pipeline's static fast-path
+//! stage short-circuits a query to `Allow` without running the dynamic
+//! detectors, a dynamic-only engine would also have allowed it — the fast
+//! path may only skip work, never change a decision. And attack traffic
+//! must always fall through to full dynamic analysis, because no
+//! vulnerable route may ever be proven taint-free.
 
 use joza_core::{Joza, JozaConfig};
 use joza_lab::{build_lab, verify::request_for, Lab, CLEAN_CORE_ROUTES};
 use joza_sast::{analyze_app, taint_free_routes};
-use joza_webapp::gate::StaticFastPath;
 use joza_webapp::request::HttpRequest;
 
 fn benign_core_requests() -> Vec<HttpRequest> {
@@ -54,7 +53,10 @@ fn no_vulnerable_route_is_proven_taint_free() {
 fn fast_path_allow_implies_dynamic_allow_on_benign_traffic() {
     let mut lab = build_lab();
     let proven = proven_routes(&lab);
-    let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
+    let dynamic_only = Joza::install(&lab.server.app, JozaConfig::optimized());
+    let fast = Joza::installer(&lab.server.app, JozaConfig::optimized())
+        .taint_free_routes(proven.iter().cloned())
+        .build();
 
     let mut benign = benign_core_requests();
     for p in lab.plugins.clone() {
@@ -63,22 +65,30 @@ fn fast_path_allow_implies_dynamic_allow_on_benign_traffic() {
 
     for req in &benign {
         lab.reset_database();
-        let mut dynamic_gate = joza.gate();
-        let dynamic = lab.server.handle_gated(req, &mut dynamic_gate);
+        let dynamic = lab.server.handle_with(req, &dynamic_only);
 
+        let static_before = fast.stats().static_hits;
         lab.reset_database();
-        let mut fast = StaticFastPath::new(joza.gate(), proven.iter().cloned());
-        let fast_resp = lab.server.handle_gated(req, &mut fast);
+        let fast_resp = lab.server.handle_with(req, &fast);
+        let static_after = fast.stats().static_hits;
 
         assert!(!dynamic.blocked, "dynamic gate blocked benign request {req:?}");
         assert!(!fast_resp.blocked, "fast path blocked benign request {req:?}");
         assert_eq!(fast_resp.body, dynamic.body, "fast path changed the response for {req:?}");
-        if fast.stats().fast_queries > 0 {
-            // The short-circuit only fired where the dynamic gate allowed
-            // everything anyway (checked above via !dynamic.blocked).
-            assert!(fast.is_taint_free(&req.path));
+        if static_after > static_before {
+            // The short-circuit only fired on statically-proven routes —
+            // where the dynamic gate allowed everything anyway (checked
+            // above via !dynamic.blocked).
+            assert!(proven.contains(&req.path), "static fast path fired off-route on {req:?}");
         }
     }
+    let stats = fast.stats();
+    assert!(stats.static_hits > 0, "the fast path never fired on benign core traffic");
+    assert_eq!(
+        stats.model_fast_hits + stats.static_hits + stats.full_checks,
+        stats.queries,
+        "path counters must partition checked queries"
+    );
 }
 
 /// Attacks always fall through: exploit traffic targets flagged routes,
@@ -88,7 +98,10 @@ fn fast_path_allow_implies_dynamic_allow_on_benign_traffic() {
 fn attacks_always_fall_through_to_the_dynamic_gate() {
     let mut lab = build_lab();
     let proven = proven_routes(&lab);
-    let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
+    let dynamic_only = Joza::install(&lab.server.app, JozaConfig::optimized());
+    let fast = Joza::installer(&lab.server.app, JozaConfig::optimized())
+        .taint_free_routes(proven.iter().cloned())
+        .build();
 
     for p in lab.plugins.clone().iter().chain(lab.cms_cases.clone().iter()) {
         let req = request_for(p, p.exploit.primary_payload());
@@ -99,16 +112,15 @@ fn attacks_always_fall_through_to_the_dynamic_gate() {
         );
 
         lab.reset_database();
-        let mut dynamic_gate = joza.gate();
-        let dynamic = lab.server.handle_gated(&req, &mut dynamic_gate);
+        let dynamic = lab.server.handle_with(&req, &dynamic_only);
 
+        let before = fast.stats();
         lab.reset_database();
-        let mut fast = StaticFastPath::new(joza.gate(), proven.iter().cloned());
-        let fast_resp = lab.server.handle_gated(&req, &mut fast);
+        let fast_resp = lab.server.handle_with(&req, &fast);
+        let after = fast.stats();
 
-        let stats = fast.stats();
-        assert_eq!(stats.fast_queries, 0, "attack on {} hit the fast path", p.slug);
-        assert!(stats.slow_queries > 0 || fast_resp.queries.is_empty());
+        assert_eq!(after.static_hits, before.static_hits, "attack on {} hit the fast path", p.slug);
+        assert!(after.full_checks > before.full_checks || fast_resp.queries.is_empty());
         assert_eq!(fast_resp.blocked, dynamic.blocked, "{}", p.slug);
         assert_eq!(fast_resp.body, dynamic.body, "{}", p.slug);
     }

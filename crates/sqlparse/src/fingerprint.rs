@@ -42,7 +42,7 @@ pub const COLLAPSED: &str = "?*";
 /// Renders one token of `query` in skeleton normal form: literals become
 /// [`HOLE`], keywords are uppercased, comments collapse to `/*c*/`, quoted
 /// identifiers lose their backticks.
-pub(crate) fn render_token(query: &str, t: &crate::token::Token) -> String {
+pub fn render_token(query: &str, t: &crate::token::Token) -> String {
     match t.kind {
         TokenKind::Number | TokenKind::StringLit => HOLE.to_string(),
         TokenKind::Keyword => t.text(query).to_ascii_uppercase(),
@@ -59,7 +59,14 @@ pub(crate) fn render_token(query: &str, t: &crate::token::Token) -> String {
 /// matching on uncollapsed tokens keeps star groups aligned with what the
 /// application source actually concatenates.
 pub fn raw_skeleton_tokens(query: &str) -> Vec<String> {
-    lex(query).iter().map(|t| render_token(query, t)).collect()
+    render_skeleton(query, &lex(query))
+}
+
+/// [`raw_skeleton_tokens`] over an already-lexed token stream — the
+/// parse-once entry point: callers that hold the query's tokens (e.g. a
+/// `QueryArtifacts` cache) render the skeleton without lexing again.
+pub fn render_skeleton(query: &str, tokens: &[crate::token::Token]) -> Vec<String> {
+    tokens.iter().map(|t| render_token(query, t)).collect()
 }
 
 /// True if `tok` is a skeleton rendering of a data literal.
@@ -168,6 +175,21 @@ pub fn skeleton(query: &str) -> String {
     skeleton_tokens(query).join(" ")
 }
 
+/// The collapsed skeleton string rendered from a raw (uncollapsed)
+/// skeleton token sequence — the parse-once counterpart of [`skeleton`].
+pub fn skeleton_of(raw: &[String]) -> String {
+    collapse(raw.to_vec()).join(" ")
+}
+
+/// The 64-bit fingerprint of a raw skeleton token sequence — the
+/// parse-once counterpart of [`fingerprint`]: `fingerprint_of(&raw_skeleton_tokens(q))`
+/// equals `fingerprint(q)` for every query.
+pub fn fingerprint_of(raw: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    skeleton_of(raw).hash(&mut h);
+    h.finish()
+}
+
 /// Hashes the [`skeleton`] of a query to a 64-bit fingerprint.
 ///
 /// # Examples
@@ -185,9 +207,7 @@ pub fn skeleton(query: &str) -> String {
 /// );
 /// ```
 pub fn fingerprint(query: &str) -> u64 {
-    let mut h = DefaultHasher::new();
-    skeleton(query).hash(&mut h);
-    h.finish()
+    fingerprint_of(&raw_skeleton_tokens(query))
 }
 
 #[cfg(test)]
@@ -327,5 +347,22 @@ mod tests {
     #[test]
     fn empty_parens_untouched() {
         assert_eq!(skeleton("SELECT now()"), "SELECT now ( )");
+    }
+
+    #[test]
+    fn token_reusing_variants_agree_with_string_entry_points() {
+        let queries = [
+            "SELECT * FROM t WHERE id IN (1,2,3)",
+            "INSERT INTO t (a,b) VALUES (1,'x'),(2,'y')",
+            "SELECT `id` FROM t WHERE name='bob' -- tail",
+            "",
+        ];
+        for q in queries {
+            let toks = lex(q);
+            let raw = render_skeleton(q, &toks);
+            assert_eq!(raw, raw_skeleton_tokens(q), "{q}");
+            assert_eq!(skeleton_of(&raw), skeleton(q), "{q}");
+            assert_eq!(fingerprint_of(&raw), fingerprint(q), "{q}");
+        }
     }
 }

@@ -228,11 +228,18 @@ impl SkeletonAutomaton {
 
     /// Whether `query`'s raw skeleton token sequence matches any branch.
     pub fn accepts(&self, query: &str) -> bool {
+        self.accepts_tokens(&raw_skeleton_tokens(query))
+    }
+
+    /// [`SkeletonAutomaton::accepts`] over an already-rendered raw
+    /// skeleton token sequence (see
+    /// [`crate::fingerprint::raw_skeleton_tokens`]) — the parse-once
+    /// entry point for callers that cache the query's skeleton.
+    pub fn accepts_tokens(&self, toks: &[String]) -> bool {
         if self.branches.is_empty() {
             return false;
         }
-        let toks = raw_skeleton_tokens(query);
-        self.branches.iter().any(|b| match_seq(b, &toks))
+        self.branches.iter().any(|b| match_seq(b, toks))
     }
 }
 
@@ -315,6 +322,12 @@ impl RouteModel {
     /// Whether the model's automaton accepts `query`.
     pub fn accepts(&self, query: &str) -> bool {
         self.automaton.accepts(query)
+    }
+
+    /// Whether the model's automaton accepts an already-rendered raw
+    /// skeleton token sequence (the parse-once entry point).
+    pub fn accepts_tokens(&self, toks: &[String]) -> bool {
+        self.automaton.accepts_tokens(toks)
     }
 
     /// Template branches in the union automaton.

@@ -43,8 +43,7 @@ fn main() {
 
     println!("== 3. Joza intercepts the expanded text ==");
     let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &joza);
     assert!(resp.blocked || resp.executed < resp.queries.len());
     println!(
         "attack stopped (blocked={}, executed {}/{} queries)",
@@ -57,8 +56,7 @@ fn main() {
     // placeholders during fragment extraction (§IV-A), so the expanded
     // benign text stays fragment-covered.
     let benign = request_for(&drupal, &drupal.benign_value);
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&benign, &mut gate);
+    let resp = lab.server.handle_with(&benign, &joza);
     assert!(!resp.blocked);
     println!("benign prepared IN-list still served ({} queries executed)", resp.executed);
 }

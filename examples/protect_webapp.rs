@@ -45,16 +45,14 @@ fn main() {
     let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
     println!("fragments extracted: {}", joza.fragment_count());
 
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &joza);
     assert!(resp.blocked, "Joza must stop the exploit");
     assert!(!resp.body.contains(wordpress::SECRET_PASSWORD));
     println!("attack blocked; the user sees a blank page (body = {:?})\n", resp.body);
 
     println!("== 3. benign traffic is unaffected ==");
     let benign = request_for(&plugin, &plugin.benign_value);
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&benign, &mut gate);
+    let resp = lab.server.handle_with(&benign, &joza);
     assert!(!resp.blocked);
     println!(
         "benign value {:?} served normally ({} queries executed)\n",
@@ -68,8 +66,7 @@ fn main() {
         &lab.server.app,
         JozaConfig { recovery: RecoveryPolicy::ErrorVirtualization, ..JozaConfig::optimized() },
     );
-    let mut gate = joza_ev.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &joza_ev);
     assert!(!resp.blocked, "error virtualization does not terminate");
     assert!(!resp.body.contains(wordpress::SECRET_PASSWORD), "and still leaks nothing");
     println!("application handled the virtualized error itself: {:?}", resp.body.trim());

@@ -50,4 +50,30 @@ echo "==> querymodel smoke"
 cargo run --quiet --release -p joza-bench --bin querymodel -- \
     --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_querymodel_smoke.json
 
+# Pipeline equivalence, explicitly: the deprecated QueryGate shim and the
+# staged CheckPipeline must produce bit-identical verdicts, traces, and
+# responses over the full lab corpus.
+echo "==> cargo test -q --test pipeline_equivalence"
+cargo test -q --test pipeline_equivalence
+
+# Pipeline-bench smoke: asserts the path counters partition the checked
+# queries before timing; also exercises the per-stage breakdown writers.
+echo "==> pipeline smoke"
+cargo run --quiet --release -p joza-bench --bin pipeline -- \
+    --requests 24 --repeat 1 --threads 1 --out /tmp/joza_pipeline_smoke.json
+
+# Deprecation containment: the legacy QueryGate adapter may only be used
+# by its own shim module and the equivalence test. (clippy -D warnings
+# already rejects in-tree deprecated calls; this also catches new
+# allow(deprecated) escapes.)
+echo "==> deprecated-API containment check"
+violations=$(grep -rln --include='*.rs' -e '\.gate()' -e 'allow(deprecated)' \
+    crates src tests examples benches 2>/dev/null \
+    | grep -v -e '^crates/core/src/shim\.rs$' -e '^tests/pipeline_equivalence\.rs$' || true)
+if [ -n "$violations" ]; then
+    echo "legacy QueryGate adapter used outside the shim and its equivalence test:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "==> CI green"

@@ -103,6 +103,78 @@ fn sharded_engine_aggregates_exact_stats_under_stress() {
     assert_eq!(stats.attacks, WORKERS as u64 * ATTACKS_PER_WORKER);
 }
 
+/// Satellite of the pipeline refactor: with every fast path live at once
+/// — model skeletons on one route, a statically-proven taint-free route,
+/// unknown routes falling back to dynamic — the per-path counters must
+/// partition the total exactly under concurrent load. Before the staged
+/// pipeline, fast-path hits and full checks were counted at different
+/// layers and could drift.
+#[test]
+fn path_counters_partition_checks_under_stress() {
+    use joza::sqlparse::template::{QueryModelIndex, QueryTemplate, RouteModel, TemplatePart};
+
+    const WORKERS: u64 = 8;
+    const ROUNDS: u64 = 100;
+
+    let template = QueryTemplate {
+        parts: vec![
+            TemplatePart::Lit("SELECT * FROM records WHERE ID=".to_string()),
+            TemplatePart::Hole,
+            TemplatePart::Lit(" LIMIT 5".to_string()),
+        ],
+    };
+    let mut models = QueryModelIndex::new();
+    models.insert("records", RouteModel::build(&[Some(vec![template])]));
+
+    let joza = Joza::builder()
+        .fragments(FRAGS)
+        .config(JozaConfig { shards: 4, ..JozaConfig::optimized() })
+        .query_models(models)
+        .taint_free_routes(["static-page"])
+        .build();
+
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let joza = &joza;
+            s.spawn(move || {
+                for i in 0..ROUNDS {
+                    let id = t * 10_000 + i;
+                    let q = format!("SELECT * FROM records WHERE ID={id} LIMIT 5");
+                    // Model fast path: the skeleton matches the template.
+                    let mut session = joza.session_for("records");
+                    session.capture_input("id", &id.to_string());
+                    assert!(session.check(&q).is_safe());
+                    // Static fast path: statically proven taint-free route.
+                    assert!(joza.check_query_on_route("static-page", &[], &q).is_safe());
+                    // Unknown route: counted as a miss, checked dynamically.
+                    assert!(joza.check_query_on_route("no-such-route", &[], &q).is_safe());
+                    // Plain dynamic check, occasionally an attack.
+                    if i % 9 == 0 {
+                        let payload = format!("{id} UNION SELECT username()");
+                        let attack = format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+                        assert!(!joza.check_query(&[&payload], &attack).is_safe());
+                    } else {
+                        assert!(joza.check_query(&[&id.to_string()], &q).is_safe());
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = joza.stats();
+    assert_eq!(stats.queries, WORKERS * ROUNDS * 4);
+    assert_eq!(
+        stats.model_fast_hits + stats.static_hits + stats.full_checks,
+        stats.queries,
+        "fast-path hits and full checks must partition the total exactly"
+    );
+    assert_eq!(stats.model_fast_hits, WORKERS * ROUNDS);
+    assert_eq!(stats.static_hits, WORKERS * ROUNDS);
+    assert_eq!(stats.full_checks, WORKERS * ROUNDS * 2);
+    assert_eq!(stats.route_misses, WORKERS * ROUNDS);
+    assert_eq!(stats.attacks, WORKERS * ROUNDS.div_ceil(9));
+}
+
 /// The shared query cache's counters must be monotone when sampled
 /// mid-flight from another thread, and add up exactly once the workers
 /// are done: every check does one lookup, and only safe queries insert.
@@ -186,17 +258,16 @@ fn concurrent_servers_share_one_engine() {
                 let mut lab = build_lab();
                 let plugins: Vec<_> = lab.plugins.iter().take(8).cloned().collect();
                 for p in &plugins {
-                    let mut gate = joza.gate();
                     let resp = lab
                         .server
-                        .handle_gated(&request_for(p, p.exploit.primary_payload()), &mut gate);
+                        .handle_with(&request_for(p, p.exploit.primary_payload()), joza.as_ref());
                     assert!(
                         resp.blocked || resp.executed < resp.queries.len(),
                         "{}: exploit missed",
                         p.name
                     );
-                    let mut gate = joza.gate();
-                    let resp = lab.server.handle_gated(&request_for(p, &p.benign_value), &mut gate);
+                    let resp =
+                        lab.server.handle_with(&request_for(p, &p.benign_value), joza.as_ref());
                     assert!(!resp.blocked, "{}: benign blocked", p.name);
                 }
             })

@@ -127,10 +127,8 @@ fn gate_outcomes_identical_across_modes_on_real_exploits() {
         let row: Vec<bool> = plugins
             .iter()
             .map(|p| {
-                let mut gate = joza.gate();
-                let resp = lab
-                    .server
-                    .handle_gated(&request_for(p, p.exploit.primary_payload()), &mut gate);
+                let resp =
+                    lab.server.handle_with(&request_for(p, p.exploit.primary_payload()), &joza);
                 resp.blocked || resp.executed < resp.queries.len()
             })
             .collect();

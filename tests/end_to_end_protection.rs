@@ -22,8 +22,7 @@ fn every_testbed_exploit_works_and_is_blocked() {
         );
         // (b) the same attack request is stopped behind Joza.
         let attack = request_for(plugin, plugin.exploit.primary_payload());
-        let mut gate = joza.gate();
-        let resp = lab.server.handle_gated(&attack, &mut gate);
+        let resp = lab.server.handle_with(&attack, &joza);
         assert!(
             resp.blocked || resp.executed < resp.queries.len(),
             "{}: exploit not stopped by Joza",
@@ -40,8 +39,7 @@ fn every_testbed_exploit_works_and_is_blocked() {
             "{}: benign request broken unprotected",
             plugin.name
         );
-        let mut gate = joza.gate();
-        let resp = lab.server.handle_gated(&request_for(plugin, &plugin.benign_value), &mut gate);
+        let resp = lab.server.handle_with(&request_for(plugin, &plugin.benign_value), &joza);
         assert!(!resp.blocked, "{}: benign request blocked (false positive)", plugin.name);
         assert_eq!(
             resp.executed,
@@ -60,16 +58,14 @@ fn cms_case_studies_are_protected() {
     assert_eq!(cases.len(), 3, "Joomla, Drupal, osCommerce");
     for case in &cases {
         assert!(verify_exploit(&mut lab.server, case), "{}: exploit inert", case.name);
-        let mut gate = joza.gate();
         let resp =
-            lab.server.handle_gated(&request_for(case, case.exploit.primary_payload()), &mut gate);
+            lab.server.handle_with(&request_for(case, case.exploit.primary_payload()), &joza);
         assert!(
             resp.blocked || resp.executed < resp.queries.len(),
             "{}: attack not stopped",
             case.name
         );
-        let mut gate = joza.gate();
-        let resp = lab.server.handle_gated(&request_for(case, &case.benign_value), &mut gate);
+        let resp = lab.server.handle_with(&request_for(case, &case.benign_value), &joza);
         assert!(!resp.blocked, "{}: benign blocked", case.name);
     }
 }
@@ -85,14 +81,12 @@ fn hybrid_detects_attacks_either_component_misses() {
     assert!(adrotate.decodes_base64());
 
     let attack = request_for(&adrotate, adrotate.exploit.primary_payload());
-    let mut gate = nti_only.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &nti_only);
     assert!(
         !resp.blocked && resp.executed == resp.queries.len(),
         "NTI alone should miss the base64-encoded exploit"
     );
 
-    let mut gate = hybrid.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &hybrid);
     assert!(resp.blocked || resp.executed < resp.queries.len(), "hybrid must stop it");
 }

@@ -50,14 +50,12 @@ fn extractvalue_error_leaks_unprotected_and_is_blocked() {
     // Joza: both components flag it (EXTRACTVALUE/CONCAT are critical
     // tokens absent from fragments; the payload appears verbatim).
     let joza = Joza::install(&server.app, JozaConfig::optimized());
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&attack, &mut gate);
+    let resp = server.handle_with(&attack, &joza);
     assert!(resp.blocked || resp.executed < resp.queries.len());
     assert!(!resp.body.contains("errleak-pw-7"));
 
     // Benign traffic unaffected.
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&HttpRequest::get("image").param("id", "1"), &mut gate);
+    let resp = server.handle_with(&HttpRequest::get("image").param("id", "1"), &joza);
     assert!(!resp.blocked);
     assert_eq!(resp.body, "cat.jpg");
 }
@@ -71,8 +69,7 @@ fn error_virtualization_hides_the_error_channel() {
         JozaConfig { recovery: RecoveryPolicy::ErrorVirtualization, ..JozaConfig::optimized() },
     );
     let payload = "1 AND EXTRACTVALUE(1, CONCAT(0x7e, (SELECT user_pass FROM wp_users LIMIT 1)))";
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&HttpRequest::get("image").param("id", payload), &mut gate);
+    let resp = server.handle_with(&HttpRequest::get("image").param("id", payload), &joza);
     // The app still renders its error page, but with Joza's generic error
     // instead of the DBMS's leaking one.
     assert!(!resp.blocked);

@@ -11,8 +11,7 @@ use joza::phpsim::fragments::FragmentSet;
 use joza::pti::analyzer::{PtiAnalyzer, PtiConfig};
 
 fn detected(lab: &mut Lab, joza: &Joza, plugin: &VulnPlugin, payload: &str) -> bool {
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&request_for(plugin, payload), &mut gate);
+    let resp = lab.server.handle_with(&request_for(plugin, payload), joza);
     resp.blocked || resp.executed < resp.queries.len()
 }
 

@@ -11,8 +11,7 @@ fn benign_crawl_comments_searches_never_blocked() {
     let mut lab = build_lab();
     let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
     let mut check = |req: HttpRequest| {
-        let mut gate = joza.gate();
-        let resp = lab.server.handle_gated(&req, &mut gate);
+        let resp = lab.server.handle_with(&req, &joza);
         assert!(!resp.blocked, "false positive on {req:?}");
         assert_eq!(resp.executed, resp.queries.len(), "virtualized benign query on {req:?}");
     };
@@ -64,8 +63,7 @@ fn every_plugin_benign_value_passes() {
     let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
     let plugins = lab.plugins.clone();
     for plugin in plugins.iter().chain(lab.cms_cases.clone().iter()) {
-        let mut gate = joza.gate();
-        let resp = lab.server.handle_gated(&request_for(plugin, &plugin.benign_value), &mut gate);
+        let resp = lab.server.handle_with(&request_for(plugin, &plugin.benign_value), &joza);
         assert!(!resp.blocked, "{}: benign blocked", plugin.name);
         assert_eq!(resp.executed, resp.queries.len(), "{}: benign virtualized", plugin.name);
     }
@@ -97,16 +95,14 @@ fn threat_model_allows_field_names_from_input() {
     let joza = Joza::install(&server.app, JozaConfig::optimized());
 
     for col in ["views", "created", "title"] {
-        let mut gate = joza.gate();
-        let resp = server.handle_gated(&HttpRequest::get("sort").param("orderby", col), &mut gate);
+        let resp = server.handle_with(&HttpRequest::get("sort").param("orderby", col), &joza);
         assert!(!resp.blocked, "column {col} blocked — identifiers must not be critical");
         assert_eq!(resp.executed, 1);
     }
     // …but injecting *structure* through the same parameter is stopped.
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(
+    let resp = server.handle_with(
         &HttpRequest::get("sort").param("orderby", "(SELECT user_pass FROM users LIMIT 1)"),
-        &mut gate,
+        &joza,
     );
     assert!(resp.blocked || resp.executed < resp.queries.len());
 }

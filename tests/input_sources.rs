@@ -44,15 +44,13 @@ fn header_borne_injection_is_captured_and_blocked() {
 
     // Joza captures headers among the raw inputs and stops the attack.
     let joza = Joza::install(&server.app, JozaConfig::optimized());
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&attack, &mut gate);
+    let resp = server.handle_with(&attack, &joza);
     assert!(resp.blocked || resp.executed < resp.queries.len());
     assert!(!resp.body.contains("TOPSECRET-42"));
 
     // A realistic benign header passes.
     let benign = HttpRequest::get("log-visit").header("X-Forwarded-For", "203.0.113.9");
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&benign, &mut gate);
+    let resp = server.handle_with(&benign, &joza);
     assert!(!resp.blocked, "{resp:?}");
     assert_eq!(resp.executed, resp.queries.len());
 }
@@ -85,13 +83,11 @@ fn cookie_borne_injection_is_captured_and_blocked() {
     let attack = HttpRequest::get("render")
         .cookie("theme", "light' UNION SELECT user_pass FROM wp_users-- -");
     let joza = Joza::install(&server.app, JozaConfig::optimized());
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&attack, &mut gate);
+    let resp = server.handle_with(&attack, &joza);
     // Magic quotes already neutralize this variant; whether or not it
     // would have worked, Joza must not flag the *benign* cookie…
     let benign = HttpRequest::get("render").cookie("theme", "light");
-    let mut gate2 = joza.gate();
-    let ok = server.handle_gated(&benign, &mut gate2);
+    let ok = server.handle_with(&benign, &joza);
     assert!(!ok.blocked);
     assert_eq!(ok.executed, ok.queries.len());
     // …and the attack cookie must never leak the secret either way.

@@ -1,0 +1,129 @@
+//! Pipeline equivalence: the deprecated [`QueryGate`] adapter (the
+//! pre-refactor entry point, kept as a shim) and the staged
+//! [`CheckPipeline`] behind the unified session API must be
+//! observationally identical — same verdicts, same detector attribution,
+//! same anomaly flags, same stage traces — over the entire WP-SQLI-LAB
+//! corpus, benign and exploit traffic alike.
+//!
+//! This file and the shim module itself are the only places allowed to
+//! touch the deprecated adapter (enforced by `scripts/ci.sh`).
+
+#![allow(deprecated)]
+
+use joza::core::{Joza, JozaConfig};
+use joza::lab::verify::request_for;
+use joza::lab::{build_lab, Lab};
+use joza::sast::{analyze_app, app_query_models, taint_free_routes};
+use joza::webapp::gate::{QueryGate, RawInput};
+use joza::webapp::request::HttpRequest;
+
+/// Every kind of corpus traffic: benign core crawl, benign plugin
+/// requests, and every shipped exploit (plugins + CMS case studies).
+fn corpus_requests(lab: &Lab) -> Vec<HttpRequest> {
+    let mut reqs = vec![HttpRequest::get("index")];
+    for p in 1..=5 {
+        reqs.push(HttpRequest::get("single-post").param("p", &p.to_string()));
+    }
+    reqs.push(HttpRequest::get("search").param("s", "lorem"));
+    reqs.push(
+        HttpRequest::post("post-comment")
+            .param("comment_post_ID", "2")
+            .param("author", "alice")
+            .param("comment", "it's a nice post"),
+    );
+    for p in lab.plugins.iter().chain(lab.cms_cases.iter()) {
+        reqs.push(request_for(p, &p.benign_value));
+        reqs.push(request_for(p, p.exploit.primary_payload()));
+    }
+    reqs
+}
+
+fn raw_inputs(req: &HttpRequest) -> Vec<RawInput> {
+    req.all_inputs()
+        .into_iter()
+        .map(|(source, name, value)| RawInput { source, name, value })
+        .collect()
+}
+
+/// Fully-loaded engine: query models for the model fast path plus the
+/// statically-proven taint-free routes, so every pipeline stage is live.
+fn full_engine(lab: &Lab) -> Joza {
+    Joza::installer(&lab.server.app, JozaConfig::optimized())
+        .query_models(app_query_models(&lab.server.app))
+        .taint_free_routes(taint_free_routes(&analyze_app(&lab.server.app)))
+        .build()
+}
+
+/// Per-query equivalence: replay every SQL statement the unprotected
+/// application issues for the full corpus through both entry points and
+/// require bit-identical verdicts.
+#[test]
+fn legacy_gate_and_pipeline_agree_on_every_corpus_query() {
+    let mut lab = build_lab();
+    let joza = full_engine(&lab);
+
+    let mut checked = 0usize;
+    for req in &corpus_requests(&lab) {
+        lab.reset_database();
+        let plain = lab.server.handle(req);
+        let inputs = raw_inputs(req);
+
+        for sql in &plain.queries {
+            let mut gate = joza.gate();
+            gate.begin_route(&req.path);
+            gate.begin_request(&inputs);
+            let legacy = gate.check_verdict(sql);
+
+            let mut session = joza.session_for(&req.path);
+            for i in &inputs {
+                session.capture_input(&i.name, &i.value);
+            }
+            let unified = session.check(sql);
+
+            assert_eq!(
+                legacy.is_safe(),
+                unified.is_safe(),
+                "verdict drift on route {} for query {sql}",
+                req.path
+            );
+            assert_eq!(legacy.detector(), unified.detector(), "{}: {sql}", req.path);
+            assert_eq!(
+                legacy.structural_anomaly(),
+                unified.structural_anomaly(),
+                "{}: {sql}",
+                req.path
+            );
+            assert_eq!(legacy.trace(), unified.trace(), "{}: {sql}", req.path);
+            assert_eq!(legacy, unified, "{}: {sql}", req.path);
+            checked += 1;
+        }
+    }
+    assert!(checked > 150, "corpus too small to be meaningful: {checked} queries");
+
+    // Both entry points feed the same accounting, which must partition.
+    let stats = joza.stats();
+    assert_eq!(stats.queries, 2 * checked as u64);
+    assert_eq!(stats.model_fast_hits + stats.static_hits + stats.full_checks, stats.queries);
+}
+
+/// Response-level equivalence: a server driven through the legacy gate
+/// must serve byte-identical responses (and identical blocking decisions)
+/// to one driven through the unified session factory.
+#[test]
+fn legacy_gate_and_pipeline_serve_identical_responses() {
+    let mut lab = build_lab();
+    let joza = full_engine(&lab);
+
+    for req in &corpus_requests(&lab) {
+        lab.reset_database();
+        let mut gate = joza.gate();
+        let legacy = lab.server.handle_gated(req, &mut gate);
+
+        lab.reset_database();
+        let unified = lab.server.handle_with(req, &joza);
+
+        assert_eq!(legacy.blocked, unified.blocked, "blocking drift on {}", req.path);
+        assert_eq!(legacy.executed, unified.executed, "execution drift on {}", req.path);
+        assert_eq!(legacy.body, unified.body, "response drift on {}", req.path);
+    }
+}

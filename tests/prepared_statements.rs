@@ -36,15 +36,13 @@ fn bound_values_are_inert_but_placeholder_names_are_not() {
     // Joza intercepts the expanded statement text and stops it.
     let joza = Joza::install(&lab.server.app, JozaConfig::optimized());
     let attack = request_for(&drupal, drupal.exploit.primary_payload());
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &joza);
     assert!(resp.blocked || resp.executed < resp.queries.len());
     assert!(!resp.body.contains(wordpress::SECRET_PASSWORD));
 
     // And the benign prepared flow still passes the gate (fragment
     // extraction splits literals at `:name` placeholders, §IV-A).
-    let mut gate = joza.gate();
-    let resp = lab.server.handle_gated(&benign, &mut gate);
+    let resp = lab.server.handle_with(&benign, &joza);
     assert!(!resp.blocked, "benign prepared statement blocked");
     assert_eq!(resp.executed, resp.queries.len());
 }
@@ -58,8 +56,7 @@ fn nti_sees_array_keys_as_inputs() {
     let drupal = lab.cms_cases.iter().find(|c| c.name == "Drupal").unwrap().clone();
     let nti_only = Joza::install(&lab.server.app, JozaConfig::nti_only());
     let attack = request_for(&drupal, drupal.exploit.primary_payload());
-    let mut gate = nti_only.gate();
-    let resp = lab.server.handle_gated(&attack, &mut gate);
+    let resp = lab.server.handle_with(&attack, &nti_only);
     assert!(
         resp.blocked || resp.executed < resp.queries.len(),
         "NTI must detect the key-borne payload (Table IV row: Drupal / NTI original: Yes)"

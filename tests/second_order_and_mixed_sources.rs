@@ -66,13 +66,11 @@ fn second_order_attack_evades_nti_but_not_joza() {
     assert!(resp.body.contains("hidden post"), "second-order attack must work: {}", resp.body);
 
     // NTI alone: no inputs in this request → nothing to mark → miss.
-    let mut gate = nti_only.gate();
-    let resp = server.handle_gated(&replay, &mut gate);
+    let resp = server.handle_with(&replay, &nti_only);
     assert_eq!(resp.executed, resp.queries.len(), "NTI alone must miss the stored payload");
 
     // Hybrid: PTI sees OR outside any fragment → stopped.
-    let mut gate = hybrid.gate();
-    let resp = server.handle_gated(&replay, &mut gate);
+    let resp = server.handle_with(&replay, &hybrid);
     assert!(
         resp.blocked || resp.executed < resp.queries.len(),
         "Joza must stop the second-order attack"
@@ -113,8 +111,7 @@ fn payload_construction_across_inputs_evades_nti_but_not_joza() {
 
     // NTI: markings from different inputs are never combined; no single
     // input matches a whole critical token span cleanly enough.
-    let mut gate = nti_only.gate();
-    let resp = server.handle_gated(&attack, &mut gate);
+    let resp = server.handle_with(&attack, &nti_only);
     assert_eq!(
         resp.executed,
         resp.queries.len(),
@@ -122,8 +119,7 @@ fn payload_construction_across_inputs_evades_nti_but_not_joza() {
     );
 
     // The hybrid stops it (OR/TRUE are not program fragments).
-    let mut gate = hybrid.gate();
-    let resp = server.handle_gated(&attack, &mut gate);
+    let resp = server.handle_with(&attack, &hybrid);
     assert!(resp.blocked || resp.executed < resp.queries.len());
 }
 
@@ -148,8 +144,7 @@ fn single_letter_inputs_do_not_cause_false_positives() {
     // The app's own source contains the OR query → PTI covers it.
     let joza = Joza::install(&server.app, JozaConfig::optimized());
     let req = HttpRequest::get("page").param("a", "O").query_param("b", "R");
-    let mut gate = joza.gate();
-    let resp = server.handle_gated(&req, &mut gate);
+    let resp = server.handle_with(&req, &joza);
     assert!(!resp.blocked);
     assert_eq!(resp.executed, resp.queries.len(), "benign OR flagged — inputs combined?");
 }
