@@ -12,7 +12,9 @@ use joza_bench::report::{pct, render_table};
 use joza_bench::workload::{crawl_requests, Setup};
 use joza_core::Joza;
 use joza_lab::{build_lab, ground_truth};
-use joza_sast::{analyze_app, render_summary, taint_free_routes, TaintSummary};
+use joza_sast::{
+    analyze_app, render_summary, taint_free_routes, unparameterized_sink_lint, TaintSummary,
+};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -100,6 +102,24 @@ fn main() {
     } else {
         let n: usize = summaries.iter().map(|s| s.findings.len()).sum();
         println!("({n} findings total; re-run with --findings for source→sink traces)");
+    }
+
+    // --- Unparameterized-sink lint: the manual-remediation worklist ----
+    let lint = unparameterized_sink_lint(&lab.server.app);
+    println!(
+        "\nUNPARAMETERIZED SINKS ({} tainted sinks the hardening pass cannot repair)\n",
+        lint.len()
+    );
+    if lint.is_empty() {
+        println!("(none — every tainted sink sits in a completely-modeled route)");
+    } else {
+        let lint_rows: Vec<Vec<String>> = lint
+            .iter()
+            .map(|u| {
+                vec![u.route.clone(), u.stmt_id.to_string(), u.sink.clone(), u.sources.join(", ")]
+            })
+            .collect();
+        println!("{}", render_table(&["Route", "Stmt", "Sink", "Tainted sources"], &lint_rows));
     }
 
     // --- Throughput ablation: fast path on benign core-route reads -----

@@ -280,7 +280,16 @@ pub struct JozaStats {
     /// installed model index nor in the statically-proven taint-free set
     /// (the check silently fell back to the fully dynamic pipeline). Zero
     /// on engines without models or proven routes.
-    pub route_misses: u64,
+    pub route_misses_unknown: u64,
+    /// Route-scoped checks whose route *is* in the model index but whose
+    /// model is incomplete (at least one sink site inferred ⊤), the
+    /// taint-free set does not cover it, and the query fell through to
+    /// the fully dynamic pipeline — the partial model could not serve it
+    /// and, being incomplete, could not call it anomalous either.
+    /// Distinct from [`JozaStats::route_misses_unknown`] so gate coverage
+    /// ("is the route known at all?") and hardening coverage ("is its
+    /// model complete enough to repair?") are separately observable.
+    pub route_misses_incomplete: u64,
     /// Per-stage run counts, indexed by [`StageId::index`]: how many
     /// checks each stage actually ran for (short-circuits and fires
     /// included).
@@ -306,7 +315,8 @@ impl JozaStats {
         self.static_hits += other.static_hits;
         self.full_checks += other.full_checks;
         self.model_anomalies += other.model_anomalies;
-        self.route_misses += other.route_misses;
+        self.route_misses_unknown += other.route_misses_unknown;
+        self.route_misses_incomplete += other.route_misses_incomplete;
         for i in 0..STAGE_COUNT {
             self.stage_runs[i] += other.stage_runs[i];
             self.stage_hits[i] += other.stage_hits[i];
@@ -488,8 +498,8 @@ impl Joza {
 
     /// Checks one query on a named route: the route's fast paths (when
     /// installed and applicable) run first; an unknown route is recorded
-    /// as a [`JozaStats::route_misses`] and falls back to the fully
-    /// dynamic pipeline.
+    /// as a [`JozaStats::route_misses_unknown`] and falls back to the
+    /// fully dynamic pipeline.
     pub fn check_query_on_route(&self, route: &str, inputs: &[&str], query: &str) -> Verdict {
         self.check_on(Some(route), self.model_for(route), inputs, query)
     }
@@ -516,13 +526,22 @@ impl Joza {
         joza_phpsim::cost::simulate(self.config.wrapper_cost);
 
         // A route-scoped check on an engine with route knowledge (models
-        // or statically-proven routes), for a route known to neither:
-        // silent fallback to dynamic, but counted.
-        let route_miss = route.is_some_and(|r| {
-            let has_route_knowledge = self.models.is_some() || self.taint_free.is_some();
-            let static_known = self.taint_free.as_ref().is_some_and(|t| t.contains(r));
-            has_route_knowledge && model.is_none() && !static_known
-        });
+        // or statically-proven routes) that the fast paths cannot serve:
+        // silent fallback to dynamic, but counted — as *unknown* when the
+        // route is in neither the model index nor the taint-free set, as
+        // *incomplete* when it is indexed but its model left a sink ⊤.
+        let (route_miss_unknown, route_miss_incomplete) = match route {
+            Some(r)
+                if (self.models.is_some() || self.taint_free.is_some())
+                    && !self.taint_free.as_ref().is_some_and(|t| t.contains(r)) =>
+            {
+                match model {
+                    None => (true, false),
+                    Some(m) => (false, !m.complete),
+                }
+            }
+            _ => (false, false),
+        };
 
         let artifacts = QueryArtifacts::new(query);
         let mut cx = CheckCx {
@@ -556,7 +575,7 @@ impl Joza {
             trace: cx.trace,
             structural_anomaly: cx.structural_anomaly,
         };
-        self.record(&cx, &verdict, route_miss);
+        self.record(&cx, &verdict, route_miss_unknown, route_miss_incomplete);
         verdict
     }
 
@@ -565,7 +584,13 @@ impl Joza {
     /// counter is incremented, which is what makes the path partition
     /// (`model_fast_hits + static_hits + full_checks == queries`) drift-
     /// free by construction.
-    fn record(&self, cx: &CheckCx<'_, '_>, verdict: &Verdict, route_miss: bool) {
+    fn record(
+        &self,
+        cx: &CheckCx<'_, '_>,
+        verdict: &Verdict,
+        route_miss_unknown: bool,
+        route_miss_incomplete: bool,
+    ) {
         let mut guard = self.shard().lock();
         let stats = &mut guard.stats;
         stats.queries += 1;
@@ -586,8 +611,14 @@ impl Joza {
             CheckPath::StaticFastPath => stats.static_hits += 1,
             CheckPath::Dynamic => stats.full_checks += 1,
         }
-        if route_miss {
-            stats.route_misses += 1;
+        if route_miss_unknown {
+            stats.route_misses_unknown += 1;
+        }
+        // Incomplete-model misses only count when the partial model
+        // failed to serve the query: a skeleton the model does cover
+        // still rides the fast path and is no miss.
+        if route_miss_incomplete && verdict.path() == CheckPath::Dynamic {
+            stats.route_misses_incomplete += 1;
         }
         if cx.structural_anomaly {
             stats.model_anomalies += 1;
@@ -1154,21 +1185,75 @@ mod tests {
         assert_eq!(v.path(), CheckPath::Dynamic);
         assert_eq!(v.nti_attack(), Some(false));
         assert_eq!(v.pti_attack(), Some(false));
-        assert_eq!(j.stats().route_misses, 1);
+        assert_eq!(j.stats().route_misses_unknown, 1);
+        assert_eq!(j.stats().route_misses_incomplete, 0);
 
-        // A known route is not a miss, whether it fast-paths or not.
+        // A known, completely-modeled route is no kind of miss, whether
+        // it fast-paths or not.
         j.check_query_on_route("records", &["1"], "SELECT * FROM records WHERE ID=1 LIMIT 5");
-        assert_eq!(j.stats().route_misses, 1);
+        assert_eq!(j.stats().route_misses_unknown, 1);
+        assert_eq!(j.stats().route_misses_incomplete, 0);
 
         // A route-less check is never a miss.
         j.check_query(&["1"], "SELECT * FROM records WHERE ID=1 LIMIT 5");
-        assert_eq!(j.stats().route_misses, 1);
+        assert_eq!(j.stats().route_misses_unknown, 1);
 
         // An engine without models never counts misses: there is no index
         // the route could be missing from.
         let plain = joza();
         plain.check_query_on_route("whatever", &["1"], "SELECT 1");
-        assert_eq!(plain.stats().route_misses, 0);
+        assert_eq!(plain.stats().route_misses_unknown, 0);
+        assert_eq!(plain.stats().route_misses_incomplete, 0);
+    }
+
+    #[test]
+    fn incomplete_model_route_counts_its_own_miss_kind() {
+        use joza_sqlparse::template::{QueryTemplate, TemplatePart};
+        let t = QueryTemplate {
+            parts: vec![
+                TemplatePart::Lit("SELECT * FROM records WHERE ID=".to_string()),
+                TemplatePart::Hole,
+                TemplatePart::Lit(" LIMIT 5".to_string()),
+            ],
+        };
+        let mut ix = QueryModelIndex::new();
+        // One modeled site plus one ⊤ site: the route is *known* to the
+        // index, but its model is incomplete.
+        ix.insert("half-modeled", RouteModel::build(&[Some(vec![t]), None]));
+        let j = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .query_models(ix)
+            .build();
+
+        j.check_query_on_route("half-modeled", &["1"], "SELECT name FROM other WHERE x=1");
+        assert_eq!(j.stats().route_misses_unknown, 0);
+        assert_eq!(j.stats().route_misses_incomplete, 1);
+
+        // A query the incomplete model still matches rides the fast path
+        // and is not a miss of either kind.
+        let v = j.check_query_on_route(
+            "half-modeled",
+            &["1"],
+            "SELECT * FROM records WHERE ID=1 LIMIT 5",
+        );
+        assert_eq!(v.path(), CheckPath::ModelFastPath);
+        assert_eq!(j.stats().route_misses_unknown, 0);
+        assert_eq!(j.stats().route_misses_incomplete, 1);
+
+        // The taint-free set overrides: a statically-proven route is
+        // covered however incomplete its model is.
+        let mut ix2 = QueryModelIndex::new();
+        ix2.insert("proven", RouteModel::build(&[None]));
+        let proven = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .query_models(ix2)
+            .taint_free_routes(["proven"])
+            .build();
+        proven.check_query_on_route("proven", &["1"], "SELECT 1");
+        assert_eq!(proven.stats().route_misses_unknown, 0);
+        assert_eq!(proven.stats().route_misses_incomplete, 0);
     }
 
     #[test]

@@ -113,6 +113,16 @@ impl Database {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
+    /// Iterates all tables in name order — a deterministic dump order, so
+    /// two databases can be compared state-for-state (the hardening
+    /// pass's differential verification diffs entire databases after
+    /// original-vs-rewritten request runs).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        names.into_iter().map(move |n| &self.tables[n])
+    }
+
     /// Total virtual time consumed by all queries, in milliseconds.
     pub fn clock_ms(&self) -> u64 {
         self.clock_ms

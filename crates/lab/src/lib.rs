@@ -38,6 +38,7 @@
 
 pub mod cms;
 pub mod corpus;
+pub mod harden;
 pub mod nti_evasion;
 pub mod serve;
 pub mod sqlmap;

@@ -1,0 +1,490 @@
+//! PHP-subset AST → source emitter.
+//!
+//! The inverse of the parser up to formatting: for every program the
+//! parser can produce, `parse_program(&emit_program(prog))` yields a
+//! structurally equal program (`Vec<Stmt>` derives `PartialEq`). The
+//! hardening pass ([`crate`]'s consumers rewrite sink calls in place)
+//! relies on this to turn transformed ASTs back into plugin source that
+//! the whole stack — fragment extraction, interpretation, query-model
+//! inference — consumes exactly as if it had been hand-written.
+//!
+//! Round-trip corners the emitter handles explicitly:
+//!
+//! - A statement-level assignment *expression* (`Stmt::Expr(Expr::
+//!   AssignExpr)`) is emitted with a leading paren, `($v = e);` — bare
+//!   `$v = e;` would re-parse as the distinct `Stmt::Assign` form.
+//! - Operands of unary/binary/ternary operators are parenthesized
+//!   unless atomic, so emitted precedence always matches AST shape
+//!   (parentheses are not represented in the AST, so this is free).
+//! - Double-quoted strings escape `$` unconditionally; a literal `{`
+//!   can then never form a `{$` interpolation opener.
+//!
+//! Non-goals: negative numeric literals and `PValue::Array`/`Resource`
+//! literals cannot be produced by the parser (negation is a `Unary`
+//! node, arrays are `Expr::ArrayLit`), so their emission is best-effort
+//! and not round-trip exact.
+
+use crate::ast::{AssignOp, BinOp, Expr, InterpPart, Stmt, UnaryOp};
+use crate::value::{PKey, PValue};
+
+/// Emits a whole program as parseable PHP-subset source (with `<?php`
+/// open tag, one statement per line, 4-space indentation).
+pub fn emit_program(prog: &[Stmt]) -> String {
+    let mut out = String::from("<?php\n");
+    for stmt in prog {
+        emit_stmt(stmt, 0, &mut out);
+    }
+    out
+}
+
+/// Emits a single expression as source text.
+pub fn emit_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    expr_into(expr, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn emit_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Expr(e) => {
+            // `$v = e` at statement level parses as Stmt::Assign; keep
+            // the AssignExpr node by forcing expression context.
+            if matches!(e, Expr::AssignExpr { .. }) {
+                out.push('(');
+                expr_into(e, out);
+                out.push(')');
+            } else {
+                expr_into(e, out);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { var, indices, op, expr } => {
+            out.push('$');
+            out.push_str(var);
+            for idx in indices {
+                out.push('[');
+                if let Some(i) = idx {
+                    expr_into(i, out);
+                }
+                out.push(']');
+            }
+            out.push_str(match op {
+                None => " = ",
+                Some(AssignOp::Concat) => " .= ",
+                Some(AssignOp::Add) => " += ",
+                Some(AssignOp::Sub) => " -= ",
+            });
+            expr_into(expr, out);
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            out.push_str("if (");
+            expr_into(cond, out);
+            out.push_str(") ");
+            emit_block(then_branch, level, out);
+            if else_branch.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(" else ");
+                emit_block(else_branch, level, out);
+                out.push('\n');
+            }
+        }
+        Stmt::While { cond, body } => {
+            out.push_str("while (");
+            expr_into(cond, out);
+            out.push_str(") ");
+            emit_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Foreach { array, key_var, val_var, body } => {
+            out.push_str("foreach (");
+            expr_into(array, out);
+            out.push_str(" as ");
+            if let Some(k) = key_var {
+                out.push('$');
+                out.push_str(k);
+                out.push_str(" => ");
+            }
+            out.push('$');
+            out.push_str(val_var);
+            out.push_str(") ");
+            emit_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Echo(items) => {
+            out.push_str("echo ");
+            for (i, e) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(e, out);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Return(e) => {
+            out.push_str("return");
+            if let Some(e) = e {
+                out.push(' ');
+                expr_into(e, out);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Exit(e) => {
+            out.push_str("exit");
+            if let Some(e) = e {
+                out.push('(');
+                expr_into(e, out);
+                out.push(')');
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+    }
+}
+
+fn emit_block(stmts: &[Stmt], level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in stmts {
+        emit_stmt(s, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+/// True when the expression re-parses as a single primary/postfix unit
+/// and can appear as an operator operand without parentheses.
+fn is_atom(expr: &Expr) -> bool {
+    match expr {
+        Expr::Var(_)
+        | Expr::Interp(_)
+        | Expr::Call { .. }
+        | Expr::ArrayLit(_)
+        | Expr::Isset(_)
+        | Expr::Empty(_) => true,
+        Expr::Index { base, .. } => is_atom(base),
+        // Negative literals re-parse as Unary Neg; keep them wrapped.
+        Expr::Lit(PValue::Int(i)) => *i >= 0,
+        Expr::Lit(PValue::Float(f)) => *f >= 0.0,
+        Expr::Lit(_) => true,
+        _ => false,
+    }
+}
+
+/// Emits `expr`, parenthesized unless atomic (operand position).
+fn operand_into(expr: &Expr, out: &mut String) {
+    if is_atom(expr) {
+        expr_into(expr, out);
+    } else {
+        out.push('(');
+        expr_into(expr, out);
+        out.push(')');
+    }
+}
+
+fn expr_into(expr: &Expr, out: &mut String) {
+    match expr {
+        Expr::Lit(v) => lit_into(v, out),
+        Expr::Var(name) => {
+            out.push('$');
+            out.push_str(name);
+        }
+        Expr::Interp(parts) => {
+            out.push('"');
+            for part in parts {
+                match part {
+                    InterpPart::Lit(s) => push_dq_escaped(s, out),
+                    InterpPart::Var(name) => {
+                        out.push_str("{$");
+                        out.push_str(name);
+                        out.push('}');
+                    }
+                }
+            }
+            out.push('"');
+        }
+        Expr::Index { base, index } => {
+            operand_into(base, out);
+            out.push('[');
+            expr_into(index, out);
+            out.push(']');
+        }
+        Expr::Call { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Unary { op, expr } => {
+            out.push_str(match op {
+                UnaryOp::Not => "!",
+                UnaryOp::Neg => "-",
+                UnaryOp::Silence => "@",
+            });
+            operand_into(expr, out);
+        }
+        Expr::Binary { left, op, right } => {
+            operand_into(left, out);
+            out.push(' ');
+            out.push_str(binop_text(*op));
+            out.push(' ');
+            operand_into(right, out);
+        }
+        Expr::Ternary { cond, then_val, else_val } => {
+            operand_into(cond, out);
+            match then_val {
+                Some(t) => {
+                    out.push_str(" ? ");
+                    operand_into(t, out);
+                    out.push_str(" : ");
+                }
+                None => out.push_str(" ?: "),
+            }
+            operand_into(else_val, out);
+        }
+        Expr::ArrayLit(entries) => {
+            out.push_str("array(");
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                if let Some(k) = key {
+                    expr_into(k, out);
+                    out.push_str(" => ");
+                }
+                expr_into(val, out);
+            }
+            out.push(')');
+        }
+        Expr::Isset(args) => {
+            out.push_str("isset(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Empty(e) => {
+            out.push_str("empty(");
+            expr_into(e, out);
+            out.push(')');
+        }
+        Expr::AssignExpr { var, expr } => {
+            out.push('$');
+            out.push_str(var);
+            out.push_str(" = ");
+            expr_into(expr, out);
+        }
+    }
+}
+
+fn binop_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Concat => ".",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Eq => "==",
+        BinOp::NotEq => "!=",
+        BinOp::Identical => "===",
+        BinOp::NotIdentical => "!==",
+        BinOp::Lt => "<",
+        BinOp::LtEq => "<=",
+        BinOp::Gt => ">",
+        BinOp::GtEq => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn lit_into(v: &PValue, out: &mut String) {
+    match v {
+        PValue::Null => out.push_str("null"),
+        PValue::Bool(true) => out.push_str("true"),
+        PValue::Bool(false) => out.push_str("false"),
+        PValue::Int(i) => out.push_str(&i.to_string()),
+        PValue::Float(f) => {
+            if !f.is_finite() {
+                out.push_str("0.0"); // unreachable from parsed ASTs
+            } else if *f == f.trunc() {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        PValue::Str(s) => {
+            out.push('\'');
+            for ch in s.chars() {
+                match ch {
+                    '\\' => out.push_str("\\\\"),
+                    '\'' => out.push_str("\\'"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\'');
+        }
+        // Not producible by the parser: best-effort forms for debugging.
+        PValue::Array(a) => {
+            out.push_str("array(");
+            for (i, (k, val)) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match k {
+                    PKey::Int(n) => out.push_str(&n.to_string()),
+                    PKey::Str(s) => lit_into(&PValue::Str(s.clone()), out),
+                }
+                out.push_str(" => ");
+                lit_into(val, out);
+            }
+            out.push(')');
+        }
+        PValue::Resource(_) => out.push_str("null"),
+    }
+}
+
+fn push_dq_escaped(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '$' => out.push_str("\\$"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn round_trip(src: &str) {
+        let ast = parse_program(src).expect("source must parse");
+        let emitted = emit_program(&ast);
+        let reparsed = parse_program(&emitted)
+            .unwrap_or_else(|e| panic!("emitted source failed to parse: {e}\n---\n{emitted}"));
+        assert_eq!(ast, reparsed, "round-trip mismatch\n--- emitted ---\n{emitted}");
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        round_trip("<?php $x = 1; $y .= 'a'; $z += 2; $w -= 3;");
+        round_trip("<?php $a[] = 1; $a['k'] = 2; $a[0][1] = 3; $a[$i] = $b;");
+        round_trip("<?php if ($x) { echo 'a'; } else { echo 'b', $y; }");
+        round_trip("<?php if ($x) { echo 1; } elseif ($y) { echo 2; } else { echo 3; }");
+        round_trip("<?php while ($i < 10) { $i += 1; if ($i == 5) { break; } continue; }");
+        round_trip("<?php foreach ($rows as $r) { echo $r; }");
+        round_trip("<?php foreach ($rows as $k => $v) { echo $k, $v; }");
+        round_trip("<?php return; ");
+        round_trip("<?php return $x + 1;");
+        round_trip("<?php exit; ");
+        round_trip("<?php exit('bye');");
+        round_trip("<?php mysql_query($q);");
+        round_trip("<?php $x;");
+        round_trip("<?php $a[0];");
+    }
+
+    #[test]
+    fn expressions_round_trip() {
+        round_trip("<?php $q = \"SELECT * FROM t WHERE id=$id LIMIT 5\";");
+        round_trip("<?php $q = \"a{$x}b\";");
+        round_trip("<?php $q = \"esc \\\" \\$ \\\\ \\n end\";");
+        round_trip("<?php $s = 'it\\'s \\\\ fine';");
+        round_trip("<?php $x = 1 + 2 * 3 - 4 / 5 % 6;");
+        round_trip("<?php $x = (1 + 2) * 3;");
+        round_trip("<?php $x = -$y; $z = !$ok; $w = @f();");
+        round_trip("<?php $x = - (1 + 2);");
+        round_trip("<?php $b = $x == 1 && $y != 2 || $z === 'a' && $w !== null;");
+        round_trip("<?php $b = $x < 1; $c = $x <= 1; $d = $x > 1; $e = $x >= 1;");
+        round_trip("<?php $v = $cond ? 'yes' : 'no';");
+        round_trip("<?php $v = $a ?: 'default';");
+        round_trip("<?php $v = $a ? $b ? 1 : 2 : 3;");
+        round_trip("<?php $a = array(1, 2, 'k' => 'v', $x => $y);");
+        round_trip("<?php $a = [1, 'two', 3.5];");
+        round_trip("<?php $b = isset($a, $c['k']); $e = empty($a);");
+        round_trip("<?php $f = 2.0; $g = 0.5; $h = 123.25;");
+        round_trip("<?php $t = true; $f = false; $n = null;");
+        round_trip("<?php $x = f(g($a), $b . $c, 'lit');");
+        round_trip("<?php $x = $rows[0]['name'];");
+        round_trip("<?php $q = 'SELECT * FROM t WHERE id=' . $id . ' AND h=0';");
+    }
+
+    #[test]
+    fn assign_expr_round_trips_in_expression_context() {
+        // while (($row = mysql_fetch_row($r))) { ... } — the corpus idiom.
+        round_trip("<?php while ($row = mysql_fetch_row($r)) { echo $row[0]; }");
+        round_trip("<?php if ($r = mysql_query($q)) { echo 'ok'; }");
+        // Statement-level AssignExpr must stay an AssignExpr, not become
+        // a Stmt::Assign: emitted with forced parens.
+        let ast = vec![Stmt::Expr(Expr::AssignExpr {
+            var: "x".into(),
+            expr: Box::new(Expr::Lit(PValue::Int(1))),
+        })];
+        let emitted = emit_program(&ast);
+        assert_eq!(parse_program(&emitted).unwrap(), ast, "emitted: {emitted}");
+    }
+
+    #[test]
+    fn interp_literal_braces_cannot_reopen_interpolation() {
+        // `$` is escaped unconditionally, so `{` + Var part boundary can
+        // never merge into `{$name}` of a *literal* dollar.
+        let ast = vec![Stmt::Echo(vec![Expr::Interp(vec![
+            InterpPart::Lit("{".into()),
+            InterpPart::Var("x".into()),
+            InterpPart::Lit("} ${literal} plain".into()),
+        ])])];
+        let emitted = emit_program(&ast);
+        assert_eq!(parse_program(&emitted).unwrap(), ast, "emitted: {emitted}");
+    }
+
+    #[test]
+    fn corpus_shaped_source_round_trips() {
+        round_trip(
+            r#"<?php
+$id = $_GET['item'];
+$r = mysql_query("SELECT id, name FROM tbl WHERE id=" . $id . " AND hidden=0");
+if ($r) {
+    while ($row = mysql_fetch_row($r)) {
+        echo "<li>", $row[0], "</li>";
+    }
+} else {
+    echo "db error: ", mysql_error();
+}
+"#,
+        );
+        round_trip(
+            r#"<?php
+$s = trim(stripslashes($_GET['q']));
+$r = mysql_query("SELECT name, info FROM t WHERE hidden=0 AND name LIKE '%" . $s . "%' ORDER BY id");
+echo "done";
+"#,
+        );
+        round_trip(
+            r#"<?php
+$ids = $_GET['ids'];
+$r = db_query("SELECT name FROM n WHERE id IN (:ids)", array(':ids' => $ids));
+"#,
+        );
+    }
+}

@@ -56,6 +56,7 @@
 pub mod ast;
 pub mod builtins;
 pub mod cost;
+pub mod emit;
 pub mod fragments;
 pub mod interp;
 pub mod lexer;
@@ -64,6 +65,7 @@ pub mod span;
 pub mod value;
 pub mod visit;
 
+pub use emit::{emit_expr, emit_program};
 pub use fragments::extract_fragments;
 pub use interp::{Host, Interp, PhpError, QueryOutcome};
 pub use parser::{parse_program, parse_program_spanned};

@@ -45,12 +45,17 @@
 //! ```
 
 pub mod analyzer;
+pub mod harden;
 pub mod lattice;
 pub mod querymodel;
 pub mod report;
 pub mod summaries;
 
 pub use analyzer::{analyze_source, AnalyzerConfig, Finding, TaintSummary};
+pub use harden::{
+    harden_app, harden_source, unparameterized_sink_lint, HardenReport, RouteHarden, SkipReason,
+    UnparameterizedSink,
+};
 pub use lattice::{AbstractVal, Taint};
 pub use querymodel::{app_query_models, infer_source, EndpointModel, SiteModel};
 pub use report::{render_finding, render_summary};

@@ -112,6 +112,20 @@ impl WebApp {
         self.plugins.values()
     }
 
+    /// Replaces a plugin's source text, invalidating its parse-cache
+    /// entry (a stale cached program would silently keep serving the old
+    /// code). Returns false when no such plugin exists.
+    pub fn set_plugin_source(&mut self, slug: &str, source: &str) -> bool {
+        match self.plugins.get_mut(slug) {
+            Some(p) => {
+                p.source = source.to_string();
+                self.parsed.remove(slug);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of registered plugins.
     pub fn plugin_count(&self) -> usize {
         self.plugins.len()

@@ -62,6 +62,14 @@ echo "==> pipeline smoke"
 cargo run --quiet --release -p joza-bench --bin pipeline -- \
     --requests 24 --repeat 1 --threads 1 --out /tmp/joza_pipeline_smoke.json
 
+# Hardening smoke: the binary asserts >= 50/57 routes statically
+# rewritten to prepared statements, a passing differential (bit-identical
+# benign responses + DB state, every ungated exploit on rewritten routes
+# neutralized), and no effective gated attacks before timing anything.
+echo "==> harden smoke"
+cargo run --quiet --release -p joza-bench --bin harden -- \
+    --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_harden_smoke.json
+
 # Deprecation containment: the legacy QueryGate adapter may only be used
 # by its own shim module and the equivalence test. (clippy -D warnings
 # already rejects in-tree deprecated calls; this also catches new

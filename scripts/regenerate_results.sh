@@ -22,4 +22,7 @@ cargo run --quiet --release -p joza-bench --bin nti_kernel -- \
 echo "== querymodel (timed) =="
 cargo run --quiet --release -p joza-bench --bin querymodel -- \
     --out results/BENCH_querymodel.json > results/querymodel.txt
+echo "== harden (timed) =="
+cargo run --quiet --release -p joza-bench --bin harden -- \
+    --out results/BENCH_harden.json > results/harden.txt
 echo "done: $(ls results | wc -l) result files in results/"

@@ -171,7 +171,8 @@ fn path_counters_partition_checks_under_stress() {
     assert_eq!(stats.model_fast_hits, WORKERS * ROUNDS);
     assert_eq!(stats.static_hits, WORKERS * ROUNDS);
     assert_eq!(stats.full_checks, WORKERS * ROUNDS * 2);
-    assert_eq!(stats.route_misses, WORKERS * ROUNDS);
+    assert_eq!(stats.route_misses_unknown, WORKERS * ROUNDS);
+    assert_eq!(stats.route_misses_incomplete, 0);
     assert_eq!(stats.attacks, WORKERS * ROUNDS.div_ceil(9));
 }
 
