@@ -1,65 +1,80 @@
-//! Thread-scaling benchmark: requests/sec and gate latency at 1/2/4/8
-//! worker threads for three gate configurations.
+//! Thread-scaling benchmark over the batch-first serving API: checked
+//! queries/sec and per-request batch latency at 1/2/4/8 worker threads,
+//! plus a deploy-under-load pass at the highest thread count.
 //!
 //! The paper deploys Joza on a production web server where many PHP
-//! workers serve concurrently against one shared engine. This benchmark
-//! measures how the lock-sharded engine core holds up in that regime:
+//! workers gate queries concurrently against one shared engine. Earlier
+//! revisions of this benchmark measured that regime *through* the
+//! simulated PHP application, whose interpreter dominated the profile and
+//! capped the observable engine speedup. This revision drives the serving
+//! seam directly, the way the redesigned API intends: each worker opens a
+//! `JozaSession` per request and checks the request's whole query batch
+//! with one `check_batch` call.
 //!
-//! * **plain** — no protection ([`joza_webapp::gate::AllowAll`]): the
-//!   testbed's raw serving capacity;
-//! * **joza-optimized** — one shared lock-sharded [`Joza`] engine
-//!   (16 shards, long-lived daemons, shared query cache) with the modeled
-//!   off-CPU pipe round-trip latency applied, so each worker genuinely
-//!   *waits* on its daemon the way a PHP worker waits on a pipe;
-//! * **static-fastpath** — the same engine behind
-//!   [`joza_webapp::gate::StaticFastPath`], with routes proven taint-free
-//!   by the static analyzer short-circuiting the dynamic gate entirely.
+//! The workload is `joza_lab::serve_live` traffic: Zipf-distributed route
+//! popularity, globally unique query literals (no PTI query-cache hit
+//! ever masks a daemon round trip), and periodic attack bursts, so both
+//! verdict polarities are exercised at every thread count. The engine
+//! runs model-free here — every check takes the full dynamic NTI/PTI
+//! path, including the modeled off-CPU pipe round trip — which is what
+//! makes the scaling headroom real: workers overlap their pipe waits
+//! while the lock-sharded core (16 shards, per-worker stats cells) stays
+//! off the critical path.
 //!
-//! The workload is fresh-content comment posting — the query-cache-
-//! hostile case, so every measured request drives at least one real
-//! daemon round trip through the sharded engine rather than a cache hit.
-//! Verdicts at every thread count are checked against a fresh
-//! single-threaded engine: sharding must never change a decision.
+//! Verdicts at every thread count are compared **bit-for-bit** (full
+//! `Verdict` equality: decision, detector, stage trace, generation)
+//! against a fresh single-threaded engine serving the same corpus.
+//! The deploy-under-load pass then serves the same traffic shape at the
+//! highest thread count while a deployer thread hot-swaps the static
+//! query models in and back out mid-run, reporting the swap latency and
+//! the batch-latency percentiles observed around it.
 //!
 //! Usage:
 //!
 //! ```text
-//! scaling [--requests N] [--repeat R] [--threads 1,2,4,8]
-//!         [--pipe-latency-us US] [--out results/BENCH_scaling.json]
+//! scaling [--requests N] [--batch B] [--repeat R] [--threads 1,2,4,8]
+//!         [--pipe-latency-us US] [--min-speedup X]
+//!         [--out results/BENCH_scaling.json]
 //! ```
+//!
+//! `--min-speedup X` makes the run fail unless the highest thread count
+//! reaches `X`× the single-thread checked-query throughput (0 disables
+//! the gate; CI uses it as a regression tripwire).
 
 use joza_bench::report::{provenance_json, render_table};
-use joza_core::{Joza, JozaConfig, MatchKernel};
-use joza_lab::serve::{serve_parallel, ParallelRun};
-use joza_lab::{build_lab, Lab};
-use joza_sast::{analyze_app, taint_free_routes};
-use joza_webapp::gate::{AllowAll, GateFactory, StaticFastPath};
-use joza_webapp::request::HttpRequest;
+use joza_core::{Joza, JozaConfig, MatchKernel, ModelUpdate};
+use joza_lab::serve_live::{
+    live_corpus, live_engine, live_testbed, serve_live, serve_live_deploying, LiveReport,
+    LiveRequest, LiveTestbed, LiveWorkload,
+};
 use std::time::Duration;
 
-/// Engine shard count used for the sharded cells (comfortably above the
-/// largest thread count so workers never share a shard).
+/// Engine shard count (comfortably above the largest thread count so
+/// concurrent workers never share a PTI shard or stats cell).
 const SHARDS: usize = 16;
 
-/// Builds a fresh gate for one measurement cell (no cell inherits another
-/// cell's cache warmth or MRU order).
-type GateMaker<'a> = Box<dyn Fn() -> Box<dyn GateFactory> + 'a>;
+/// Routes in the synthetic testbed.
+const ROUTES: usize = 24;
 
 #[derive(Debug)]
 struct Args {
     requests: usize,
+    batch: usize,
     repeat: usize,
     threads: Vec<usize>,
     pipe_latency: Duration,
+    min_speedup: f64,
     out: String,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        requests: 96,
+        requests: 64,
+        batch: 4,
         repeat: 3,
         threads: vec![1, 2, 4, 8],
         pipe_latency: Duration::from_micros(400),
+        min_speedup: 0.0,
         out: "results/BENCH_scaling.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -67,6 +82,7 @@ fn parse_args() -> Args {
         let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match flag.as_str() {
             "--requests" => args.requests = value().parse().expect("--requests"),
+            "--batch" => args.batch = value().parse().expect("--batch"),
             "--repeat" => args.repeat = value().parse().expect("--repeat"),
             "--threads" => {
                 args.threads =
@@ -76,11 +92,13 @@ fn parse_args() -> Args {
                 args.pipe_latency =
                     Duration::from_micros(value().parse().expect("--pipe-latency-us"));
             }
+            "--min-speedup" => args.min_speedup = value().parse().expect("--min-speedup"),
             "--out" => args.out = value(),
             other => panic!("unknown flag {other}"),
         }
     }
     assert!(!args.threads.is_empty(), "--threads needs at least one entry");
+    assert!(args.repeat >= 1, "--repeat needs at least one measured pass");
     args
 }
 
@@ -93,14 +111,15 @@ fn scaled_config(pipe_latency: Duration) -> JozaConfig {
     cfg
 }
 
-/// One measured cell: a gate at a thread count.
+/// One measured cell: the engine at a thread count, aggregated over the
+/// measured passes.
 #[derive(Debug, Clone)]
 struct Cell {
     threads: usize,
     requests_per_sec: f64,
     queries_per_sec: f64,
-    gate_p50: Duration,
-    gate_p99: Duration,
+    batch_p50: Duration,
+    batch_p99: Duration,
     verdicts_match: bool,
 }
 
@@ -112,63 +131,139 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx]
 }
 
-/// The workload: pass-unique comment posts (query-cache hostile), so
-/// warmup and every measured repetition carry fresh INSERT content.
-fn workload(n: usize, pass: usize) -> Vec<HttpRequest> {
-    joza_bench::workload::write_requests_pass(n, pass)
+/// Per-pass corpora with disjoint literal-id ranges, so no pass (warmup
+/// included) ever re-checks query text an earlier pass put in a cache.
+/// Pass 0 is the untimed warmup.
+fn pass_corpora(testbed: &LiveTestbed, args: &Args) -> Vec<Vec<LiveRequest>> {
+    (0..=args.repeat)
+        .map(|pass| {
+            live_corpus(
+                testbed,
+                &LiveWorkload {
+                    requests: args.requests,
+                    batch: args.batch,
+                    seed: 0x4a5a + pass as u64,
+                    id_base: (pass * args.requests * args.batch) as u64,
+                    ..LiveWorkload::default()
+                },
+            )
+        })
+        .collect()
 }
 
-/// Serves `repeat` fresh-content passes through `factory` at `threads`
-/// workers and aggregates throughput + latency over the measured passes.
-/// Pass 0 is untimed warmup (daemons spawned, SELECT side of the route
-/// cached); passes `1..=repeat` are measured.
+/// Serves every pass (warmup untimed, then the measured ones) through a
+/// fresh engine at `threads` workers, comparing each measured pass's
+/// verdicts bit-for-bit against `reference` (one entry per measured
+/// pass; `None` skips comparison — used when *producing* the reference).
 fn measure(
-    factory: &dyn GateFactory,
+    testbed: &LiveTestbed,
+    args: &Args,
+    corpora: &[Vec<LiveRequest>],
     threads: usize,
-    requests: usize,
-    repeat: usize,
-    reference: &[bool],
-) -> Cell {
-    let _ = serve_parallel(build_lab, factory, threads, &workload(requests, 0));
+    reference: Option<&[LiveReport]>,
+) -> (Cell, Vec<LiveReport>) {
+    let joza = live_engine(testbed, scaled_config(args.pipe_latency), false);
+    let _ = serve_live(&joza, testbed, &corpora[0], threads);
     let mut wall = Duration::ZERO;
     let mut served = 0usize;
     let mut queries = 0usize;
-    let mut gate_times: Vec<Duration> = Vec::with_capacity(requests * repeat);
+    let mut latencies: Vec<Duration> = Vec::new();
     let mut verdicts_match = true;
-    for pass in 1..=repeat.max(1) {
-        let reqs = workload(requests, pass);
-        let run: ParallelRun = serve_parallel(build_lab, factory, threads, &reqs);
-        wall += run.wall;
-        served += run.responses.len();
-        for (resp, expected_blocked) in run.responses.iter().zip(reference) {
-            queries += resp.queries.len();
-            gate_times.push(resp.gate_time);
-            if resp.blocked != *expected_blocked {
+    let mut reports = Vec::with_capacity(args.repeat);
+    for pass in 1..=args.repeat {
+        let report = serve_live(&joza, testbed, &corpora[pass], threads);
+        wall += report.wall;
+        served += report.verdicts.len();
+        queries += report.queries();
+        latencies.extend_from_slice(&report.request_latencies);
+        if let Some(refs) = reference {
+            if report.verdicts != refs[pass - 1].verdicts {
                 verdicts_match = false;
             }
         }
+        reports.push(report);
     }
-    gate_times.sort();
+    let stats = joza.stats();
+    let expected = ((args.repeat + 1) * args.requests * args.batch) as u64;
+    assert_eq!(stats.queries, expected, "stats lost queries at {threads} threads");
+    assert_eq!(
+        stats.model_fast_hits + stats.static_hits + stats.full_checks,
+        stats.queries,
+        "path partition broken at {threads} threads"
+    );
+    latencies.sort();
     let secs = wall.as_secs_f64();
-    Cell {
+    let cell = Cell {
         threads,
         requests_per_sec: if secs > 0.0 { served as f64 / secs } else { 0.0 },
         queries_per_sec: if secs > 0.0 { queries as f64 / secs } else { 0.0 },
-        gate_p50: percentile(&gate_times, 0.50),
-        gate_p99: percentile(&gate_times, 0.99),
+        batch_p50: percentile(&latencies, 0.50),
+        batch_p99: percentile(&latencies, 0.99),
         verdicts_match,
-    }
+    };
+    (cell, reports)
 }
 
-/// Blocked-flags from a fresh single-threaded engine serving the same
-/// measured passes — the consistency reference every cell is checked
-/// against. (All passes use the same per-pass request generator, and
-/// the workload is benign, so one pass's flags cover them all.)
-fn single_thread_reference(make: &dyn Fn() -> Box<dyn GateFactory>, requests: usize) -> Vec<bool> {
-    let factory = make();
-    let _ = serve_parallel(build_lab, factory.as_ref(), 1, &workload(requests, 0));
-    let run = serve_parallel(build_lab, factory.as_ref(), 1, &workload(requests, 1));
-    run.responses.iter().map(|r| r.blocked).collect()
+/// The deploy-under-load pass: serves one corpus at `threads` workers
+/// while a deployer thread swaps the static query models in (generation
+/// 1) and back out (generation 2) halfway through the run.
+#[derive(Debug)]
+struct DeployRun {
+    threads: usize,
+    deploy_wall: Duration,
+    batch_p50: Duration,
+    batch_p99: Duration,
+    final_generation: u64,
+    max_worker_generation: u64,
+    queries: usize,
+}
+
+fn deploy_under_load(testbed: &LiveTestbed, args: &Args, threads: usize) -> DeployRun {
+    let joza = live_engine(testbed, scaled_config(args.pipe_latency), false);
+    // A dedicated id range far past every scaling pass keeps this corpus
+    // cache-hostile too.
+    let corpus = live_corpus(
+        testbed,
+        &LiveWorkload {
+            requests: args.requests,
+            batch: args.batch,
+            seed: 0x5eed,
+            id_base: 1_000_000,
+            ..LiveWorkload::default()
+        },
+    );
+    let report =
+        serve_live_deploying(&joza, testbed, &corpus, threads, corpus.len() / 2, |j: &Joza| {
+            j.deploy(ModelUpdate::new().query_models(testbed.models.clone()))
+                .expect("mid-run model rollout");
+            j.deploy(ModelUpdate::new().clear_query_models()).expect("mid-run rollback");
+        });
+    for (req, batch) in corpus.iter().zip(&report.verdicts) {
+        for v in batch {
+            assert_eq!(
+                v.is_safe(),
+                !req.attack,
+                "deploy-under-load verdict diverged from ground truth"
+            );
+        }
+    }
+    let stats = joza.stats();
+    assert_eq!(stats.queries as usize, report.queries(), "queries dropped across the swap");
+    assert_eq!(
+        stats.model_fast_hits + stats.static_hits + stats.full_checks,
+        stats.queries,
+        "path partition broken across the swap"
+    );
+    assert_eq!(joza.generation(), 2, "rollout + rollback must land at generation 2");
+    DeployRun {
+        threads,
+        deploy_wall: report.deploy_wall.expect("deploy must have fired"),
+        batch_p50: report.latency_percentile(0.50),
+        batch_p99: report.latency_percentile(0.99),
+        final_generation: joza.generation(),
+        max_worker_generation: report.worker_generations.iter().copied().max().unwrap_or(0),
+        queries: report.queries(),
+    }
 }
 
 fn json_cells(cells: &[Cell]) -> String {
@@ -178,14 +273,14 @@ fn json_cells(cells: &[Cell]) -> String {
         .map(|c| {
             let speedup = if base > 0.0 { c.queries_per_sec / base } else { 0.0 };
             format!(
-                "      {{\"threads\": {}, \"requests_per_sec\": {:.1}, \"queries_per_sec\": {:.1}, \
-                 \"gate_p50_us\": {}, \"gate_p99_us\": {}, \"speedup_vs_1t\": {:.2}, \
-                 \"verdicts_match_single_thread\": {}}}",
+                "    {{\"threads\": {}, \"requests_per_sec\": {:.1}, \"queries_per_sec\": {:.1}, \
+                 \"batch_p50_us\": {}, \"batch_p99_us\": {}, \"speedup_vs_1t\": {:.2}, \
+                 \"verdicts_bit_identical\": {}}}",
                 c.threads,
                 c.requests_per_sec,
                 c.queries_per_sec,
-                c.gate_p50.as_micros(),
-                c.gate_p99.as_micros(),
+                c.batch_p50.as_micros(),
+                c.batch_p99.as_micros(),
                 speedup,
                 c.verdicts_match
             )
@@ -196,101 +291,118 @@ fn json_cells(cells: &[Cell]) -> String {
 
 fn main() {
     let args = parse_args();
-    let lab: Lab = build_lab();
-
-    let fast_routes = taint_free_routes(&analyze_app(&lab.server.app));
+    let testbed = live_testbed(ROUTES);
     println!(
-        "scaling: {} requests x {} passes, threads {:?}, pipe latency {:?}, {} fast-path routes",
-        args.requests,
-        args.repeat,
-        args.threads,
-        args.pipe_latency,
-        fast_routes.len()
+        "scaling: {} requests x {} queries x {} passes, threads {:?}, pipe latency {:?}, {} routes",
+        args.requests, args.batch, args.repeat, args.threads, args.pipe_latency, ROUTES
     );
+    let corpora = pass_corpora(&testbed, &args);
 
-    let gates: Vec<(&str, GateMaker)> = vec![
-        ("plain", Box::new(|| Box::new(AllowAll))),
-        ("joza-optimized", {
-            let app = &lab.server.app;
-            let latency = args.pipe_latency;
-            Box::new(move || Box::new(Joza::install(app, scaled_config(latency))))
-        }),
-        ("static-fastpath", {
-            let app = &lab.server.app;
-            let latency = args.pipe_latency;
-            let routes = fast_routes.clone();
-            Box::new(move || {
-                Box::new(StaticFastPath::new(
-                    Joza::install(app, scaled_config(latency)),
-                    routes.iter().cloned(),
-                ))
-            })
-        }),
-    ];
-
-    let mut json_gates = Vec::new();
-    for (name, make) in &gates {
-        let reference = single_thread_reference(make.as_ref(), args.requests);
-        assert!(
-            reference.iter().all(|b| !b),
-            "{name}: benign workload blocked single-threaded (false positive)"
-        );
-        let mut cells = Vec::new();
-        for &t in &args.threads {
-            let factory = make();
-            cells.push(measure(factory.as_ref(), t, args.requests, args.repeat, &reference));
+    // The bit-identity reference: a fresh engine serving every measured
+    // pass single-threaded. Benign requests must be allowed and attack
+    // bursts blocked before any throughput number means anything.
+    let (_, reference) = measure(&testbed, &args, &corpora, 1, None);
+    for (pass, report) in reference.iter().enumerate() {
+        for (req, batch) in corpora[pass + 1].iter().zip(&report.verdicts) {
+            for v in batch {
+                assert_eq!(
+                    v.is_safe(),
+                    !req.attack,
+                    "single-thread reference diverged from ground truth"
+                );
+            }
         }
-        let base = cells[0].queries_per_sec;
-        let rows: Vec<Vec<String>> = cells
-            .iter()
-            .map(|c| {
-                vec![
-                    c.threads.to_string(),
-                    format!("{:.1}", c.requests_per_sec),
-                    format!("{:.1}", c.queries_per_sec),
-                    format!("{:?}", c.gate_p50),
-                    format!("{:?}", c.gate_p99),
-                    format!("{:.2}x", if base > 0.0 { c.queries_per_sec / base } else { 0.0 }),
-                    if c.verdicts_match { "yes" } else { "NO" }.to_string(),
-                ]
-            })
-            .collect();
-        println!("\n== {name} ==");
-        println!(
-            "{}",
-            render_table(
-                &[
-                    "Threads",
-                    "Req/s",
-                    "Checked q/s",
-                    "Gate p50",
-                    "Gate p99",
-                    "Speedup",
-                    "Verdicts ok"
-                ],
-                &rows
-            )
-        );
-        for c in &cells {
-            assert!(c.verdicts_match, "{name}: verdict mismatch at {} threads", c.threads);
-        }
-        json_gates.push(format!(
-            "    {{\"gate\": \"{name}\", \"cells\": [\n{}\n    ]}}",
-            json_cells(&cells)
-        ));
     }
 
-    let json = format!
-    (
-        "{{\n  \"benchmark\": \"scaling\",\n  \"provenance\": {},\n  \"requests_per_pass\": {},\n  \"passes\": {},\n  \
-         \"pipe_latency_us\": {},\n  \"shards\": {},\n  \"workload\": \"fresh-content comment posts\",\n  \
-         \"gates\": [\n{}\n  ]\n}}\n",
+    let mut cells = Vec::new();
+    for &t in &args.threads {
+        let (cell, _) = measure(&testbed, &args, &corpora, t, Some(&reference));
+        cells.push(cell);
+    }
+    let base = cells[0].queries_per_sec;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.threads.to_string(),
+                format!("{:.1}", c.requests_per_sec),
+                format!("{:.1}", c.queries_per_sec),
+                format!("{:?}", c.batch_p50),
+                format!("{:?}", c.batch_p99),
+                format!("{:.2}x", if base > 0.0 { c.queries_per_sec / base } else { 0.0 }),
+                if c.verdicts_match { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "Threads",
+                "Req/s",
+                "Checked q/s",
+                "Batch p50",
+                "Batch p99",
+                "Speedup",
+                "Bit-identical"
+            ],
+            &rows
+        )
+    );
+    for c in &cells {
+        assert!(c.verdicts_match, "verdict mismatch vs single-thread at {} threads", c.threads);
+    }
+    let top = cells.last().expect("at least one cell");
+    let top_speedup = if base > 0.0 { top.queries_per_sec / base } else { 0.0 };
+    if args.min_speedup > 0.0 {
+        assert!(
+            top_speedup >= args.min_speedup,
+            "speedup gate failed: {:.2}x at {} threads < required {:.2}x",
+            top_speedup,
+            top.threads,
+            args.min_speedup
+        );
+        println!("speedup gate passed: {:.2}x >= {:.2}x", top_speedup, args.min_speedup);
+    }
+
+    let max_threads = args.threads.iter().copied().max().unwrap_or(1);
+    let deploy = deploy_under_load(&testbed, &args, max_threads);
+    println!(
+        "\ndeploy under load ({} threads): rollout+rollback in {:?}, batch p50 {:?} / p99 {:?}, \
+         final generation {}, {} queries conserved",
+        deploy.threads,
+        deploy.deploy_wall,
+        deploy.batch_p50,
+        deploy.batch_p99,
+        deploy.final_generation,
+        deploy.queries
+    );
+
+    let threads_list = args.threads.iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
+    let json = format!(
+        "{{\n  \"benchmark\": \"scaling\",\n  \"provenance\": {},\n  \"threads\": [{}],\n  \
+         \"requests_per_pass\": {},\n  \"batch\": {},\n  \"passes\": {},\n  \
+         \"pipe_latency_us\": {},\n  \"shards\": {},\n  \"routes\": {},\n  \
+         \"workload\": \"serve_live: zipf routes, unique literals, attack bursts\",\n  \
+         \"cells\": [\n{}\n  ],\n  \"deploy_under_load\": {{\"threads\": {}, \"deploys\": 2, \
+         \"deploy_wall_us\": {}, \"batch_p50_us\": {}, \"batch_p99_us\": {}, \
+         \"final_generation\": {}, \"max_worker_generation\": {}, \"queries\": {}}}\n}}\n",
         provenance_json(&MatchKernel::default().to_string()),
+        threads_list,
         args.requests,
+        args.batch,
         args.repeat,
         args.pipe_latency.as_micros(),
         SHARDS,
-        json_gates.join(",\n")
+        ROUTES,
+        json_cells(&cells),
+        deploy.threads,
+        deploy.deploy_wall.as_micros(),
+        deploy.batch_p50.as_micros(),
+        deploy.batch_p99.as_micros(),
+        deploy.final_generation,
+        deploy.max_worker_generation,
+        deploy.queries
     );
     if let Some(dir) = std::path::Path::new(&args.out).parent() {
         std::fs::create_dir_all(dir).expect("create output directory");

@@ -26,26 +26,36 @@
 //!
 //! The API surface is one session type:
 //!
-//! * [`Joza`] + [`JozaSession`] — capture inputs, check queries; the same
-//!   type serves direct library use and, through the
-//!   [`joza_webapp::gate::GateFactory`] impl on [`Joza`], the multi-worker
-//!   server integration;
+//! * [`Joza`] + [`JozaSession`] — capture inputs, check queries one at a
+//!   time ([`JozaSession::check`]) or batched
+//!   ([`JozaSession::check_batch`]); the same type serves direct library
+//!   use and, through the [`joza_webapp::gate::GateFactory`] impl on
+//!   [`Joza`], the multi-worker server integration;
+//! * [`Joza::deploy`] — hot-swap the static query models and taint-free
+//!   whitelist under live traffic, without rebuilding the engine;
 //! * [`Joza::install`] / [`Joza::installer`] — the installer: extract
 //!   string fragments from every source file of a [`WebApp`];
-//! * [`shim`] — the deprecated legacy [`joza_webapp::gate::QueryGate`]
-//!   adapter, kept only for old integrations and equivalence testing.
+//! * [`shim`] — the deprecated legacy single-worker gate adapter, kept
+//!   only for old integrations and equivalence testing.
 //!
 //! # Concurrency
 //!
-//! The engine is **lock-sharded** (see `DESIGN.md` §6). The read-mostly
-//! side — fragment store, compiled matchers, NTI analyzer, config, query
-//! models — is shared and consulted through `&self` with no lock. The
-//! mutable side — PTI daemon clients, per-shard statistics — lives in
-//! per-worker shards selected by a thread-local worker id, with a
-//! [`SharedQueryCache`] read layer spanning all shards. The NTI stage runs
-//! entirely outside any lock; only the PTI stage and the final stats
-//! record take the calling worker's own shard lock, so N workers proceed
-//! in parallel instead of serializing on one global mutex.
+//! The engine is **lock-sharded** (see `DESIGN.md` §6, §11). The
+//! read-mostly side — fragment store, compiled matchers, NTI analyzer,
+//! config — is shared and consulted through `&self` with no lock. The
+//! route-keyed knowledge (query models, taint-free whitelist, assembled
+//! pipeline) lives in an RCU-style *deployment*: an immutable release
+//! behind an `RwLock<Arc<_>>` that [`Joza::deploy`] swaps atomically;
+//! sessions pin the release current when they were opened, so a request
+//! is served end-to-end by one consistent model generation. PTI daemon
+//! clients live in per-worker shards selected by a thread-local worker
+//! id, with a [`SharedQueryCache`] read layer spanning all shards.
+//! Statistics are **contention-free**: each check accumulates a plain
+//! delta and flushes it into the calling worker's own cache-line-aligned
+//! atomic cell; [`Joza::stats`] merges the cells on the read side. The
+//! NTI stage runs entirely outside any lock; only the PTI stage takes
+//! the calling worker's own shard lock, so N workers proceed in parallel
+//! instead of serializing on one global mutex.
 //!
 //! # Examples
 //!
@@ -67,6 +77,7 @@
 pub mod artifacts;
 pub mod pipeline;
 pub mod shim;
+mod stats;
 
 pub use artifacts::QueryArtifacts;
 pub use joza_nti::MatchKernel;
@@ -80,10 +91,11 @@ use joza_pti::{FragmentStore, SharedQueryCache};
 pub use joza_sqlparse::template::{QueryModelIndex, RouteModel};
 use joza_webapp::app::WebApp;
 use joza_webapp::gate::{GateDecision, GateFactory, GateSession, RawInput};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pipeline::{CheckCx, CheckPipeline};
+use stats::StatsCell;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -249,8 +261,12 @@ impl Verdict {
 ///
 /// The three path counters partition the checks:
 /// `model_fast_hits + static_hits + full_checks == queries` holds by
-/// construction — each check increments exactly one of them, under the
-/// same shard lock as `queries`, from the verdict's stage trace.
+/// construction — each check contributes `queries += 1` and exactly one
+/// path counter to the *same* locally-accumulated delta (derived from
+/// the verdict's stage trace in one place), and deltas are flushed into
+/// per-worker atomic cells counter-by-counter. The invariant is exact at
+/// every quiescent point (after joins/barriers); see the `stats` module
+/// docs for the mid-flight caveat.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JozaStats {
     /// Queries checked.
@@ -325,10 +341,100 @@ impl JozaStats {
     }
 }
 
-/// One worker's slice of the mutable engine state.
-struct Shard {
-    pti: PtiComponent,
-    stats: JozaStats,
+/// One immutable release of the engine's route-keyed knowledge: the
+/// static query-model index, the taint-free whitelist, and the check
+/// pipeline assembled for exactly that pair (plus the engine's detector
+/// config). [`Joza::deploy`] swaps releases atomically, RCU-style:
+/// readers clone an `Arc` and never block a writer for longer than the
+/// pointer swap; an old release is freed when the last session pinning
+/// it drops.
+#[derive(Debug)]
+pub(crate) struct Deployment {
+    /// Monotone release number: `0` as built, `+1` per successful
+    /// deploy. Stamped into every [`StageTrace`] served by this release.
+    generation: u64,
+    models: Option<Arc<QueryModelIndex>>,
+    taint_free: Option<Arc<BTreeSet<String>>>,
+    checks: CheckPipeline,
+}
+
+impl Deployment {
+    fn model_for(&self, route: &str) -> Option<Arc<RouteModel>> {
+        self.models.as_deref().and_then(|m| m.get_arc(route))
+    }
+}
+
+/// A partial update to the engine's deployed route knowledge, applied by
+/// [`Joza::deploy`]. Fields left untouched keep the currently-deployed
+/// value, so a rollout can replace just the model index, just the
+/// taint-free whitelist, or both; rolling *back* is deploying the
+/// previous index again (cheap — [`QueryModelIndex`] clones share the
+/// per-route models).
+#[derive(Debug, Default)]
+pub struct ModelUpdate {
+    models: Option<QueryModelIndex>,
+    clear_models: bool,
+    taint_free: Option<BTreeSet<String>>,
+    clear_taint_free: bool,
+}
+
+impl ModelUpdate {
+    /// An empty update (deploying it still mints a new generation).
+    pub fn new() -> Self {
+        ModelUpdate::default()
+    }
+
+    /// Replaces the deployed static query-model index.
+    #[must_use]
+    pub fn query_models(mut self, models: QueryModelIndex) -> Self {
+        self.models = Some(models);
+        self.clear_models = false;
+        self
+    }
+
+    /// Removes the deployed model index entirely (every route falls back
+    /// to the dynamic pipeline).
+    #[must_use]
+    pub fn clear_query_models(mut self) -> Self {
+        self.models = None;
+        self.clear_models = true;
+        self
+    }
+
+    /// Replaces the deployed taint-free whitelist with these routes.
+    #[must_use]
+    pub fn taint_free_routes<I, S>(mut self, routes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.taint_free = Some(routes.into_iter().map(|r| r.as_ref().to_string()).collect());
+        self.clear_taint_free = false;
+        self
+    }
+
+    /// Removes the deployed taint-free whitelist entirely.
+    #[must_use]
+    pub fn clear_taint_free_routes(mut self) -> Self {
+        self.taint_free = None;
+        self.clear_taint_free = true;
+        self
+    }
+}
+
+/// Rejects a model index that names routes the application does not
+/// serve — a deploy-time misconfiguration that would otherwise surface
+/// only as silent `route_misses_unknown` drift at runtime.
+fn validate_model_routes(
+    models: Option<&QueryModelIndex>,
+    known: Option<&BTreeSet<String>>,
+) -> Result<(), JozaBuildError> {
+    if let (Some(models), Some(known)) = (models, known) {
+        if let Some(rogue) = models.routes().find(|r| !known.contains(*r)) {
+            return Err(JozaBuildError::UnknownModelRoute(rogue.to_string()));
+        }
+    }
+    Ok(())
 }
 
 /// Gives each OS thread that calls into Joza a stable worker index.
@@ -354,23 +460,33 @@ pub struct Joza {
     pub(crate) nti: NtiAnalyzer,
     store: Arc<FragmentStore>,
     shared_query_cache: Option<Arc<SharedQueryCache>>,
-    shards: Box<[OnceLock<Mutex<Shard>>]>,
+    shards: Box<[OnceLock<Mutex<PtiComponent>>]>,
+    /// Per-worker statistics cells, one per shard slot; checks flush
+    /// locally-accumulated deltas here, [`Joza::stats`] merges on read.
+    stats_cells: Box<[StatsCell]>,
     fragment_count: usize,
-    /// Per-route static query models (read-only after build; consulted
-    /// through `&self` with no lock, like the NTI side).
-    models: Option<Arc<QueryModelIndex>>,
-    /// Routes proven taint-free by the static analyzer: the static fast
-    /// path's whitelist.
-    pub(crate) taint_free: Option<BTreeSet<String>>,
-    checks: CheckPipeline,
+    /// Routes the application actually serves, when the builder was told
+    /// them ([`JozaBuilder::known_routes`]; `Joza::installer` fills it
+    /// from the app). The consistency oracle for model installs and
+    /// deploys.
+    known_routes: Option<BTreeSet<String>>,
+    /// The current release of route-keyed knowledge. Readers clone the
+    /// inner `Arc` under a momentary read lock; [`Joza::deploy`] holds
+    /// the write lock only for the pointer swap.
+    deployment: RwLock<Arc<Deployment>>,
+    /// Generation minted by the most recent deploy (the as-built
+    /// deployment is generation 0).
+    next_generation: AtomicU64,
 }
 
 impl std::fmt::Debug for Joza {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dep = self.deployment.read();
         f.debug_struct("Joza")
             .field("fragments", &self.fragment_count)
             .field("shards", &self.shards.len())
-            .field("pipeline", &self.checks)
+            .field("generation", &dep.generation)
+            .field("pipeline", &dep.checks)
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
@@ -392,7 +508,10 @@ impl Joza {
         for src in app.all_sources() {
             set.add_source(src);
         }
-        Joza::builder().fragment_set(&set).config(config)
+        Joza::builder()
+            .fragment_set(&set)
+            .known_routes(app.plugins().map(|p| p.name.as_str()))
+            .config(config)
     }
 
     /// The installer (§IV-A): extracts string fragments from every source
@@ -424,14 +543,13 @@ impl Joza {
         self.shards.len()
     }
 
-    /// A snapshot of cumulative statistics, aggregated over every shard
-    /// that has been touched so far.
+    /// A snapshot of cumulative statistics, merged over every worker's
+    /// stats cell. Exact whenever no check is mid-flush (joins, barriers,
+    /// end of a run); see the `stats` module docs.
     pub fn stats(&self) -> JozaStats {
         let mut total = JozaStats::default();
-        for cell in self.shards.iter() {
-            if let Some(shard) = cell.get() {
-                total.merge(&shard.lock().stats);
-            }
+        for cell in self.stats_cells.iter() {
+            total.merge(&cell.snapshot());
         }
         total
     }
@@ -446,7 +564,7 @@ impl Joza {
         let mut total = CacheStats::default();
         for cell in self.shards.iter() {
             if let Some(shard) = cell.get() {
-                let s = shard.lock().pti.query_cache_stats();
+                let s = shard.lock().query_cache_stats();
                 total.hits += s.hits;
                 total.misses += s.misses;
                 total.inserts += s.inserts;
@@ -456,44 +574,105 @@ impl Joza {
     }
 
     /// Starts an analysis session (captures inputs for NTI, then checks
-    /// queries) with no route context.
+    /// queries) with no route context. The session pins the deployment
+    /// current at this moment: a deploy racing with an open session takes
+    /// effect for sessions opened after it.
     pub fn session(&self) -> JozaSession<'_> {
-        JozaSession { joza: self, route: None, model: None, inputs: Vec::new() }
-    }
-
-    /// Starts an analysis session scoped to `route`: checks go through
-    /// the route's fast paths (taint-free whitelist, static query model)
-    /// when the engine has them installed.
-    pub fn session_for(&self, route: &str) -> JozaSession<'_> {
         JozaSession {
             joza: self,
-            route: Some(route.to_string()),
-            model: self.model_for(route),
+            dep: self.deployment(),
+            route: None,
+            model: None,
             inputs: Vec::new(),
         }
     }
 
-    /// The calling worker's shard, initialized on first touch. Lazy
+    /// Starts an analysis session scoped to `route`: checks go through
+    /// the route's fast paths (taint-free whitelist, static query model)
+    /// when the pinned deployment has them installed.
+    pub fn session_for(&self, route: &str) -> JozaSession<'_> {
+        let dep = self.deployment();
+        let model = dep.model_for(route);
+        JozaSession { joza: self, dep, route: Some(route.to_string()), model, inputs: Vec::new() }
+    }
+
+    /// The calling worker's PTI shard, initialized on first touch. Lazy
     /// initialization means an engine serving one thread runs exactly one
     /// PTI component (and one daemon), however many shards are configured.
-    pub(crate) fn shard(&self) -> &Mutex<Shard> {
+    pub(crate) fn shard(&self) -> &Mutex<PtiComponent> {
         let cell = &self.shards[worker_index(self.shards.len())];
         cell.get_or_init(|| {
-            Mutex::new(Shard {
-                pti: PtiComponent::with_store(
-                    Arc::clone(&self.store),
-                    self.config.pti.clone(),
-                    self.shared_query_cache.clone(),
-                ),
-                stats: JozaStats::default(),
-            })
+            Mutex::new(PtiComponent::with_store(
+                Arc::clone(&self.store),
+                self.config.pti.clone(),
+                self.shared_query_cache.clone(),
+            ))
         })
+    }
+
+    /// The calling worker's statistics cell.
+    fn stats_cell(&self) -> &StatsCell {
+        &self.stats_cells[worker_index(self.stats_cells.len())]
+    }
+
+    /// The current deployment (owned handle): route-keyed knowledge plus
+    /// the pipeline assembled for it.
+    pub(crate) fn deployment(&self) -> Arc<Deployment> {
+        Arc::clone(&self.deployment.read())
+    }
+
+    /// The generation of the currently-deployed model release: `0` as
+    /// built, incremented by every successful [`Joza::deploy`].
+    pub fn generation(&self) -> u64 {
+        self.deployment.read().generation
+    }
+
+    /// Atomically replaces the deployed route knowledge (RCU-style):
+    /// validates the update, assembles the pipeline for it, and swaps it
+    /// in under live traffic. In-flight sessions finish on the release
+    /// they pinned; sessions opened after the swap (and engine-level
+    /// `check_query*` calls) see the new one. Returns the new release's
+    /// generation, which every verdict served by it carries in its
+    /// [`StageTrace::generation`].
+    ///
+    /// # Errors
+    ///
+    /// [`JozaBuildError::UnknownModelRoute`] when the engine knows the
+    /// application's routes and the update's model index names one the
+    /// app does not serve; the current deployment stays in place.
+    pub fn deploy(&self, update: ModelUpdate) -> Result<u64, JozaBuildError> {
+        let current = self.deployment();
+        let models = match (update.models, update.clear_models) {
+            (Some(ix), _) => Some(Arc::new(ix)),
+            (None, true) => None,
+            (None, false) => current.models.clone(),
+        };
+        let taint_free = match (update.taint_free, update.clear_taint_free) {
+            (Some(set), _) => Some(Arc::new(set)),
+            (None, true) => None,
+            (None, false) => current.taint_free.clone(),
+        };
+        validate_model_routes(models.as_deref(), self.known_routes.as_ref())?;
+        let checks = CheckPipeline::assemble(
+            taint_free.is_some(),
+            models.is_some(),
+            self.config.disable_nti,
+            self.config.disable_pti,
+        );
+        // Generation is minted inside the write lock so the installed
+        // sequence is strictly increasing even under racing deploys —
+        // that is what makes trace stamps monotone for every observer.
+        let mut slot = self.deployment.write();
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
+        *slot = Arc::new(Deployment { generation, models, taint_free, checks });
+        Ok(generation)
     }
 
     /// Checks one query against a set of captured raw inputs, with no
     /// route context (never consults the static query models).
     pub fn check_query(&self, inputs: &[&str], query: &str) -> Verdict {
-        self.check_on(None, None, inputs, query)
+        let dep = self.deployment();
+        self.check_on(&dep, None, None, inputs, query)
     }
 
     /// Checks one query on a named route: the route's fast paths (when
@@ -501,39 +680,63 @@ impl Joza {
     /// as a [`JozaStats::route_misses_unknown`] and falls back to the
     /// fully dynamic pipeline.
     pub fn check_query_on_route(&self, route: &str, inputs: &[&str], query: &str) -> Verdict {
-        self.check_on(Some(route), self.model_for(route), inputs, query)
+        let dep = self.deployment();
+        let model = dep.model_for(route);
+        self.check_on(&dep, Some(route), model.as_deref(), inputs, query)
     }
 
-    /// The installed static query models, if any.
-    pub fn query_models(&self) -> Option<&QueryModelIndex> {
-        self.models.as_deref()
+    /// The currently-deployed static query models, if any (an owned
+    /// handle — the index may be hot-swapped by a later deploy).
+    pub fn query_models(&self) -> Option<Arc<QueryModelIndex>> {
+        self.deployment.read().models.clone()
     }
 
-    /// The static query model for `route`, if one was installed.
-    pub fn model_for(&self, route: &str) -> Option<&RouteModel> {
-        self.models.as_deref().and_then(|m| m.get(route))
+    /// The currently-deployed static query model for `route`, if any.
+    pub fn model_for(&self, route: &str) -> Option<Arc<RouteModel>> {
+        self.deployment.read().model_for(route)
     }
 
-    /// The one check entry point: every session, gate and legacy-shim
-    /// check funnels here and drives the assembled pipeline.
+    /// Single-check entry point: runs [`Joza::check_in`] and flushes its
+    /// one-check delta into the calling worker's stats cell.
     pub(crate) fn check_on(
         &self,
+        dep: &Deployment,
         route: Option<&str>,
         model: Option<&RouteModel>,
         inputs: &[&str],
         query: &str,
     ) -> Verdict {
+        let mut delta = JozaStats::default();
+        let verdict = self.check_in(dep, route, model, inputs, query, &mut delta);
+        self.stats_cell().add(&delta);
+        verdict
+    }
+
+    /// The one check core: every session, gate, batch and legacy-shim
+    /// check funnels here and drives the deployment's assembled pipeline.
+    /// Statistics are accumulated into `stats` (a plain local delta) so
+    /// batch callers can merge many checks and flush once.
+    pub(crate) fn check_in(
+        &self,
+        dep: &Deployment,
+        route: Option<&str>,
+        model: Option<&RouteModel>,
+        inputs: &[&str],
+        query: &str,
+        stats: &mut JozaStats,
+    ) -> Verdict {
         joza_phpsim::cost::simulate(self.config.wrapper_cost);
 
-        // A route-scoped check on an engine with route knowledge (models
-        // or statically-proven routes) that the fast paths cannot serve:
-        // silent fallback to dynamic, but counted — as *unknown* when the
-        // route is in neither the model index nor the taint-free set, as
-        // *incomplete* when it is indexed but its model left a sink ⊤.
+        // A route-scoped check on a deployment with route knowledge
+        // (models or statically-proven routes) that the fast paths cannot
+        // serve: silent fallback to dynamic, but counted — as *unknown*
+        // when the route is in neither the model index nor the taint-free
+        // set, as *incomplete* when it is indexed but its model left a
+        // sink ⊤.
         let (route_miss_unknown, route_miss_incomplete) = match route {
             Some(r)
-                if (self.models.is_some() || self.taint_free.is_some())
-                    && !self.taint_free.as_ref().is_some_and(|t| t.contains(r)) =>
+                if (dep.models.is_some() || dep.taint_free.is_some())
+                    && !dep.taint_free.as_ref().is_some_and(|t| t.contains(r)) =>
             {
                 match model {
                     None => (true, false),
@@ -547,15 +750,16 @@ impl Joza {
         let mut cx = CheckCx {
             route,
             model,
+            taint_free: dep.taint_free.as_deref(),
             inputs,
             artifacts: &artifacts,
             nti_attack: None,
             pti_attack: None,
             structural_anomaly: false,
-            trace: StageTrace::default(),
+            trace: StageTrace::for_generation(dep.generation),
             stage_ns: [0; STAGE_COUNT],
         };
-        self.checks.run(self, &mut cx);
+        dep.checks.run(self, &mut cx);
 
         let mut detected_by = match (cx.nti_attack, cx.pti_attack) {
             (Some(true), Some(true)) => Some(Detector::Both),
@@ -575,24 +779,22 @@ impl Joza {
             trace: cx.trace,
             structural_anomaly: cx.structural_anomaly,
         };
-        self.record(&cx, &verdict, route_miss_unknown, route_miss_incomplete);
+        Self::accumulate(stats, &cx, &verdict, route_miss_unknown, route_miss_incomplete);
         verdict
     }
 
-    /// Finalizes one check's statistics under a single shard-lock
-    /// acquisition, from the stage trace alone — the one place every
-    /// counter is incremented, which is what makes the path partition
+    /// Accumulates one check's counters into a local delta, from the
+    /// stage trace alone — the one place every counter is incremented,
+    /// which is what makes the path partition
     /// (`model_fast_hits + static_hits + full_checks == queries`) drift-
     /// free by construction.
-    fn record(
-        &self,
+    fn accumulate(
+        stats: &mut JozaStats,
         cx: &CheckCx<'_, '_>,
         verdict: &Verdict,
         route_miss_unknown: bool,
         route_miss_incomplete: bool,
     ) {
-        let mut guard = self.shard().lock();
-        let stats = &mut guard.stats;
         stats.queries += 1;
         for id in StageId::ALL {
             let i = id.index();
@@ -637,7 +839,7 @@ impl Joza {
     }
 
     pub(crate) fn begin_request_inner(&self) {
-        self.shard().lock().pti.begin_request();
+        self.shard().lock().begin_request();
     }
 
     pub(crate) fn decide(&self, verdict: &Verdict) -> GateDecision {
@@ -652,8 +854,9 @@ impl Joza {
     }
 }
 
-/// Why [`JozaBuilder::try_build`] rejected a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why [`JozaBuilder::try_build`] or [`Joza::deploy`] rejected a
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JozaBuildError {
     /// Both NTI and PTI are disabled — the engine would allow everything.
     AllDetectorsDisabled,
@@ -661,6 +864,11 @@ pub enum JozaBuildError {
     /// query with a critical token would be flagged (the installer found
     /// no application sources).
     EmptyPtiVocabulary,
+    /// The model index names a route the application does not serve
+    /// (per [`JozaBuilder::known_routes`]): the model could never match
+    /// live traffic and would only surface as silent
+    /// [`JozaStats::route_misses_unknown`] drift.
+    UnknownModelRoute(String),
 }
 
 impl std::fmt::Display for JozaBuildError {
@@ -673,6 +881,12 @@ impl std::fmt::Display for JozaBuildError {
                 write!(
                     f,
                     "PTI is enabled but no fragments were provided; every query would be flagged"
+                )
+            }
+            JozaBuildError::UnknownModelRoute(route) => {
+                write!(
+                    f,
+                    "the model index names route {route:?}, which the application does not serve"
                 )
             }
         }
@@ -688,6 +902,7 @@ pub struct JozaBuilder {
     config: JozaConfig,
     models: Option<QueryModelIndex>,
     taint_free: Option<BTreeSet<String>>,
+    known_routes: Option<BTreeSet<String>>,
 }
 
 impl JozaBuilder {
@@ -741,6 +956,25 @@ impl JozaBuilder {
         self
     }
 
+    /// Declares the routes the application actually serves, enabling
+    /// model/route consistency validation: [`JozaBuilder::try_build`] and
+    /// every later [`Joza::deploy`] reject a model index naming a route
+    /// outside this set ([`JozaBuildError::UnknownModelRoute`]) instead
+    /// of letting it decay into silent `route_misses_unknown` at runtime.
+    /// [`Joza::installer`] fills it from the application automatically;
+    /// without it, no validation happens.
+    #[must_use]
+    pub fn known_routes<I, S>(mut self, routes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.known_routes
+            .get_or_insert_with(BTreeSet::new)
+            .extend(routes.into_iter().map(|r| r.as_ref().to_string()));
+        self
+    }
+
     /// Selects the NTI approximate-matching kernel (§III-A hot path).
     ///
     /// Both kernels produce bit-identical verdicts and taint spans;
@@ -768,6 +1002,7 @@ impl JozaBuilder {
         if !self.config.disable_pti && self.fragments.is_empty() {
             return Err(JozaBuildError::EmptyPtiVocabulary);
         }
+        validate_model_routes(self.models.as_ref(), self.known_routes.as_ref())?;
         let nti = NtiAnalyzer::new(self.config.nti.clone());
         let fragment_count = self.fragments.len();
         let store = Arc::new(FragmentStore::new(&self.fragments, self.config.pti.pti.matcher));
@@ -784,16 +1019,23 @@ impl JozaBuilder {
             self.config.disable_nti,
             self.config.disable_pti,
         );
+        let deployment = Arc::new(Deployment {
+            generation: 0,
+            models: self.models.map(Arc::new),
+            taint_free: self.taint_free.map(Arc::new),
+            checks,
+        });
         Ok(Joza {
             config: self.config,
             nti,
             store,
             shared_query_cache,
             shards: (0..shard_count).map(|_| OnceLock::new()).collect(),
+            stats_cells: (0..shard_count).map(|_| StatsCell::default()).collect(),
             fragment_count,
-            models: self.models.map(Arc::new),
-            taint_free: self.taint_free,
-            checks,
+            known_routes: self.known_routes,
+            deployment: RwLock::new(deployment),
+            next_generation: AtomicU64::new(0),
         })
     }
 
@@ -807,20 +1049,52 @@ impl JozaBuilder {
     }
 }
 
+/// One query in a [`JozaSession::check_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryCheck {
+    /// The SQL to check.
+    pub query: String,
+    /// Extra raw input values scoped to this query alone, checked in
+    /// addition to the session's captured inputs (empty for the common
+    /// case where the whole batch shares one request's inputs).
+    pub inputs: Vec<String>,
+}
+
+impl QueryCheck {
+    /// A batch entry checking `query` against the session's inputs.
+    pub fn new(query: impl Into<String>) -> Self {
+        QueryCheck { query: query.into(), inputs: Vec::new() }
+    }
+
+    /// Adds a raw input value scoped to this query alone.
+    #[must_use]
+    pub fn with_input(mut self, value: impl Into<String>) -> Self {
+        self.inputs.push(value.into());
+        self
+    }
+}
+
 /// The unified analysis session: collected inputs + query checks, scoped
 /// to an optional route.
 ///
 /// One type serves every integration level. Library callers open it with
 /// [`Joza::session`] / [`Joza::session_for`] and read full [`Verdict`]s
-/// from [`JozaSession::check`]; the [`GateFactory`] impl on [`Joza`] boxes
-/// the same type as a [`GateSession`] (whose trait `check` collapses the
-/// verdict to a [`GateDecision`] under the engine's recovery policy) for
+/// from [`JozaSession::check`] or [`JozaSession::check_batch`]; the
+/// [`GateFactory`] impl on [`Joza`] boxes the same type as a
+/// [`GateSession`] (whose trait `check` collapses the verdict to a
+/// [`GateDecision`] under the engine's recovery policy) for
 /// `joza_webapp::Server::handle_with`.
+///
+/// The session pins the [`Joza::deploy`] release current when it was
+/// opened: every check of one session — and so every query of one
+/// request — is served by a single consistent model generation, visible
+/// as [`StageTrace::generation`] on its verdicts.
 #[derive(Debug)]
 pub struct JozaSession<'a> {
     joza: &'a Joza,
+    dep: Arc<Deployment>,
     route: Option<String>,
-    model: Option<&'a RouteModel>,
+    model: Option<Arc<RouteModel>>,
     inputs: Vec<(String, String)>,
 }
 
@@ -835,11 +1109,51 @@ impl JozaSession<'_> {
         self.inputs.clear();
     }
 
+    /// The deployment generation this session is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.dep.generation
+    }
+
     /// Checks a query against the captured inputs (and the session's
     /// route context, for sessions opened with [`Joza::session_for`]).
     pub fn check(&self, query: &str) -> Verdict {
         let refs: Vec<&str> = self.inputs.iter().map(|(_, v)| v.as_str()).collect();
-        self.joza.check_on(self.route.as_deref(), self.model, &refs, query)
+        self.joza.check_on(&self.dep, self.route.as_deref(), self.model.as_deref(), &refs, query)
+    }
+
+    /// Checks a batch of queries in order, returning one [`Verdict`] per
+    /// entry — bit-identical to calling [`JozaSession::check`] per query.
+    ///
+    /// The batch amortizes the per-check serving overhead: the input-ref
+    /// vector is built once, the route's model handle and deployment are
+    /// the session's pinned ones (no per-query lookup), and statistics
+    /// for the whole batch are accumulated in one local delta and flushed
+    /// into the worker's stats cell once at the end instead of per query.
+    pub fn check_batch(&self, checks: &[QueryCheck]) -> Vec<Verdict> {
+        let base: Vec<&str> = self.inputs.iter().map(|(_, v)| v.as_str()).collect();
+        let mut delta = JozaStats::default();
+        let mut verdicts = Vec::with_capacity(checks.len());
+        let mut refs = Vec::with_capacity(base.len() + 2);
+        for qc in checks {
+            let inputs: &[&str] = if qc.inputs.is_empty() {
+                &base
+            } else {
+                refs.clear();
+                refs.extend_from_slice(&base);
+                refs.extend(qc.inputs.iter().map(String::as_str));
+                &refs
+            };
+            verdicts.push(self.joza.check_in(
+                &self.dep,
+                self.route.as_deref(),
+                self.model.as_deref(),
+                inputs,
+                &qc.query,
+                &mut delta,
+            ));
+        }
+        self.joza.stats_cell().add(&delta);
+        verdicts
     }
 }
 
@@ -847,6 +1161,11 @@ impl GateSession for JozaSession<'_> {
     fn check(&mut self, sql: &str) -> GateDecision {
         let verdict = JozaSession::check(self, sql);
         self.joza.decide(&verdict)
+    }
+
+    fn check_batch(&mut self, sqls: &[String]) -> Vec<GateDecision> {
+        let checks: Vec<QueryCheck> = sqls.iter().map(QueryCheck::new).collect();
+        JozaSession::check_batch(self, &checks).iter().map(|v| self.joza.decide(v)).collect()
     }
 }
 
@@ -1301,6 +1620,192 @@ mod tests {
             GateDecision::Terminate
         );
         assert_eq!(j.stats().model_fast_hits, 1);
+    }
+
+    #[test]
+    fn known_routes_validation() {
+        // A model route outside the declared app routes is a build error,
+        // not a silent runtime route_misses_unknown.
+        let mut ix = demo_models();
+        ix.insert("ghost-route", RouteModel::build(&[Some(vec![])]));
+        let err = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .known_routes(["records"])
+            .query_models(ix.clone())
+            .try_build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, JozaBuildError::UnknownModelRoute("ghost-route".to_string()));
+        assert!(err.to_string().contains("ghost-route"));
+
+        // The same index builds fine when every modeled route is known…
+        assert!(Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .known_routes(["records", "ghost-route"])
+            .query_models(ix.clone())
+            .try_build()
+            .is_ok());
+
+        // …and without known_routes no validation happens (builder-only
+        // callers keep their synthetic-route tests).
+        assert!(Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .query_models(ix.clone())
+            .try_build()
+            .is_ok());
+
+        // deploy() enforces the same oracle.
+        let j = Joza::builder()
+            .fragments(FRAGS)
+            .config(JozaConfig::optimized())
+            .known_routes(["records"])
+            .build();
+        let err = j.deploy(ModelUpdate::new().query_models(ix)).unwrap_err();
+        assert_eq!(err, JozaBuildError::UnknownModelRoute("ghost-route".to_string()));
+        assert_eq!(j.generation(), 0, "a rejected deploy must not mint a generation");
+    }
+
+    #[test]
+    fn deploy_hot_swaps_models_and_stamps_generations() {
+        let j = Joza::builder().fragments(FRAGS).config(JozaConfig::optimized()).build();
+        assert_eq!(j.generation(), 0);
+        let q = "SELECT * FROM records WHERE ID=42 LIMIT 5";
+
+        // Generation 0: no models, fully dynamic.
+        let v0 = j.check_query_on_route("records", &["42"], q);
+        assert_eq!(v0.path(), CheckPath::Dynamic);
+        assert_eq!(v0.trace().generation(), 0);
+
+        // Deploy the model index: the same check now rides the fast path
+        // and its verdict carries the new generation.
+        let generation = j.deploy(ModelUpdate::new().query_models(demo_models())).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(j.generation(), 1);
+        let v1 = j.check_query_on_route("records", &["42"], q);
+        assert_eq!(v1.path(), CheckPath::ModelFastPath);
+        assert_eq!(v1.trace().generation(), 1);
+        assert!(j.model_for("records").is_some());
+
+        // Roll back: clear the models again.
+        assert_eq!(j.deploy(ModelUpdate::new().clear_query_models()).unwrap(), 2);
+        let v2 = j.check_query_on_route("records", &["42"], q);
+        assert_eq!(v2.path(), CheckPath::Dynamic);
+        assert_eq!(v2.trace().generation(), 2);
+        assert!(j.model_for("records").is_none());
+
+        // Counters stayed drift-free across the swaps.
+        let st = j.stats();
+        assert_eq!(st.model_fast_hits + st.static_hits + st.full_checks, st.queries);
+        assert_eq!((st.queries, st.model_fast_hits), (3, 1));
+    }
+
+    #[test]
+    fn deploy_taint_free_whitelist_under_live_sessions() {
+        let j = joza();
+        // Session opened before the deploy pins the old release.
+        let pinned = j.session_for("clean-route");
+        assert_eq!(pinned.generation(), 0);
+
+        let generation = j.deploy(ModelUpdate::new().taint_free_routes(["clean-route"])).unwrap();
+        assert_eq!(generation, 1);
+
+        // The pinned session still runs the dynamic pipeline…
+        let v = pinned.check("SELECT * FROM records WHERE ID=1 LIMIT 5");
+        assert_eq!(v.path(), CheckPath::Dynamic);
+        assert_eq!(v.trace().generation(), 0);
+
+        // …while a fresh session sees the whitelist.
+        let fresh = j.session_for("clean-route");
+        assert_eq!(fresh.generation(), 1);
+        let v = fresh.check("SELECT * FROM records WHERE ID=1 LIMIT 5");
+        assert_eq!(v.path(), CheckPath::StaticFastPath);
+        assert_eq!(v.trace().generation(), 1);
+
+        // Rollback restores dynamic checking for new sessions.
+        assert_eq!(j.deploy(ModelUpdate::new().clear_taint_free_routes()).unwrap(), 2);
+        let v = j.session_for("clean-route").check("SELECT 1");
+        assert_eq!(v.path(), CheckPath::Dynamic);
+    }
+
+    #[test]
+    fn check_batch_matches_sequential_checks_bit_for_bit() {
+        let j = joza_with_models(JozaConfig::optimized());
+        let k = joza_with_models(JozaConfig::optimized());
+        let queries = [
+            "SELECT * FROM records WHERE ID=42 LIMIT 5", // model fast path
+            "SELECT * FROM records WHERE ID=42",         // dynamic, anomaly
+            "SELECT * FROM records WHERE ID=-1 UNION SELECT 1 LIMIT 5", // attack
+        ];
+
+        let mut s = j.session_for("records");
+        s.capture_input("id", "42");
+        let batch: Vec<QueryCheck> = queries.iter().map(|q| QueryCheck::new(*q)).collect();
+        let batched = s.check_batch(&batch);
+
+        let mut s2 = k.session_for("records");
+        s2.capture_input("id", "42");
+        let sequential: Vec<Verdict> = queries.iter().map(|q| s2.check(q)).collect();
+
+        assert_eq!(batched, sequential, "batch and per-query verdicts must be bit-identical");
+        // Wall-clock counters naturally differ run to run; every logical
+        // counter must not.
+        let strip_times = |mut st: JozaStats| {
+            st.nti_time = Duration::ZERO;
+            st.pti_time = Duration::ZERO;
+            st.stage_ns = [0; STAGE_COUNT];
+            st
+        };
+        assert_eq!(
+            strip_times(j.stats()),
+            strip_times(k.stats()),
+            "one batch flush must equal per-check flushes"
+        );
+        let st = j.stats();
+        assert_eq!(st.model_fast_hits + st.static_hits + st.full_checks, st.queries);
+        assert_eq!(st.queries, 3);
+        assert_eq!(st.attacks, 1);
+    }
+
+    #[test]
+    fn check_batch_per_query_inputs() {
+        let j = joza();
+        let s = j.session();
+        let payload = "-1 UNION SELECT username()";
+        let verdicts = s.check_batch(&[
+            QueryCheck::new("SELECT * FROM records WHERE ID=7 LIMIT 5").with_input("7"),
+            QueryCheck::new(format!("SELECT * FROM records WHERE ID={payload} LIMIT 5"))
+                .with_input(payload),
+        ]);
+        assert!(verdicts[0].is_safe());
+        assert!(!verdicts[1].is_safe());
+        assert_eq!(j.stats().queries, 2);
+        assert_eq!(j.stats().attacks, 1);
+    }
+
+    #[test]
+    fn installer_validates_model_routes_against_app() {
+        use joza_webapp::app::Plugin;
+        let mut app = WebApp::new("t");
+        app.add_plugin(Plugin::new("real-route", "1.0", r#"$q = "SELECT 1"; mysql_query($q);"#));
+
+        let mut ix = QueryModelIndex::new();
+        ix.insert("imaginary", RouteModel::build(&[Some(vec![])]));
+        let err = Joza::installer(&app, JozaConfig::optimized())
+            .query_models(ix)
+            .try_build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, JozaBuildError::UnknownModelRoute("imaginary".to_string()));
+
+        let mut ok = QueryModelIndex::new();
+        ok.insert("real-route", RouteModel::build(&[Some(vec![])]));
+        assert!(Joza::installer(&app, JozaConfig::optimized())
+            .query_models(ok)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

@@ -93,14 +93,18 @@ pub enum StageStatus {
 }
 
 /// Per-stage provenance of one verdict: the status of every pipeline
-/// stage for the checked query.
+/// stage for the checked query, plus the generation of the deployment
+/// (model index + taint-free whitelist release) that served it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StageTrace([StageStatus; STAGE_COUNT]);
+pub struct StageTrace {
+    stages: [StageStatus; STAGE_COUNT],
+    generation: u64,
+}
 
 impl StageTrace {
     /// The recorded status of `stage`.
     pub fn status(&self, stage: StageId) -> StageStatus {
-        self.0[stage.index()]
+        self.stages[stage.index()]
     }
 
     /// Whether `stage` ran at all for this query.
@@ -108,8 +112,21 @@ impl StageTrace {
         self.status(stage) != StageStatus::Skipped
     }
 
+    /// The deployment generation this query was checked under: `0` for
+    /// the engine as built, incremented by every successful
+    /// `Joza::deploy`. Part of the verdict's provenance — it answers
+    /// "*which* model release produced this verdict" under live
+    /// hot-swapping.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn for_generation(generation: u64) -> StageTrace {
+        StageTrace { generation, ..StageTrace::default() }
+    }
+
     pub(crate) fn set(&mut self, stage: StageId, status: StageStatus) {
-        self.0[stage.index()] = status;
+        self.stages[stage.index()] = status;
     }
 }
 
@@ -126,6 +143,10 @@ pub(crate) enum StageOutcome {
 pub(crate) struct CheckCx<'a, 'q> {
     pub route: Option<&'a str>,
     pub model: Option<&'a RouteModel>,
+    /// The taint-free whitelist of the deployment serving this check
+    /// (stages must not read it off the engine: the engine's current
+    /// deployment may already be newer than the session's pinned one).
+    pub taint_free: Option<&'a std::collections::BTreeSet<String>>,
     pub inputs: &'a [&'a str],
     pub artifacts: &'a QueryArtifacts<'q>,
     pub nti_attack: Option<bool>,
@@ -206,8 +227,8 @@ impl CheckStage for StaticFastPathStage {
         StageId::StaticFastPath
     }
 
-    fn run(&self, joza: &Joza, cx: &mut CheckCx<'_, '_>) -> StageOutcome {
-        let Some(set) = joza.taint_free.as_ref() else {
+    fn run(&self, _joza: &Joza, cx: &mut CheckCx<'_, '_>) -> StageOutcome {
+        let Some(set) = cx.taint_free else {
             return StageOutcome::Continue;
         };
         if cx.route.is_some_and(|r| set.contains(r)) {
@@ -296,7 +317,7 @@ impl CheckStage for PtiStage {
             tokens: artifacts.tokens(),
             fingerprint: joza.config.pti.structure_cache.then(|| artifacts.fingerprint()),
         });
-        let decision = joza.shard().lock().pti.check_prepared(artifacts.query(), prep);
+        let decision = joza.shard().lock().check_prepared(artifacts.query(), prep);
         let attack = !decision.safe;
         cx.pti_attack = Some(attack);
         cx.trace.set(StageId::Pti, if attack { StageStatus::Fired } else { StageStatus::Passed });

@@ -24,7 +24,13 @@ impl Joza {
                 the legacy QueryGate adapter is kept only for equivalence testing"
     )]
     pub fn gate(&self) -> JozaGate<'_> {
-        JozaGate { joza: self, route: None, inputs: Vec::new(), model: None }
+        JozaGate {
+            joza: self,
+            dep: self.deployment(),
+            route: None,
+            inputs: Vec::new(),
+            model: None,
+        }
     }
 }
 
@@ -37,9 +43,10 @@ impl Joza {
 )]
 pub struct JozaGate<'a> {
     joza: &'a Joza,
+    dep: std::sync::Arc<crate::Deployment>,
     route: Option<String>,
     inputs: Vec<String>,
-    model: Option<&'a RouteModel>,
+    model: Option<std::sync::Arc<RouteModel>>,
 }
 
 impl std::fmt::Debug for JozaGate<'_> {
@@ -55,14 +62,16 @@ impl JozaGate<'_> {
     /// decisions, across API generations.
     pub fn check_verdict(&mut self, sql: &str) -> Verdict {
         let refs: Vec<&str> = self.inputs.iter().map(String::as_str).collect();
-        self.joza.check_on(self.route.as_deref(), self.model, &refs, sql)
+        self.joza.check_on(&self.dep, self.route.as_deref(), self.model.as_deref(), &refs, sql)
     }
 }
 
 impl QueryGate for JozaGate<'_> {
     fn begin_route(&mut self, route: &str) {
         self.route = Some(route.to_string());
-        self.model = self.joza.model_for(route);
+        // Resolved against the gate's pinned deployment, like every other
+        // lookup this adapter performs.
+        self.model = self.dep.model_for(route);
     }
 
     fn begin_request(&mut self, inputs: &[RawInput]) {

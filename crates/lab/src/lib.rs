@@ -41,6 +41,7 @@ pub mod corpus;
 pub mod harden;
 pub mod nti_evasion;
 pub mod serve;
+pub mod serve_live;
 pub mod sqlmap;
 pub mod taintless;
 pub mod verify;

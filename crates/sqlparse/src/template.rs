@@ -338,9 +338,15 @@ impl RouteModel {
 
 /// Per-endpoint query models, keyed by route name — the artifact
 /// `sast::querymodel` produces and `joza-core` consumes.
+///
+/// Models are stored behind [`std::sync::Arc`] so a consumer can hand out
+/// owned per-route handles ([`QueryModelIndex::get_arc`]) that outlive a
+/// snapshot of the index itself — the property `joza-core`'s hot-swappable
+/// deployment relies on: a session pins its route's model once and keeps
+/// checking against it even if the engine swaps in a new index mid-run.
 #[derive(Debug, Clone, Default)]
 pub struct QueryModelIndex {
-    routes: BTreeMap<String, RouteModel>,
+    routes: BTreeMap<String, std::sync::Arc<RouteModel>>,
 }
 
 impl QueryModelIndex {
@@ -351,17 +357,28 @@ impl QueryModelIndex {
 
     /// Installs the model for `route`, replacing any previous one.
     pub fn insert(&mut self, route: &str, model: RouteModel) {
-        self.routes.insert(route.to_string(), model);
+        self.routes.insert(route.to_string(), std::sync::Arc::new(model));
     }
 
     /// The model for `route`, if one was inferred.
     pub fn get(&self, route: &str) -> Option<&RouteModel> {
-        self.routes.get(route)
+        self.routes.get(route).map(|m| m.as_ref())
+    }
+
+    /// An owned handle on the model for `route`: stays valid after the
+    /// index is dropped or replaced.
+    pub fn get_arc(&self, route: &str) -> Option<std::sync::Arc<RouteModel>> {
+        self.routes.get(route).cloned()
     }
 
     /// Iterates `(route, model)` in route-name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &RouteModel)> {
-        self.routes.iter().map(|(k, v)| (k.as_str(), v))
+        self.routes.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
+    }
+
+    /// Iterates route names in order.
+    pub fn routes(&self) -> impl Iterator<Item = &str> {
+        self.routes.keys().map(String::as_str)
     }
 
     /// Number of routes with a model.

@@ -61,6 +61,15 @@ pub trait GateSession {
     /// Called for every intercepted query of this request. The returned
     /// decision is enforced by the server.
     fn check(&mut self, sql: &str) -> GateDecision;
+
+    /// Checks a batch of queries in order, returning one decision per
+    /// query. Semantically identical to calling [`GateSession::check`]
+    /// per element — the default does exactly that — but batch-aware
+    /// engines override it to amortize per-check overhead (input
+    /// snapshots, statistics flushes) across the whole batch.
+    fn check_batch(&mut self, sqls: &[String]) -> Vec<GateDecision> {
+        sqls.iter().map(|sql| self.check(sql)).collect()
+    }
 }
 
 /// The shared side of the gate: a thread-safe protection engine that hands

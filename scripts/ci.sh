@@ -28,12 +28,24 @@ cargo test -q -p joza-strmatch myers
 cargo test -q -p joza-strmatch --test proptests myers
 cargo test -q -p joza-nti --test proptests kernels
 
-# Thread-scaling smoke: a tiny 2-thread run proving the sharded engine
-# serves concurrently with verdicts identical to single-threaded (the
-# binary asserts consistency and dies on any mismatch).
-echo "==> scaling smoke (2 threads)"
+# Thread-scaling smoke over the batch-first serving API: verdicts must be
+# bit-identical to single-threaded at every thread count, the deploy-
+# under-load pass must conserve every counter across the mid-run swaps,
+# and 8 workers must reach >= 6x the single-thread checked-query rate
+# (the pipe waits overlap; the binary dies if the sharded core
+# serializes them).
+echo "==> scaling smoke (8 threads, >= 6x gate)"
 cargo run --quiet --release -p joza-bench --bin scaling -- \
-    --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_scaling_smoke.json
+    --requests 24 --repeat 1 --threads 1,8 --min-speedup 6 \
+    --out /tmp/joza_scaling_smoke.json
+
+# Live-serving smoke: Zipf traffic with attack bursts through check_batch
+# while models are rolled out and back mid-run; the binary asserts every
+# verdict against ground truth and counter conservation across both
+# deploys.
+echo "==> serve_live smoke"
+cargo run --quiet --release -p joza-bench --bin serve_live -- \
+    --requests 32 --threads 4
 
 # Kernel-benchmark smoke: tiny iteration count; the binary asserts full
 # Classic/BitParallel report identity over the lab corpus and both
@@ -70,16 +82,24 @@ echo "==> harden smoke"
 cargo run --quiet --release -p joza-bench --bin harden -- \
     --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_harden_smoke.json
 
-# Deprecation containment: the legacy QueryGate adapter may only be used
-# by its own shim module and the equivalence test. (clippy -D warnings
-# already rejects in-tree deprecated calls; this also catches new
-# allow(deprecated) escapes.)
+# Deprecation containment: the legacy single-worker gate API (QueryGate /
+# handle_gated / Joza::gate) may only appear in the files that define it
+# (webapp's gate seam and server) and the two files allowed to keep using
+# it: the core shim and the equivalence test. (clippy -D warnings already
+# rejects in-tree deprecated calls; this also catches new
+# allow(deprecated) escapes and fresh trait impls.)
 echo "==> deprecated-API containment check"
-violations=$(grep -rln --include='*.rs' -e '\.gate()' -e 'allow(deprecated)' \
-    crates src tests examples benches 2>/dev/null \
-    | grep -v -e '^crates/core/src/shim\.rs$' -e '^tests/pipeline_equivalence\.rs$' || true)
+violations=$(grep -rln --include='*.rs' \
+    -e '\.gate()' -e 'allow(deprecated)' -e 'QueryGate' -e 'handle_gated' \
+    crates src tests examples 2>/dev/null \
+    | grep -v \
+        -e '^crates/webapp/src/gate\.rs$' \
+        -e '^crates/webapp/src/server\.rs$' \
+        -e '^crates/webapp/src/lib\.rs$' \
+        -e '^crates/core/src/shim\.rs$' \
+        -e '^tests/pipeline_equivalence\.rs$' || true)
 if [ -n "$violations" ]; then
-    echo "legacy QueryGate adapter used outside the shim and its equivalence test:" >&2
+    echo "legacy QueryGate API used outside its definition, the shim, and the equivalence test:" >&2
     echo "$violations" >&2
     exit 1
 fi

@@ -15,6 +15,7 @@ for bin in table5 table6 fig7 fig8 ablation_matcher; do
 done
 echo "== scaling (timed) =="
 cargo run --quiet --release -p joza-bench --bin scaling -- \
+    --requests 64 --batch 4 --repeat 3 --threads 1,2,4,8 --min-speedup 6 \
     --out results/BENCH_scaling.json > results/scaling.txt
 echo "== nti_kernel (timed) =="
 cargo run --quiet --release -p joza-bench --bin nti_kernel -- \

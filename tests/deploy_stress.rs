@@ -1,0 +1,198 @@
+//! Hot-swap stress: `Joza::deploy` racing live traffic.
+//!
+//! The RCU-style deployment scheme (DESIGN.md §11) promises three things
+//! under concurrency, and this suite hammers each:
+//!
+//! * **monotone generations** — every successful deploy mints a strictly
+//!   increasing generation, even when deployers race;
+//! * **no torn reads** — a session pins one release; every verdict it
+//!   produces reflects that release's models *and* its generation stamp,
+//!   never a mix of two releases;
+//! * **drift-free counters** — per-worker stats cells aggregate to
+//!   exactly the work submitted once the workers join, no matter how many
+//!   swaps happened mid-flight.
+
+use joza::core::{CheckPath, Joza, JozaConfig, ModelUpdate, QueryCheck};
+use joza::sqlparse::template::{QueryModelIndex, QueryTemplate, RouteModel, TemplatePart};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const FRAGS: &[&str] = &["id", "SELECT * FROM records WHERE ID=", " LIMIT 5"];
+
+fn record_models() -> QueryModelIndex {
+    let template = QueryTemplate {
+        parts: vec![
+            TemplatePart::Lit("SELECT * FROM records WHERE ID=".to_string()),
+            TemplatePart::Hole,
+            TemplatePart::Lit(" LIMIT 5".to_string()),
+        ],
+    };
+    let mut models = QueryModelIndex::new();
+    models.insert("records", RouteModel::build(&[Some(vec![template])]));
+    models
+}
+
+fn engine() -> Joza {
+    Joza::builder()
+        .fragments(FRAGS)
+        .config(JozaConfig { shards: 8, ..JozaConfig::optimized() })
+        .known_routes(["records"])
+        .build()
+}
+
+/// Racing deployers: every successful deploy must mint a unique
+/// generation, the full set must be gapless, and each deployer must see
+/// its own sequence strictly increase.
+#[test]
+fn racing_deploys_mint_strictly_increasing_generations() {
+    const DEPLOYERS: usize = 4;
+    const DEPLOYS_EACH: usize = 40;
+
+    let joza = engine();
+    let mut per_thread: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..DEPLOYERS)
+            .map(|d| {
+                let joza = &joza;
+                s.spawn(move || {
+                    let mut minted = Vec::with_capacity(DEPLOYS_EACH);
+                    for i in 0..DEPLOYS_EACH {
+                        let update = if (d + i) % 2 == 0 {
+                            ModelUpdate::new().query_models(record_models())
+                        } else {
+                            ModelUpdate::new().clear_query_models()
+                        };
+                        minted.push(joza.deploy(update).expect("valid deploy"));
+                    }
+                    minted
+                })
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().expect("deployer panicked"));
+        }
+    });
+
+    for minted in &per_thread {
+        assert!(
+            minted.windows(2).all(|w| w[0] < w[1]),
+            "a deployer's own generations must strictly increase: {minted:?}"
+        );
+    }
+    let mut all: Vec<u64> = per_thread.into_iter().flatten().collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (1..=(DEPLOYERS * DEPLOYS_EACH) as u64).collect();
+    assert_eq!(all, expected, "generations must be unique and gapless");
+    assert_eq!(joza.generation(), (DEPLOYERS * DEPLOYS_EACH) as u64);
+}
+
+/// Workers checking through sessions (single and batch) while one
+/// deployer continuously rolls the query models out and back. The
+/// deploy alternation gives every generation a signature — odd
+/// generations have the model installed, even ones don't — so a torn
+/// read (generation stamp from one release, model handle from another)
+/// is directly observable on any verdict.
+#[test]
+fn checks_under_continuous_deploys_never_tear() {
+    const WORKERS: u64 = 6;
+    const ROUNDS: u64 = 120;
+    const BATCH_EVERY: u64 = 3;
+    const ATTACK_EVERY: u64 = 8;
+
+    let joza = engine();
+    let done = AtomicBool::new(false);
+    let mut deploys = 0u64;
+    std::thread::scope(|s| {
+        let deployer = s.spawn({
+            let joza = &joza;
+            let done = &done;
+            move || {
+                let mut count = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    // Odd generation: models live. Even: rolled back.
+                    joza.deploy(ModelUpdate::new().query_models(record_models())).expect("rollout");
+                    joza.deploy(ModelUpdate::new().clear_query_models()).expect("rollback");
+                    count += 2;
+                    std::thread::yield_now();
+                }
+                count
+            }
+        });
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                let joza = &joza;
+                s.spawn(move || {
+                    let mut last_generation = 0u64;
+                    for i in 0..ROUNDS {
+                        let id = t * 100_000 + i;
+                        let q = format!("SELECT * FROM records WHERE ID={id} LIMIT 5");
+                        let session = joza.session_for("records");
+                        let generation = session.generation();
+                        assert!(
+                            generation >= last_generation,
+                            "worker observed generation going backwards: \
+                             {generation} < {last_generation}"
+                        );
+                        last_generation = generation;
+                        let verdicts = if i % BATCH_EVERY == 0 {
+                            let checks = vec![
+                                QueryCheck::new(&q).with_input(id.to_string()),
+                                QueryCheck::new(&q).with_input(id.to_string()),
+                            ];
+                            session.check_batch(&checks)
+                        } else {
+                            vec![session.check(&q)]
+                        };
+                        for v in &verdicts {
+                            assert!(v.is_safe(), "benign flipped under swaps: {q}");
+                            // The pinned release, whole: stamp and model
+                            // must come from the same generation.
+                            assert_eq!(
+                                v.trace().generation(),
+                                generation,
+                                "verdict stamped with a different release than its session"
+                            );
+                            let expect_model = generation % 2 == 1;
+                            assert_eq!(
+                                v.path() == CheckPath::ModelFastPath,
+                                expect_model,
+                                "torn read: generation {generation} served with the wrong \
+                                 model state"
+                            );
+                        }
+                        if i % ATTACK_EVERY == 0 {
+                            let payload = format!("{id} UNION SELECT username()");
+                            let attack =
+                                format!("SELECT * FROM records WHERE ID={payload} LIMIT 5");
+                            let mut s2 = joza.session_for("records");
+                            s2.capture_input("id", &payload);
+                            assert!(
+                                !s2.check(&attack).is_safe(),
+                                "attack missed mid-swap: {attack}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        done.store(true, Ordering::Release);
+        deploys = deployer.join().expect("deployer panicked");
+    });
+
+    assert!(deploys > 0, "deployer never ran");
+    assert_eq!(joza.generation(), deploys);
+
+    // Drift-free counters at quiescence: every check accounted for once.
+    let per_worker = ROUNDS + ROUNDS.div_ceil(BATCH_EVERY) + ROUNDS.div_ceil(ATTACK_EVERY);
+    let stats = joza.stats();
+    assert_eq!(stats.queries, WORKERS * per_worker, "queries dropped or double-counted");
+    assert_eq!(stats.attacks, WORKERS * ROUNDS.div_ceil(ATTACK_EVERY));
+    assert_eq!(
+        stats.model_fast_hits + stats.static_hits + stats.full_checks,
+        stats.queries,
+        "path partition must survive hot swaps"
+    );
+}

@@ -96,16 +96,15 @@ fn cookie_borne_injection_is_captured_and_blocked() {
 
 #[test]
 fn gate_sees_all_four_sources() {
-    use joza::webapp::gate::{GateDecision, QueryGate, RawInput};
+    use joza::webapp::gate::{AllowAll, GateFactory, GateSession, RawInput};
     use joza::webapp::request::InputSource;
+    use std::sync::Mutex;
 
-    struct Capture(Vec<(InputSource, String)>);
-    impl QueryGate for Capture {
-        fn begin_request(&mut self, inputs: &[RawInput]) {
-            self.0 = inputs.iter().map(|i| (i.source, i.value.clone())).collect();
-        }
-        fn check(&mut self, _sql: &str) -> GateDecision {
-            GateDecision::Allow
+    struct Capture(Mutex<Vec<(InputSource, String)>>);
+    impl GateFactory for Capture {
+        fn session<'a>(&'a self, _route: &str, inputs: &[RawInput]) -> Box<dyn GateSession + 'a> {
+            *self.0.lock().unwrap() = inputs.iter().map(|i| (i.source, i.value.clone())).collect();
+            Box::new(AllowAll)
         }
     }
 
@@ -114,9 +113,9 @@ fn gate_sees_all_four_sources() {
         .param("page", "home")
         .cookie("session", "abc123")
         .header("X-Forwarded-For", "10.0.0.1");
-    let mut gate = Capture(Vec::new());
-    let _ = server.handle_gated(&req, &mut gate);
-    let sources: Vec<InputSource> = gate.0.iter().map(|(s, _)| *s).collect();
+    let gate = Capture(Mutex::new(Vec::new()));
+    let _ = server.handle_with(&req, &gate);
+    let sources: Vec<InputSource> = gate.0.lock().unwrap().iter().map(|(s, _)| *s).collect();
     assert!(sources.contains(&InputSource::Get));
     assert!(sources.contains(&InputSource::Cookie));
     assert!(sources.contains(&InputSource::Header));
