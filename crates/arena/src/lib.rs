@@ -1,0 +1,196 @@
+#![warn(missing_docs)]
+//! Buffer-recycling arena for Joza's per-check hot path.
+//!
+//! Every query check derives a handful of variable-length intermediates —
+//! the token stream, the symbol skeleton, the case-folded bytes, critical
+//! token lists, collapse scratch. Allocating them per check puts the
+//! allocator on the hot path; this crate removes it by **recycling the
+//! buffers' capacity** between checks instead of managing raw memory: a
+//! [`BufSlot`] parks an empty-but-capacious `Vec` between uses and a
+//! [`Lease`] is the RAII handle that borrows it for one check and parks
+//! it back on drop.
+//!
+//! After a short warmup (one check at the working-set high-water mark)
+//! every lease is a pointer swap: `take` hands out the parked `Vec` with
+//! its old capacity, the user `clear()`s-and-fills it, drop parks it
+//! again. No `unsafe`, no lifetimes into the arena memory itself — the
+//! leased buffer is an ordinary owned `Vec` while out, so indices and
+//! borrow rules work exactly as on the heap path, and the results are
+//! byte-identical by construction.
+//!
+//! Slots are `Cell`-based and therefore single-threaded by design
+//! (`!Sync`); the engine owns one arena per worker thread. Nested leases
+//! of one slot are safe but only the outermost enjoys recycling — the
+//! inner one starts from an empty `Vec`.
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+
+/// A parking spot for one recyclable `Vec<T>`.
+///
+/// # Examples
+///
+/// ```
+/// use joza_arena::BufSlot;
+///
+/// let slot: BufSlot<u32> = BufSlot::new();
+/// {
+///     let mut buf = slot.lease();
+///     buf.extend([1, 2, 3]);
+/// } // parked here, capacity kept
+/// let buf = slot.lease();
+/// assert!(buf.is_empty());
+/// assert!(buf.capacity() >= 3);
+/// ```
+pub struct BufSlot<T> {
+    parked: Cell<Option<Vec<T>>>,
+}
+
+impl<T> Default for BufSlot<T> {
+    fn default() -> Self {
+        BufSlot::new()
+    }
+}
+
+impl<T> std::fmt::Debug for BufSlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufSlot").field("parked_capacity", &self.parked_capacity()).finish()
+    }
+}
+
+impl<T> BufSlot<T> {
+    /// An empty slot; the first lease allocates like a plain `Vec`.
+    pub const fn new() -> Self {
+        BufSlot { parked: Cell::new(None) }
+    }
+
+    /// Borrows the parked buffer (or a fresh empty `Vec` if the slot is
+    /// empty or already leased out). The buffer is always empty; its
+    /// capacity is whatever the previous lease grew it to.
+    pub fn lease(&self) -> Lease<'_, T> {
+        Lease { buf: self.parked.take().unwrap_or_default(), slot: Some(self) }
+    }
+
+    /// Parks `buf` (cleared) for the next lease. Used directly when a
+    /// buffer's ownership had to leave the lease discipline; most users
+    /// never call this — dropping the [`Lease`] does it.
+    pub fn park(&self, mut buf: Vec<T>) {
+        buf.clear();
+        // If two buffers race for the slot (nested leases), keep the
+        // larger capacity — it is the one worth recycling.
+        match self.parked.take() {
+            Some(old) if old.capacity() > buf.capacity() => self.parked.set(Some(old)),
+            _ => self.parked.set(Some(buf)),
+        }
+    }
+
+    /// Capacity currently parked (0 while leased out) — observability
+    /// for tests and stats, not a scheduling signal.
+    pub fn parked_capacity(&self) -> usize {
+        let v = self.parked.take();
+        let cap = v.as_ref().map_or(0, Vec::capacity);
+        self.parked.set(v);
+        cap
+    }
+}
+
+/// An RAII lease of a [`BufSlot`]'s buffer: derefs to `Vec<T>`, parks
+/// the buffer back (cleared, capacity kept) on drop.
+///
+/// A detached lease ([`Lease::detached`]) wraps a plain heap `Vec` with
+/// no slot to return to — the fallback when no arena is in scope, so
+/// code can be written once against `Lease` and still run un-arena'd.
+#[derive(Debug)]
+pub struct Lease<'a, T> {
+    buf: Vec<T>,
+    slot: Option<&'a BufSlot<T>>,
+}
+
+impl<T> Lease<'_, T> {
+    /// A slotless lease: behaves like the `Vec` it wraps and simply
+    /// drops its buffer at end of scope.
+    pub fn detached() -> Self {
+        Lease { buf: Vec::new(), slot: None }
+    }
+
+    /// Whether the buffer returns to a slot on drop (false for
+    /// [`Lease::detached`]).
+    pub fn is_recycled(&self) -> bool {
+        self.slot.is_some()
+    }
+}
+
+impl<T> Deref for Lease<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T> DerefMut for Lease<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T> Drop for Lease<'_, T> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot {
+            slot.park(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycles_capacity() {
+        let slot: BufSlot<u8> = BufSlot::new();
+        let ptr = {
+            let mut l = slot.lease();
+            l.extend_from_slice(&[0; 4096]);
+            l.as_ptr()
+        };
+        let l = slot.lease();
+        assert!(l.is_empty());
+        assert!(l.capacity() >= 4096);
+        assert_eq!(l.as_ptr(), ptr, "same allocation must come back");
+    }
+
+    #[test]
+    fn nested_leases_fall_back_to_fresh_vecs() {
+        let slot: BufSlot<u32> = BufSlot::new();
+        let mut outer = slot.lease();
+        outer.extend([1, 2, 3, 4, 5, 6, 7, 8]);
+        {
+            let mut inner = slot.lease();
+            assert!(inner.capacity() == 0, "slot is out; inner starts fresh");
+            inner.push(9);
+        }
+        outer.push(10);
+        assert_eq!(outer.len(), 9);
+        drop(outer);
+        // The larger (outer) buffer wins the parking spot.
+        assert!(slot.parked_capacity() >= 9);
+    }
+
+    #[test]
+    fn detached_lease_is_plain_vec() {
+        let mut l: Lease<'_, u8> = Lease::detached();
+        assert!(!l.is_recycled());
+        l.extend_from_slice(b"abc");
+        assert_eq!(&l[..], b"abc");
+    }
+
+    #[test]
+    fn park_keeps_larger_capacity() {
+        let slot: BufSlot<u8> = BufSlot::new();
+        slot.park(Vec::with_capacity(100));
+        slot.park(Vec::with_capacity(10));
+        assert!(slot.parked_capacity() >= 100);
+        slot.park(Vec::with_capacity(200));
+        assert!(slot.parked_capacity() >= 200);
+    }
+}

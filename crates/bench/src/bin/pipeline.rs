@@ -1,29 +1,45 @@
-//! Staged-pipeline benchmark: end-to-end checked-queries/sec with the
-//! full `CheckPipeline` live — static fast path, model fast path, NTI,
-//! PTI, structural — against a dynamic-only baseline, plus the per-stage
-//! latency/hit breakdown the pipeline's uniform stage accounting makes
-//! possible.
+//! Staged-pipeline benchmark in two sections:
 //!
-//! The workload is the benign-heavy fresh-content comment workload of
-//! the `querymodel` benchmark, so the single-thread pipeline-on
-//! checked-q/s cell is directly comparable with
-//! `results/BENCH_querymodel.json`'s `model_on_qps`.
+//! 1. **End-to-end serving** — checked-queries/sec with the full
+//!    `CheckPipeline` live behind the PHP-simulator web server, against a
+//!    dynamic-only baseline. This number includes the interpreter's
+//!    tree-walk cost and is comparable with
+//!    `results/BENCH_querymodel.json`'s `model_on_qps`.
+//! 2. **Gate-direct replay** — the same workload's SQL stream captured
+//!    once from an unprotected run and replayed straight into
+//!    `JozaSession::check_batch`, so the cell measures the *gate itself*
+//!    (lexing, skeleton interning, automaton matching, NTI/PTI when a
+//!    query falls through) with no application simulator in the loop.
+//!    This is the number the allocation-free hot-path work targets; the
+//!    per-request PTI daemon-spawn accounting of the serving front-end
+//!    is outside the measured region, the per-query pipe latency of
+//!    PTI-bound queries is inside it.
+//!
+//! Both sections share one engine build per thread count, and the
+//! per-stage latency/hit breakdown is reported for the single-thread
+//! gate-direct pass (the least-diluted view of stage cost).
 //!
 //! Usage:
 //!
 //! ```text
 //! pipeline [--requests N] [--repeat R] [--threads 1,4]
-//!          [--pipe-latency-us US] [--out results/BENCH_pipeline.json]
+//!          [--pipe-latency-us US] [--min-qps F]
+//!          [--out results/BENCH_pipeline.json]
 //! ```
+//!
+//! `--min-qps F` makes the run fail (exit 1) if the single-thread
+//! gate-direct pipeline throughput lands below `F` checked-q/s — the
+//! CI smoke floor against hot-path regressions.
 
 use joza_bench::report::{
     pct, provenance_json, render_table, stage_breakdown_json, stage_breakdown_rows,
 };
-use joza_core::{Joza, JozaConfig, JozaStats, MatchKernel, STAGE_COUNT};
+use joza_core::{Joza, JozaConfig, JozaStats, MatchKernel, QueryCheck, STAGE_COUNT};
 use joza_lab::serve::serve_parallel;
 use joza_lab::{build_lab, Lab};
 use joza_sast::{analyze_app, app_query_models, taint_free_routes};
-use std::time::Duration;
+use joza_webapp::request::HttpRequest;
+use std::time::{Duration, Instant};
 
 /// Engine shard count for the throughput cells (above the largest thread
 /// count so workers never share a shard).
@@ -35,6 +51,7 @@ struct Args {
     repeat: usize,
     threads: Vec<usize>,
     pipe_latency: Duration,
+    min_qps: f64,
     out: String,
 }
 
@@ -44,6 +61,7 @@ fn parse_args() -> Args {
         repeat: 2,
         threads: vec![1, 4],
         pipe_latency: Duration::from_micros(400),
+        min_qps: 0.0,
         out: "results/BENCH_pipeline.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -59,6 +77,7 @@ fn parse_args() -> Args {
                 args.pipe_latency =
                     Duration::from_micros(value().parse().expect("--pipe-latency-us"));
             }
+            "--min-qps" => args.min_qps = value().parse().expect("--min-qps"),
             "--out" => args.out = value(),
             other => panic!("unknown flag {other}"),
         }
@@ -107,6 +126,84 @@ struct Cell {
     fast_rate: f64,
 }
 
+/// One request of the captured SQL stream: the route it hit, the raw
+/// inputs it carried, and every query the unprotected application issued
+/// while serving it.
+struct ReplayRequest {
+    route: String,
+    inputs: Vec<(String, String)>,
+    checks: Vec<QueryCheck>,
+}
+
+/// Serves the workload once, unprotected, and captures the SQL stream
+/// per request — the gate-direct replay corpus.
+fn replay_corpus(requests: &[HttpRequest]) -> Vec<ReplayRequest> {
+    let mut lab = build_lab();
+    requests
+        .iter()
+        .map(|req| {
+            let resp = lab.server.handle(req);
+            assert!(!resp.queries.is_empty(), "corpus request issued no SQL: {}", req.path);
+            ReplayRequest {
+                route: req.path.clone(),
+                inputs: req.all_inputs().into_iter().map(|(_, n, v)| (n, v)).collect(),
+                checks: resp.queries.iter().map(QueryCheck::new).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Replays the corpus straight through per-route sessions on `threads`
+/// workers (same interleaving discipline as `serve_parallel`), returning
+/// the number of checked queries.
+fn replay_once(joza: &Joza, corpus: &[ReplayRequest], threads: usize) -> usize {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut n = 0usize;
+                    for r in corpus.iter().skip(w).step_by(threads) {
+                        let mut session = joza.session_for(&r.route);
+                        for (name, value) in &r.inputs {
+                            session.capture_input(name, value);
+                        }
+                        let verdicts = session.check_batch(&r.checks);
+                        assert!(
+                            verdicts.iter().all(joza_core::Verdict::is_safe),
+                            "benign replay was flagged on route {}",
+                            r.route
+                        );
+                        n += verdicts.len();
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay worker panicked")).sum()
+    })
+}
+
+/// Gate-direct throughput at a thread count: one warmup replay, then
+/// `repeat` timed replays.
+fn measure_replay(
+    joza: &Joza,
+    corpus: &[ReplayRequest],
+    threads: usize,
+    repeat: usize,
+) -> (f64, JozaStats) {
+    replay_once(joza, corpus, threads);
+    let base = joza.stats();
+    let started = Instant::now();
+    let mut queries = 0usize;
+    for _ in 0..repeat.max(1) {
+        queries += replay_once(joza, corpus, threads);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let d = delta(&base, &joza.stats());
+    assert_eq!(d.queries, queries as u64, "stats delta must match replayed query count");
+    (if secs > 0.0 { queries as f64 / secs } else { 0.0 }, d)
+}
+
 fn measure(factory: &Joza, threads: usize, args: &Args) -> (f64, JozaStats) {
     let workload = |pass: usize| joza_bench::workload::write_requests_pass(args.requests, pass);
     let _ = serve_parallel(build_lab, factory, threads, &workload(0));
@@ -140,80 +237,104 @@ fn main() {
         args.requests, args.repeat, args.threads, args.pipe_latency
     );
 
+    let corpus = replay_corpus(&joza_bench::workload::write_requests_pass(args.requests, 0));
+    let corpus_queries: usize = corpus.iter().map(|r| r.checks.len()).sum();
+    println!("replay corpus: {} requests, {} queries", corpus.len(), corpus_queries);
+
     let mut cells = Vec::new();
-    let mut single_thread_stats: Option<JozaStats> = None;
+    let mut direct_cells = Vec::new();
+    let mut direct_single: Option<(f64, JozaStats)> = None;
     for &t in &args.threads {
         let dynamic_only = Joza::install(&lab.server.app, scaled_config(args.pipe_latency));
         let (dynamic_qps, _) = measure(&dynamic_only, t, &args);
         let pipeline = full_engine(&lab, args.pipe_latency);
-        let (pipeline_qps, stats) = measure(&pipeline, t, &args);
-        let fast_rate =
-            (stats.model_fast_hits + stats.static_hits) as f64 / stats.queries.max(1) as f64;
+        let (pipeline_qps, _) = measure(&pipeline, t, &args);
+
+        let (direct_dynamic_qps, _) = measure_replay(&dynamic_only, &corpus, t, args.repeat);
+        let (direct_qps, direct_stats) = measure_replay(&pipeline, &corpus, t, args.repeat);
+        let fast_rate = (direct_stats.model_fast_hits + direct_stats.static_hits) as f64
+            / direct_stats.queries.max(1) as f64;
         if t == 1 {
-            single_thread_stats = Some(stats);
+            direct_single = Some((direct_qps, direct_stats));
         }
         cells.push(Cell { threads: t, dynamic_qps, pipeline_qps, fast_rate });
+        direct_cells.push(Cell {
+            threads: t,
+            dynamic_qps: direct_dynamic_qps,
+            pipeline_qps: direct_qps,
+            fast_rate,
+        });
     }
 
-    let rows: Vec<Vec<String>> = cells
-        .iter()
-        .map(|c| {
-            vec![
-                c.threads.to_string(),
-                format!("{:.1}", c.dynamic_qps),
-                format!("{:.1}", c.pipeline_qps),
-                format!(
-                    "{:.2}x",
-                    if c.dynamic_qps > 0.0 { c.pipeline_qps / c.dynamic_qps } else { 0.0 }
-                ),
-                pct(c.fast_rate),
-            ]
-        })
-        .collect();
-    println!(
-        "\n== gate throughput (fresh-content comment posts) ==\n{}",
+    let table = |cells: &[Cell]| {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.threads.to_string(),
+                    format!("{:.1}", c.dynamic_qps),
+                    format!("{:.1}", c.pipeline_qps),
+                    format!(
+                        "{:.2}x",
+                        if c.dynamic_qps > 0.0 { c.pipeline_qps / c.dynamic_qps } else { 0.0 }
+                    ),
+                    pct(c.fast_rate),
+                ]
+            })
+            .collect();
         render_table(
             &["Threads", "Dynamic-only q/s", "Pipeline q/s", "Improvement", "Fast rate"],
-            &rows
+            &rows,
         )
+    };
+    println!("\n== end-to-end serving (fresh-content comment posts) ==\n{}", table(&cells));
+    println!(
+        "== gate-direct replay (same SQL stream, no interpreter) ==\n{}",
+        table(&direct_cells)
     );
 
-    let stage_stats = single_thread_stats.unwrap_or_else(|| {
+    let (direct_qps_1t, stage_stats) = direct_single.unwrap_or_else(|| {
         panic!("thread list {:?} must include 1 for the breakdown", args.threads)
     });
     println!(
-        "== per-stage breakdown (single-thread, full pipeline) ==\n{}",
+        "== per-stage breakdown (single-thread gate-direct, full pipeline) ==\n{}",
         render_table(
             &["Stage", "Runs", "Hits", "Hit rate", "Total", "Mean/run"],
             &stage_breakdown_rows(&stage_stats)
         )
     );
 
-    let json_cells = cells
-        .iter()
-        .map(|c| {
-            format!(
-                "      {{\"threads\": {}, \"dynamic_qps\": {:.1}, \"pipeline_qps\": {:.1}, \
-                 \"improvement\": {:.3}, \"fast_rate\": {:.4}}}",
-                c.threads,
-                c.dynamic_qps,
-                c.pipeline_qps,
-                if c.dynamic_qps > 0.0 { c.pipeline_qps / c.dynamic_qps } else { 0.0 },
-                c.fast_rate
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n");
+    let json_cells = |cells: &[Cell]| {
+        cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "      {{\"threads\": {}, \"dynamic_qps\": {:.1}, \"pipeline_qps\": {:.1}, \
+                     \"improvement\": {:.3}, \"fast_rate\": {:.4}}}",
+                    c.threads,
+                    c.dynamic_qps,
+                    c.pipeline_qps,
+                    if c.dynamic_qps > 0.0 { c.pipeline_qps / c.dynamic_qps } else { 0.0 },
+                    c.fast_rate
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"pipeline\",\n  \"provenance\": {},\n  \
          \"throughput\": {{\"workload\": \"fresh-content comment posts\", \"requests_per_pass\": {}, \
          \"passes\": {}, \"pipe_latency_us\": {}, \"cells\": [\n{}\n    ]}},\n  \
+         \"gate_direct\": {{\"workload\": \"captured SQL stream, check_batch replay\", \
+         \"corpus_queries\": {}, \"cells\": [\n{}\n    ]}},\n  \
          \"stages\": {}\n}}\n",
         provenance_json(&MatchKernel::default().to_string()),
         args.requests,
         args.repeat,
         args.pipe_latency.as_micros(),
-        json_cells,
+        json_cells(&cells),
+        corpus_queries,
+        json_cells(&direct_cells),
         stage_breakdown_json(&stage_stats)
     );
     if let Some(dir) = std::path::Path::new(&args.out).parent() {
@@ -221,4 +342,19 @@ fn main() {
     }
     std::fs::write(&args.out, &json).expect("write pipeline results");
     println!("wrote {}", args.out);
+
+    if args.min_qps > 0.0 && direct_qps_1t < args.min_qps {
+        eprintln!(
+            "FAIL: single-thread gate-direct throughput {direct_qps_1t:.1} q/s is below the \
+             --min-qps floor {:.1}",
+            args.min_qps
+        );
+        std::process::exit(1);
+    }
+    if args.min_qps > 0.0 {
+        println!(
+            "min-qps floor ok: {direct_qps_1t:.1} q/s >= {:.1} (single-thread gate-direct)",
+            args.min_qps
+        );
+    }
 }

@@ -74,6 +74,7 @@
 //! assert!(!verdict.is_safe());
 //! ```
 
+pub mod arena;
 pub mod artifacts;
 pub mod pipeline;
 pub mod shim;
@@ -746,41 +747,49 @@ impl Joza {
             _ => (false, false),
         };
 
-        let artifacts = QueryArtifacts::new(query);
-        let mut cx = CheckCx {
-            route,
-            model,
-            taint_free: dep.taint_free.as_deref(),
-            inputs,
-            artifacts: &artifacts,
-            nti_attack: None,
-            pti_attack: None,
-            structural_anomaly: false,
-            trace: StageTrace::for_generation(dep.generation),
-            stage_ns: [0; STAGE_COUNT],
-        };
-        dep.checks.run(self, &mut cx);
+        // The artifacts lease their buffers from the calling thread's
+        // check arena; the `with_arena` scope is exactly the check, so
+        // the buffers park back (capacity kept) when `artifacts` drops.
+        crate::arena::with_arena(|check_arena| {
+            let artifacts = QueryArtifacts::new_in(query, check_arena);
+            let mut cx = CheckCx {
+                route,
+                model,
+                taint_free: dep.taint_free.as_deref(),
+                inputs,
+                artifacts: &artifacts,
+                arena: check_arena,
+                nti_attack: None,
+                pti_attack: None,
+                structural_anomaly: false,
+                trace: StageTrace::for_generation(dep.generation),
+                stage_ns: [0; STAGE_COUNT],
+            };
+            dep.checks.run(self, &mut cx);
 
-        let mut detected_by = match (cx.nti_attack, cx.pti_attack) {
-            (Some(true), Some(true)) => Some(Detector::Both),
-            (Some(true), _) => Some(Detector::Nti),
-            (_, Some(true)) => Some(Detector::Pti),
-            _ => None,
-        };
-        if detected_by.is_none() && cx.structural_anomaly && self.config.block_on_structural_anomaly
-        {
-            detected_by = Some(Detector::Structural);
-        }
-        let verdict = Verdict {
-            safe: detected_by.is_none(),
-            detected_by,
-            nti_attack: cx.nti_attack,
-            pti_attack: cx.pti_attack,
-            trace: cx.trace,
-            structural_anomaly: cx.structural_anomaly,
-        };
-        Self::accumulate(stats, &cx, &verdict, route_miss_unknown, route_miss_incomplete);
-        verdict
+            let mut detected_by = match (cx.nti_attack, cx.pti_attack) {
+                (Some(true), Some(true)) => Some(Detector::Both),
+                (Some(true), _) => Some(Detector::Nti),
+                (_, Some(true)) => Some(Detector::Pti),
+                _ => None,
+            };
+            if detected_by.is_none()
+                && cx.structural_anomaly
+                && self.config.block_on_structural_anomaly
+            {
+                detected_by = Some(Detector::Structural);
+            }
+            let verdict = Verdict {
+                safe: detected_by.is_none(),
+                detected_by,
+                nti_attack: cx.nti_attack,
+                pti_attack: cx.pti_attack,
+                trace: cx.trace,
+                structural_anomaly: cx.structural_anomaly,
+            };
+            Self::accumulate(stats, &cx, &verdict, route_miss_unknown, route_miss_incomplete);
+            verdict
+        })
     }
 
     /// Accumulates one check's counters into a local delta, from the

@@ -149,6 +149,9 @@ pub(crate) struct CheckCx<'a, 'q> {
     pub taint_free: Option<&'a std::collections::BTreeSet<String>>,
     pub inputs: &'a [&'a str],
     pub artifacts: &'a QueryArtifacts<'q>,
+    /// The calling thread's check arena; stages lease scratch buffers
+    /// (e.g. NTI's per-input fold buffer) from it.
+    pub arena: &'a crate::arena::CheckArena,
     pub nti_attack: Option<bool>,
     pub pti_attack: Option<bool>,
     pub structural_anomaly: bool,
@@ -258,7 +261,7 @@ impl CheckStage for ModelFastPathStage {
         let Some(m) = cx.model else {
             return StageOutcome::Continue;
         };
-        if m.accepts_tokens(cx.artifacts.skeleton()) {
+        if m.accepts_syms(cx.artifacts.skeleton()) {
             cx.trace.set(StageId::ModelFastPath, StageStatus::ShortCircuited);
             StageOutcome::ShortCircuitSafe
         } else {
@@ -289,7 +292,8 @@ impl CheckStage for NtiStage {
         // stage frame rather than in the cache — still built at most once
         // per checked query, because this stage runs at most once.
         let profile = nti_cfg.qgram_prefilter.then(|| QgramProfile::new(view.normalized, 3));
-        let report = joza.nti.analyze_view(cx.inputs, view, profile.as_ref());
+        let mut fold = cx.arena.lease_input_fold();
+        let report = joza.nti.analyze_view_with(cx.inputs, view, profile.as_ref(), &mut fold);
         let attack = report.is_attack();
         cx.nti_attack = Some(attack);
         cx.trace.set(StageId::Nti, if attack { StageStatus::Fired } else { StageStatus::Passed });

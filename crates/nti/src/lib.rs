@@ -47,6 +47,7 @@ pub use joza_strmatch::myers::MatchKernel;
 use joza_strmatch::normalize::to_lower;
 use joza_strmatch::qgram::{self, QgramProfile};
 use joza_strmatch::sellers::substring_distance;
+use joza_strmatch::swar;
 use std::borrow::Cow;
 
 /// Configuration for the NTI analyzer.
@@ -192,6 +193,23 @@ impl NtiAnalyzer {
         view: QueryView<'_>,
         query_profile: Option<&QgramProfile<'_>>,
     ) -> NtiReport {
+        self.analyze_view_with(inputs, view, query_profile, &mut Vec::new())
+    }
+
+    /// [`NtiAnalyzer::analyze_view`] with a caller-owned case-folding
+    /// scratch buffer: when [`NtiConfig::normalize_case`] is set and an
+    /// input actually contains uppercase ASCII, its folded copy is built
+    /// in `fold_scratch` instead of a fresh allocation. The engine
+    /// passes a buffer leased from its per-thread check arena, making
+    /// the per-input loop allocation-free at steady state. Verdicts are
+    /// bit-identical to [`NtiAnalyzer::analyze_view`].
+    pub fn analyze_view_with(
+        &self,
+        inputs: &[&str],
+        view: QueryView<'_>,
+        query_profile: Option<&QgramProfile<'_>>,
+        fold_scratch: &mut Vec<u8>,
+    ) -> NtiReport {
         let mut report = NtiReport::default();
         let criticals = view.criticals;
         let query_bytes = view.normalized;
@@ -201,10 +219,19 @@ impl NtiAnalyzer {
             if input.len() < self.config.min_input_len {
                 continue;
             }
-            let input_bytes: Cow<'_, [u8]> = if self.config.normalize_case {
-                to_lower(input.as_bytes())
+            let bytes = input.as_bytes();
+            let input_bytes: &[u8] = match if self.config.normalize_case {
+                swar::first_ascii_upper(bytes)
             } else {
-                Cow::Borrowed(input.as_bytes())
+                None
+            } {
+                Some(first) => {
+                    fold_scratch.clear();
+                    fold_scratch.extend_from_slice(&bytes[..first]);
+                    swar::fold_lower_into(&bytes[first..], fold_scratch);
+                    fold_scratch
+                }
+                None => bytes,
             };
             // Allowed distance bound: ratio < t with matched_len <= |p| + d
             // implies d < t·|p| / (1 − t).
@@ -215,14 +242,14 @@ impl NtiAnalyzer {
                 continue;
             }
             if let Some(profile) = &query_profile {
-                if profile.lower_bound(&input_bytes) > cutoff {
+                if profile.lower_bound(input_bytes) > cutoff {
                     report.comparisons_skipped += 1;
                     continue;
                 }
             }
             report.comparisons_run += 1;
             let m = match self.config.kernel {
-                MatchKernel::Classic => Some(substring_distance(&input_bytes, query_bytes)),
+                MatchKernel::Classic => Some(substring_distance(input_bytes, query_bytes)),
                 MatchKernel::BitParallel => {
                     // Any span that survives the ratio filter below has
                     // distance d < t·|p|/(1−t) ≤ cutoff, so a `None` here
@@ -231,7 +258,7 @@ impl NtiAnalyzer {
                     // meaningless; fall back to the unbounded scan
                     // (distances never exceed |p|).
                     let k = if t > 0.0 && t < 1.0 { cutoff } else { input_bytes.len() };
-                    bounded_myers_substring_distance(&input_bytes, query_bytes, k)
+                    bounded_myers_substring_distance(input_bytes, query_bytes, k)
                 }
             };
             let Some(m) = m else {

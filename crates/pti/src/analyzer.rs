@@ -115,8 +115,8 @@ impl PtiAnalyzer {
             occ.iter().any(|m| m.start <= c.start && c.end <= m.end)
         };
         let occurrences = if self.config.parse_first {
-            let crit = criticals.clone();
-            self.store.occurrences_until(query, move |occ| crit.iter().all(|c| covered_by(occ, c)))
+            // The closure only needs to borrow the criticals for the scan.
+            self.store.occurrences_until(query, |occ| criticals.iter().all(|c| covered_by(occ, c)))
         } else {
             self.store.occurrences(query)
         };

@@ -105,10 +105,23 @@ impl CriticalPolicy {
 /// assert_eq!(texts, ["SELECT", "*", "FROM", "WHERE", "=", "OR", "TRUE"]);
 /// ```
 pub fn critical_tokens(source: &str, tokens: &[Token], policy: &CriticalPolicy) -> Vec<Token> {
-    (0..tokens.len())
-        .filter(|&i| policy.is_critical(tokens, i, source))
-        .map(|i| tokens[i])
-        .collect()
+    let mut out = Vec::new();
+    critical_tokens_into(source, tokens, policy, &mut out);
+    out
+}
+
+/// [`critical_tokens`] into a caller-owned buffer (appended, not
+/// cleared) — the per-check entry point: a recycled buffer makes
+/// repeated classification allocation-free at steady state.
+pub fn critical_tokens_into(
+    source: &str,
+    tokens: &[Token],
+    policy: &CriticalPolicy,
+    out: &mut Vec<Token>,
+) {
+    out.extend(
+        (0..tokens.len()).filter(|&i| policy.is_critical(tokens, i, source)).map(|i| tokens[i]),
+    );
 }
 
 #[cfg(test)]

@@ -28,10 +28,15 @@
 //! keyword, operator, or comment inside a list still changes the skeleton:
 //! `IN (1,2,3)` and `IN (1) OR 1=1` do not collide.
 
+use crate::keywords::canonical;
 use crate::lexer::lex;
+use crate::symbol::{
+    intern, SymId, SYM_COLLAPSED, SYM_COMMA, SYM_COMMENT, SYM_HOLE, SYM_LPAREN, SYM_RPAREN,
+    SYM_VALUES,
+};
 use crate::token::TokenKind;
 use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
 
 /// The placeholder a literal token renders to in a skeleton.
 pub const HOLE: &str = "?";
@@ -50,6 +55,47 @@ pub fn render_token(query: &str, t: &crate::token::Token) -> String {
         TokenKind::QuotedIdentifier => t.text(query).trim_matches('`').to_string(),
         _ => t.text(query).to_string(),
     }
+}
+
+/// Renders one token of `query` as an interned symbol — the hot-path
+/// counterpart of [`render_token`]: byte-identical renderings by
+/// construction ([`crate::symbol`] is injective), but a token whose
+/// rendering has been seen before (after warmup, all of them) allocates
+/// nothing. Keywords render through [`canonical`] so not even the
+/// uppercased copy is built.
+pub fn render_token_sym(query: &str, t: &crate::token::Token) -> SymId {
+    match t.kind {
+        TokenKind::Number | TokenKind::StringLit => SYM_HOLE,
+        TokenKind::Keyword => match canonical(t.text(query)) {
+            Some(c) => intern(c),
+            // Unreachable from the lexer (Keyword implies table hit), but
+            // stay total for hand-built tokens: match `render_token`.
+            None => intern(&t.text(query).to_ascii_uppercase()),
+        },
+        TokenKind::Comment => SYM_COMMENT,
+        TokenKind::QuotedIdentifier => intern(t.text(query).trim_matches('`')),
+        _ => intern(t.text(query)),
+    }
+}
+
+/// Renders the raw (uncollapsed) symbol skeleton of already-lexed
+/// `tokens` into `out` — the allocation-free skeleton entry point: `out`
+/// is a recycled scratch buffer and every symbol lookup is a hash probe.
+pub fn render_skeleton_syms_into(
+    query: &str,
+    tokens: &[crate::token::Token],
+    out: &mut Vec<SymId>,
+) {
+    out.reserve(tokens.len());
+    out.extend(tokens.iter().map(|t| render_token_sym(query, t)));
+}
+
+/// The raw symbol skeleton of `query` as a fresh vector (convenience
+/// wrapper over [`render_skeleton_syms_into`] for cold paths and tests).
+pub fn raw_skeleton_syms(query: &str) -> Vec<SymId> {
+    let mut out = Vec::new();
+    render_skeleton_syms_into(query, &lex(query), &mut out);
+    out
 }
 
 /// The skeleton token sequence of `query` **without** list collapsing: one
@@ -143,6 +189,96 @@ pub fn skeleton_tokens(query: &str) -> Vec<String> {
     collapse(raw_skeleton_tokens(query))
 }
 
+/// List collapsing (`collapse`) over interned symbols: identical
+/// two-pass logic, but
+/// every comparison is a `u32` equality against the pre-seeded
+/// punctuation/hole/`VALUES` constants and nothing is cloned — `out` is
+/// a recycled scratch buffer.
+pub fn collapse_syms_into(raw: &[SymId], out: &mut Vec<SymId>) {
+    // Pass 1: literal-only paren groups become `( ?* )`. Written into
+    // `out`, then pass 2 folds `VALUES` tuple runs in place.
+    out.reserve(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == SYM_LPAREN {
+            let mut j = i + 1;
+            let mut literal_only = false;
+            let mut saw_literal = false;
+            while j < raw.len() {
+                let t = raw[j];
+                if t == SYM_RPAREN {
+                    literal_only = saw_literal;
+                    break;
+                }
+                if t == SYM_HOLE {
+                    saw_literal = true;
+                } else if t != SYM_COMMA {
+                    break;
+                }
+                j += 1;
+            }
+            if literal_only {
+                out.extend([SYM_LPAREN, SYM_COLLAPSED, SYM_RPAREN]);
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(raw[i]);
+        i += 1;
+    }
+    // Pass 2: `VALUES ( ?* ) , ( ?* ) , …` becomes `VALUES ( ?* )`.
+    // Compact `out` in place with a write cursor: the kept prefix only
+    // ever shrinks, so reads stay ahead of writes.
+    let tuple = |v: &[SymId], k: usize| {
+        v.get(k) == Some(&SYM_LPAREN)
+            && v.get(k + 1) == Some(&SYM_COLLAPSED)
+            && v.get(k + 2) == Some(&SYM_RPAREN)
+    };
+    let mut w = 0;
+    let mut i = 0;
+    while i < out.len() {
+        let s = out[i];
+        out[w] = s;
+        w += 1;
+        i += 1;
+        if s == SYM_VALUES && tuple(out, i) {
+            out[w] = SYM_LPAREN;
+            out[w + 1] = SYM_COLLAPSED;
+            out[w + 2] = SYM_RPAREN;
+            w += 3;
+            let mut k = i + 3;
+            while out.get(k) == Some(&SYM_COMMA) && tuple(out, k + 1) {
+                k += 4;
+            }
+            i = k;
+        }
+    }
+    out.truncate(w);
+}
+
+/// Hashes a **collapsed** symbol skeleton to a 64-bit fingerprint. This
+/// is the single fingerprint definition in the process: the string entry
+/// points ([`fingerprint`], [`fingerprint_of`]) intern and collapse into
+/// this same hash, so all caches agree. Fingerprints are meaningful only
+/// within one process (symbol ids depend on first-seen order).
+pub fn fingerprint_collapsed_syms(collapsed: &[SymId]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for id in collapsed {
+        h.write_u32(id.index());
+    }
+    h.write_usize(collapsed.len());
+    h.finish()
+}
+
+/// The fingerprint of a **raw** (uncollapsed) symbol skeleton, using
+/// `scratch` for the collapsed form — the allocation-free parse-once
+/// entry point used by the per-check artifact cache.
+pub fn fingerprint_syms_with(raw: &[SymId], scratch: &mut Vec<SymId>) -> u64 {
+    scratch.clear();
+    collapse_syms_into(raw, scratch);
+    fingerprint_collapsed_syms(scratch)
+}
+
 /// Renders the structural skeleton of a query: every token in order, with
 /// literal contents replaced by `?`, keywords/identifiers normalized, and
 /// literal lists collapsed so benign list-length variation shares one
@@ -183,11 +319,12 @@ pub fn skeleton_of(raw: &[String]) -> String {
 
 /// The 64-bit fingerprint of a raw skeleton token sequence — the
 /// parse-once counterpart of [`fingerprint`]: `fingerprint_of(&raw_skeleton_tokens(q))`
-/// equals `fingerprint(q)` for every query.
+/// equals `fingerprint(q)` for every query. Interns each rendering and
+/// defers to the symbol-based hash, so string- and symbol-entry callers
+/// share one fingerprint space.
 pub fn fingerprint_of(raw: &[String]) -> u64 {
-    let mut h = DefaultHasher::new();
-    skeleton_of(raw).hash(&mut h);
-    h.finish()
+    let syms: Vec<SymId> = raw.iter().map(|s| intern(s)).collect();
+    fingerprint_syms_with(&syms, &mut Vec::new())
 }
 
 /// Hashes the [`skeleton`] of a query to a 64-bit fingerprint.
@@ -207,7 +344,7 @@ pub fn fingerprint_of(raw: &[String]) -> u64 {
 /// );
 /// ```
 pub fn fingerprint(query: &str) -> u64 {
-    fingerprint_of(&raw_skeleton_tokens(query))
+    fingerprint_syms_with(&raw_skeleton_syms(query), &mut Vec::new())
 }
 
 #[cfg(test)]
@@ -347,6 +484,44 @@ mod tests {
     #[test]
     fn empty_parens_untouched() {
         assert_eq!(skeleton("SELECT now()"), "SELECT now ( )");
+    }
+
+    #[test]
+    fn sym_skeleton_agrees_with_string_skeleton() {
+        let queries = [
+            "SELECT * FROM t WHERE id IN (1,2,3)",
+            "INSERT INTO t (a,b) VALUES (1,'x'),(2,'y'),(3,'z')",
+            "INSERT INTO t VALUES (1),(2),(3),(4)",
+            "SELECT `id` FROM t WHERE name='bob' -- tail",
+            "SELECT now()",
+            "select Union UNION union",
+            "VALUES",
+            "VALUES (1,2),(3)",
+            "VALUES (1),(a)",
+            "",
+        ];
+        for q in queries {
+            // Raw renderings are byte-identical.
+            let raw_syms = raw_skeleton_syms(q);
+            assert_eq!(crate::symbol::resolve_all(&raw_syms), raw_skeleton_tokens(q), "{q}");
+            // Collapse logic agrees token-for-token.
+            let mut collapsed = Vec::new();
+            collapse_syms_into(&raw_syms, &mut collapsed);
+            assert_eq!(crate::symbol::resolve_all(&collapsed), skeleton_tokens(q), "{q}");
+            // And the two fingerprint entry points share one hash space.
+            assert_eq!(fingerprint_of(&raw_skeleton_tokens(q)), fingerprint(q), "{q}");
+        }
+    }
+
+    #[test]
+    fn collapse_syms_reuses_scratch() {
+        let raw = raw_skeleton_syms("SELECT * FROM t WHERE id IN (1,2,3)");
+        let mut scratch = Vec::new();
+        let fp1 = fingerprint_syms_with(&raw, &mut scratch);
+        let cap = scratch.capacity();
+        let fp2 = fingerprint_syms_with(&raw, &mut scratch);
+        assert_eq!(fp1, fp2);
+        assert_eq!(scratch.capacity(), cap, "scratch must be recycled, not regrown");
     }
 
     #[test]

@@ -145,20 +145,54 @@ pub static BUILTIN_FUNCTIONS: &[&str] = &[
 /// assert!(!is_keyword("wp_posts"));
 /// ```
 pub fn is_keyword(word: &str) -> bool {
-    lookup(KEYWORDS, word)
+    lookup(KEYWORDS, word).is_some()
 }
 
 /// Returns `true` if `word` (any case) is a known built-in function name.
 pub fn is_builtin_function(word: &str) -> bool {
-    lookup(BUILTIN_FUNCTIONS, word)
+    lookup(BUILTIN_FUNCTIONS, word).is_some()
 }
 
-fn lookup(table: &[&str], word: &str) -> bool {
-    if word.len() > 24 {
-        return false;
+/// The canonical (uppercase, `'static`) spelling of `word` if it is a
+/// reserved keyword — the allocation-free way to render a keyword token
+/// into skeleton normal form: the table entry *is* the uppercased text.
+///
+/// # Examples
+///
+/// ```
+/// use joza_sqlparse::keywords::canonical;
+///
+/// assert_eq!(canonical("select"), Some("SELECT"));
+/// assert_eq!(canonical("UnIoN"), Some("UNION"));
+/// assert_eq!(canonical("wp_posts"), None);
+/// ```
+pub fn canonical(word: &str) -> Option<&'static str> {
+    lookup(KEYWORDS, word)
+}
+
+/// Case-insensitive binary search without uppercasing a copy of `word`:
+/// the tables are sorted by their (uppercase) bytes, so comparing each
+/// byte of `word` ASCII-uppercased on the fly preserves the order.
+fn lookup(table: &'static [&'static str], word: &str) -> Option<&'static str> {
+    if word.len() > 24 || word.is_empty() {
+        return None;
     }
-    let upper = word.to_ascii_uppercase();
-    table.binary_search(&upper.as_str()).is_ok()
+    let idx = table
+        .binary_search_by(|entry| {
+            let mut ours = entry.bytes();
+            let mut theirs = word.bytes().map(|b| b.to_ascii_uppercase());
+            loop {
+                match (ours.next(), theirs.next()) {
+                    (None, None) => return std::cmp::Ordering::Equal,
+                    (a, b) => match a.cmp(&b) {
+                        std::cmp::Ordering::Equal => continue,
+                        other => return other,
+                    },
+                }
+            }
+        })
+        .ok()?;
+    Some(table[idx])
 }
 
 #[cfg(test)]
@@ -194,5 +228,19 @@ mod tests {
     #[test]
     fn long_words_rejected_quickly() {
         assert!(!is_keyword(&"a".repeat(100)));
+    }
+
+    #[test]
+    fn canonical_matches_uppercase_rendering() {
+        // The skeleton renderer relies on `canonical(w)` being exactly
+        // `w.to_ascii_uppercase()` for every keyword, in any input case.
+        for kw in KEYWORDS {
+            assert_eq!(canonical(kw), Some(*kw));
+            assert_eq!(canonical(&kw.to_ascii_lowercase()), Some(*kw));
+        }
+        assert_eq!(canonical("sElEcT"), Some("SELECT"));
+        assert_eq!(canonical(""), None);
+        assert_eq!(canonical("selects"), None);
+        assert_eq!(canonical("sele"), None);
     }
 }

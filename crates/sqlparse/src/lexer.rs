@@ -8,6 +8,7 @@
 
 use crate::keywords::is_keyword;
 use crate::token::{Token, TokenKind};
+use joza_strmatch::swar;
 
 /// Lexes `source` into a whitespace-free token stream.
 ///
@@ -32,14 +33,25 @@ use crate::token::{Token, TokenKind};
 /// ]);
 /// ```
 pub fn lex(source: &str) -> Vec<Token> {
-    let mut tokens = Lexer { src: source.as_bytes(), pos: 0 }.run();
+    let mut tokens = Vec::new();
+    lex_into(source, &mut tokens);
+    tokens
+}
+
+/// [`lex`] into a caller-owned buffer: `tokens` is cleared and refilled,
+/// so a recycled buffer makes repeated lexing allocation-free once its
+/// capacity has grown to the working set. This is the per-check entry
+/// point (`joza-core` routes it through its check arena); byte scanning
+/// runs on the word-parallel [`swar`] kernels.
+pub fn lex_into(source: &str, tokens: &mut Vec<Token>) {
+    tokens.clear();
+    Lexer { src: source.as_bytes(), pos: 0 }.run(tokens);
     // Words lex as Identifier; promote reserved words to Keyword.
-    for t in &mut tokens {
+    for t in tokens {
         if t.kind == TokenKind::Identifier && is_keyword(t.text(source)) {
             t.kind = TokenKind::Keyword;
         }
     }
-    tokens
 }
 
 struct Lexer<'a> {
@@ -48,14 +60,13 @@ struct Lexer<'a> {
 }
 
 impl<'a> Lexer<'a> {
-    fn run(mut self) -> Vec<Token> {
-        let mut out = Vec::new();
+    fn run(mut self, out: &mut Vec<Token>) {
         while self.pos < self.src.len() {
             let start = self.pos;
             let b = self.src[self.pos];
             let kind = match b {
                 b if b.is_ascii_whitespace() => {
-                    self.pos += 1;
+                    self.pos = swar::scan_ws(self.src, self.pos + 1);
                     continue;
                 }
                 b'\'' | b'"' => self.string_lit(b),
@@ -116,7 +127,6 @@ impl<'a> Lexer<'a> {
             };
             out.push(Token { kind, start, end: self.pos });
         }
-        out
     }
 
     fn peek(&self, ahead: usize) -> Option<u8> {
@@ -134,11 +144,16 @@ impl<'a> Lexer<'a> {
 
     fn string_lit(&mut self, quote: u8) -> TokenKind {
         self.pos += 1; // opening quote
+                       // Word-scan to the next byte that can end or escape the literal;
+                       // everything between is plain content.
         while self.pos < self.src.len() {
-            let b = self.src[self.pos];
-            if b == b'\\' && self.pos + 1 < self.src.len() {
+            self.pos = swar::find_byte2(self.src, self.pos, quote, b'\\');
+            if self.pos >= self.src.len() {
+                break;
+            }
+            if self.src[self.pos] == b'\\' && self.pos + 1 < self.src.len() {
                 self.pos += 2; // backslash escape
-            } else if b == quote {
+            } else if self.src[self.pos] == quote {
                 if self.peek(1) == Some(quote) {
                     self.pos += 2; // doubled quote escape
                 } else {
@@ -146,6 +161,7 @@ impl<'a> Lexer<'a> {
                     return TokenKind::StringLit;
                 }
             } else {
+                // Trailing backslash at end of input: plain content.
                 self.pos += 1;
             }
         }
@@ -153,10 +169,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn backtick_ident(&mut self) -> TokenKind {
-        self.pos += 1;
-        while self.pos < self.src.len() && self.src[self.pos] != b'`' {
-            self.pos += 1;
-        }
+        self.pos = swar::find_byte(self.src, self.pos + 1, b'`');
         if self.pos < self.src.len() {
             self.pos += 1; // closing backtick
         }
@@ -164,20 +177,21 @@ impl<'a> Lexer<'a> {
     }
 
     fn line_comment(&mut self) -> TokenKind {
-        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
-            self.pos += 1;
-        }
+        self.pos = swar::find_byte(self.src, self.pos, b'\n');
         TokenKind::Comment
     }
 
     fn block_comment(&mut self) -> TokenKind {
         self.pos += 2; // consume `/*`
         while self.pos < self.src.len() {
-            if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+            self.pos = swar::find_byte(self.src, self.pos, b'*');
+            if self.peek(1) == Some(b'/') {
                 self.pos += 2;
                 return TokenKind::Comment;
             }
-            self.pos += 1;
+            if self.pos < self.src.len() {
+                self.pos += 1;
+            }
         }
         TokenKind::Comment // unterminated
     }
@@ -188,20 +202,12 @@ impl<'a> Lexer<'a> {
             && matches!(self.peek(1), Some(b'x') | Some(b'X'))
             && self.peek(2).is_some_and(|c| c.is_ascii_hexdigit())
         {
-            self.pos += 2;
-            while self.pos < self.src.len() && self.src[self.pos].is_ascii_hexdigit() {
-                self.pos += 1;
-            }
+            self.pos = swar::scan_hex(self.src, self.pos + 2);
             return TokenKind::Number;
         }
-        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
-            self.pos += 1;
-        }
+        self.pos = swar::scan_digits(self.src, self.pos);
         if self.peek(0) == Some(b'.') && self.peek(1).is_none_or(|c| c.is_ascii_digit()) {
-            self.pos += 1;
-            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
-                self.pos += 1;
-            }
+            self.pos = swar::scan_digits(self.src, self.pos + 1);
         }
         // Exponent part: 1e3, 1.5E-2
         if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
@@ -210,10 +216,7 @@ impl<'a> Lexer<'a> {
                 ahead = 2;
             }
             if self.peek(ahead).is_some_and(|c| c.is_ascii_digit()) {
-                self.pos += ahead;
-                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
-                    self.pos += 1;
-                }
+                self.pos = swar::scan_digits(self.src, self.pos + ahead);
             }
         }
         TokenKind::Number
@@ -225,9 +228,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident_tail(&mut self) {
-        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
-            self.pos += 1;
-        }
+        self.pos = swar::scan_ident(self.src, self.pos);
     }
 
     fn operator(&mut self) -> TokenKind {
@@ -248,11 +249,8 @@ impl<'a> Lexer<'a> {
 }
 
 fn is_ident_start(b: u8) -> bool {
-    b.is_ascii_alphabetic() || b == b'_' || b == b'$' || b >= 0x80
-}
-
-fn is_ident_continue(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80
+    // Continue-set ([`swar::is_ident_byte`]) minus digits.
+    !b.is_ascii_digit() && swar::is_ident_byte(b)
 }
 
 fn is_operator_start(b: u8) -> bool {

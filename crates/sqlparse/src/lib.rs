@@ -39,6 +39,7 @@ pub mod fingerprint;
 pub mod keywords;
 pub mod lexer;
 pub mod parser;
+pub mod symbol;
 pub mod template;
 pub mod token;
 pub mod value;

@@ -1,0 +1,185 @@
+//! Process-wide string interning for skeleton tokens.
+//!
+//! The per-check hot path renders every query token into skeleton normal
+//! form and then compares those renderings — against cached fingerprints
+//! and against query-model automaton branches. Rendering into `String`s
+//! makes every check allocate per token and every comparison walk bytes.
+//! Interning replaces both: each distinct rendering gets a stable
+//! [`SymId`] (a `u32` index into a process-wide table), so a skeleton is
+//! a `Vec<SymId>`, comparison is integer equality, and rendering a token
+//! whose text has been seen before allocates nothing.
+//!
+//! # Properties the rest of the gate relies on
+//!
+//! * **Injective**: two strings intern to the same [`SymId`] iff they are
+//!   byte-equal, so `SymId` equality is exactly string equality and the
+//!   skeleton-automaton verdicts are bit-identical to the string-matching
+//!   implementation they replaced.
+//! * **Stable for the process lifetime**: ids are never reused or
+//!   remapped; [`resolve`] returns `&'static str`. Ids are *not* stable
+//!   across processes (they depend on first-seen order), which is fine —
+//!   everything keyed by symbols or symbol-derived fingerprints (PTI
+//!   caches, model automata) lives in process memory.
+//! * **Bounded**: the table only grows with *distinct* renderings —
+//!   keywords, operators, punctuation, and the identifier vocabulary of
+//!   the application's queries — not with traffic volume.
+//!
+//! Common skeleton constants ([`SYM_HOLE`], punctuation, `VALUES`, every
+//! reserved keyword) are pre-seeded at fixed ids so hot-path code can use
+//! them as plain constants without touching the table.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::keywords::KEYWORDS;
+
+/// An interned skeleton-token rendering; equality is string equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(u32);
+
+impl SymId {
+    /// The raw table index (useful for dense side tables and hashing).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// The hole symbol `?` — rendering of every data literal.
+pub const SYM_HOLE: SymId = SymId(0);
+/// The collapsed-list symbol `?*`.
+pub const SYM_COLLAPSED: SymId = SymId(1);
+/// `(`.
+pub const SYM_LPAREN: SymId = SymId(2);
+/// `)`.
+pub const SYM_RPAREN: SymId = SymId(3);
+/// `,`.
+pub const SYM_COMMA: SymId = SymId(4);
+/// The canonical comment rendering `/*c*/`.
+pub const SYM_COMMENT: SymId = SymId(5);
+/// The `VALUES` keyword (anchor of tuple-run collapsing).
+pub const SYM_VALUES: SymId = SymId(6);
+
+/// Seeds that claim the fixed ids above, in id order.
+const SEEDS: &[&str] = &["?", "?*", "(", ")", ",", "/*c*/", "VALUES"];
+
+struct Interner {
+    /// Rendering → id. Keys borrow from the leaked strings in `strings`.
+    ids: HashMap<&'static str, SymId>,
+    /// id → rendering.
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut it = Interner { ids: HashMap::new(), strings: Vec::new() };
+        // `VALUES` appears in both lists; first occurrence wins its id.
+        for s in SEEDS.iter().chain(KEYWORDS) {
+            if !it.ids.contains_key(s) {
+                let id = SymId(it.strings.len() as u32);
+                it.ids.insert(s, id);
+                it.strings.push(s);
+            }
+        }
+        RwLock::new(it)
+    })
+}
+
+/// Interns `s`, returning its stable [`SymId`].
+///
+/// The common case (the rendering has been seen before — after warmup,
+/// every token of every benign query) is a read-locked hash lookup with
+/// **no allocation**; only a first-ever rendering takes the write lock
+/// and copies the string into the table.
+///
+/// # Examples
+///
+/// ```
+/// use joza_sqlparse::symbol::{intern, resolve, SYM_HOLE};
+///
+/// assert_eq!(intern("?"), SYM_HOLE);
+/// let id = intern("wp_posts");
+/// assert_eq!(intern("wp_posts"), id);
+/// assert_eq!(resolve(id), "wp_posts");
+/// ```
+pub fn intern(s: &str) -> SymId {
+    let t = table();
+    if let Some(&id) = t.read().expect("symbol table poisoned").ids.get(s) {
+        return id;
+    }
+    let mut it = t.write().expect("symbol table poisoned");
+    if let Some(&id) = it.ids.get(s) {
+        return id; // raced with another writer
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let id = SymId(it.strings.len() as u32);
+    it.strings.push(leaked);
+    it.ids.insert(leaked, id);
+    id
+}
+
+/// The string `id` was interned from.
+///
+/// # Panics
+///
+/// Panics if `id` did not come from [`intern`] in this process.
+pub fn resolve(id: SymId) -> &'static str {
+    table().read().expect("symbol table poisoned").strings[id.0 as usize]
+}
+
+/// Resolves a symbol slice back to owned strings — the slow path for
+/// diagnostics and tests; never used on the check path.
+pub fn resolve_all(ids: &[SymId]) -> Vec<String> {
+    let it = table().read().expect("symbol table poisoned");
+    ids.iter().map(|id| it.strings[id.0 as usize].to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_have_fixed_ids() {
+        assert_eq!(intern("?"), SYM_HOLE);
+        assert_eq!(intern("?*"), SYM_COLLAPSED);
+        assert_eq!(intern("("), SYM_LPAREN);
+        assert_eq!(intern(")"), SYM_RPAREN);
+        assert_eq!(intern(","), SYM_COMMA);
+        assert_eq!(intern("/*c*/"), SYM_COMMENT);
+        assert_eq!(intern("VALUES"), SYM_VALUES);
+        assert_eq!(resolve(SYM_COLLAPSED), "?*");
+    }
+
+    #[test]
+    fn keywords_are_preseeded() {
+        // Interning a keyword must return an id below seeds+keywords len.
+        let bound = (SEEDS.len() + KEYWORDS.len()) as u32;
+        for kw in KEYWORDS {
+            assert!(intern(kw).index() < bound, "{kw} not pre-seeded");
+        }
+    }
+
+    #[test]
+    fn interning_is_injective_and_stable() {
+        let a = intern("custom_table");
+        let b = intern("custom_table");
+        let c = intern("custom_tableX");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(resolve(a), "custom_table");
+        assert_eq!(resolve_all(&[a, c]), vec!["custom_table", "custom_tableX"]);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<SymId> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| intern("race_me")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -24,8 +24,9 @@
 //! boundaries; anything else rejects the template (the site then simply
 //! stays on the dynamic path — rejection is always sound).
 
-use crate::fingerprint::{raw_skeleton_tokens, render_token};
+use crate::fingerprint::{raw_skeleton_syms, render_token_sym};
 use crate::lexer::lex;
+use crate::symbol::{intern, SymId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
@@ -103,13 +104,15 @@ impl fmt::Display for TemplateReject {
     }
 }
 
-/// One symbol of a compiled automaton branch.
+/// One symbol of a compiled automaton branch. Token payloads are
+/// interned [`SymId`]s (see [`crate::symbol`]), so matching a branch
+/// against a query skeleton compares integers, never strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Sym {
     /// Exactly one skeleton token with this rendering.
-    Tok(String),
+    Tok(SymId),
     /// Zero or more repetitions of this skeleton-token sequence.
-    Star(Vec<String>),
+    Star(Vec<SymId>),
 }
 
 /// The literal substituted for holes when probing a template.
@@ -186,7 +189,7 @@ pub fn compile_template(t: &QueryTemplate) -> Result<Vec<Sym>, TemplateReject> {
                     if tokens[i].end > rep.end {
                         return Err(TemplateReject::RepMisaligned);
                     }
-                    body.push(render_token(&probe.text, &tokens[i]));
+                    body.push(render_token_sym(&probe.text, &tokens[i]));
                     end_ok = tokens[i].end == rep.end;
                     i += 1;
                 }
@@ -202,7 +205,7 @@ pub fn compile_template(t: &QueryTemplate) -> Result<Vec<Sym>, TemplateReject> {
                 return Err(TemplateReject::RepMisaligned);
             }
         }
-        syms.push(Sym::Tok(render_token(&probe.text, tk)));
+        syms.push(Sym::Tok(render_token_sym(&probe.text, tk)));
         i += 1;
     }
     Ok(syms)
@@ -228,22 +231,32 @@ impl SkeletonAutomaton {
 
     /// Whether `query`'s raw skeleton token sequence matches any branch.
     pub fn accepts(&self, query: &str) -> bool {
-        self.accepts_tokens(&raw_skeleton_tokens(query))
+        self.accepts_syms(&raw_skeleton_syms(query))
     }
 
     /// [`SkeletonAutomaton::accepts`] over an already-rendered raw
-    /// skeleton token sequence (see
-    /// [`crate::fingerprint::raw_skeleton_tokens`]) — the parse-once
-    /// entry point for callers that cache the query's skeleton.
-    pub fn accepts_tokens(&self, toks: &[String]) -> bool {
+    /// skeleton **symbol** sequence (see
+    /// [`crate::fingerprint::raw_skeleton_syms`]) — the parse-once,
+    /// allocation-free entry point for callers that cache the query's
+    /// skeleton. Matching compares interned ids, so each step is one
+    /// integer comparison.
+    pub fn accepts_syms(&self, toks: &[SymId]) -> bool {
         if self.branches.is_empty() {
             return false;
         }
         self.branches.iter().any(|b| match_seq(b, toks))
     }
+
+    /// [`SkeletonAutomaton::accepts_syms`] over string renderings (see
+    /// [`crate::fingerprint::raw_skeleton_tokens`]); interns each token,
+    /// so prefer the symbol entry point on hot paths.
+    pub fn accepts_tokens(&self, toks: &[String]) -> bool {
+        let syms: Vec<SymId> = toks.iter().map(|t| intern(t)).collect();
+        self.accepts_syms(&syms)
+    }
 }
 
-fn match_seq(syms: &[Sym], toks: &[String]) -> bool {
+fn match_seq(syms: &[Sym], toks: &[SymId]) -> bool {
     match syms.first() {
         None => toks.is_empty(),
         Some(Sym::Tok(s)) => {
@@ -325,9 +338,17 @@ impl RouteModel {
     }
 
     /// Whether the model's automaton accepts an already-rendered raw
-    /// skeleton token sequence (the parse-once entry point).
+    /// skeleton token sequence; interns each token — prefer
+    /// [`RouteModel::accepts_syms`] on hot paths.
     pub fn accepts_tokens(&self, toks: &[String]) -> bool {
         self.automaton.accepts_tokens(toks)
+    }
+
+    /// Whether the model's automaton accepts an already-rendered raw
+    /// skeleton **symbol** sequence (the parse-once, allocation-free
+    /// entry point).
+    pub fn accepts_syms(&self, toks: &[SymId]) -> bool {
+        self.automaton.accepts_syms(toks)
     }
 
     /// Template branches in the union automaton.
@@ -489,7 +510,7 @@ mod tests {
         let t = tpl(vec![Lit("SELECT * FROM t LIMIT 1".into()), Hole]);
         let syms = compile_template(&t).expect("merged numeric probe compiles");
         // `1` + probe `1` lex as the single number `11` → one hole symbol.
-        assert_eq!(syms.last(), Some(&Sym::Tok("?".to_string())));
+        assert_eq!(syms.last(), Some(&Sym::Tok(crate::symbol::SYM_HOLE)));
     }
 
     #[test]

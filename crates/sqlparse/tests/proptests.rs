@@ -1,10 +1,40 @@
 //! Property-based tests for the SQL lexer, parser, and fingerprints.
 
-use joza_sqlparse::fingerprint::{fingerprint, skeleton};
-use joza_sqlparse::lexer::lex;
+use joza_arena::BufSlot;
+use joza_sqlparse::fingerprint::{
+    fingerprint, fingerprint_of, fingerprint_syms_with, raw_skeleton_syms, raw_skeleton_tokens,
+    skeleton, skeleton_tokens,
+};
+use joza_sqlparse::lexer::{lex, lex_into};
 use joza_sqlparse::parser::parse;
+use joza_sqlparse::symbol::resolve_all;
 use joza_sqlparse::token::TokenKind;
 use proptest::prelude::*;
+
+/// Inputs biased toward the lexer's hard edges: quote and escape
+/// characters, comment openers, and multi-byte UTF-8 — so unterminated
+/// string literals, dangling backslashes, and half-open comments are
+/// generated constantly, not occasionally.
+fn lexer_edge_input() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("'".to_string()),
+            Just("\"".to_string()),
+            Just("`".to_string()),
+            Just("\\".to_string()),
+            Just("/*".to_string()),
+            Just("*/".to_string()),
+            Just("--".to_string()),
+            Just("#".to_string()),
+            Just("\n".to_string()),
+            Just("0x".to_string()),
+            "[ -~]{0,6}",
+            "[À-ʯ]{0,2}",
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
 
 proptest! {
     /// The lexer is total: any input produces a token stream with sane,
@@ -57,6 +87,49 @@ proptest! {
         let benign = format!("SELECT * FROM t WHERE id={id}");
         let attacked = format!("SELECT * FROM t WHERE id={id} OR 1=1");
         prop_assert_ne!(fingerprint(&benign), fingerprint(&attacked));
+    }
+
+    /// `lex_into` with a recycled arena buffer produces a token stream
+    /// identical to a fresh-heap `lex` on arbitrary inputs — the
+    /// allocation-free path changes nothing observable.
+    #[test]
+    fn lex_into_arena_matches_heap_lex(inputs in proptest::collection::vec(".{0,120}", 1..6)) {
+        let slot = BufSlot::new();
+        for input in &inputs {
+            let heap = lex(input);
+            let mut leased = slot.lease();
+            lex_into(input, &mut leased);
+            prop_assert_eq!(&*leased, &heap, "input {:?}", input);
+        }
+    }
+
+    /// Same differential, but on inputs stacked with unterminated string
+    /// literals, dangling escapes, and half-open comments. One buffer is
+    /// deliberately reused across all cases so a stale-state bug in
+    /// `lex_into` (a missing `clear`, a length confusion) cannot hide.
+    #[test]
+    fn lex_into_matches_lex_on_lexer_edges(inputs in proptest::collection::vec(lexer_edge_input(), 1..8)) {
+        let mut reused = Vec::new();
+        for input in &inputs {
+            lex_into(input, &mut reused);
+            prop_assert_eq!(&reused, &lex(input), "input {:?}", input);
+        }
+    }
+
+    /// The interned-symbol skeleton pipeline resolves back to exactly the
+    /// string-skeleton pipeline on arbitrary inputs, and both hash to the
+    /// same fingerprint.
+    #[test]
+    fn sym_skeleton_matches_string_skeleton(input in lexer_edge_input()) {
+        let raw_syms = raw_skeleton_syms(&input);
+        let raw_strs = raw_skeleton_tokens(&input);
+        prop_assert_eq!(resolve_all(&raw_syms), raw_strs.clone());
+        prop_assert_eq!(
+            fingerprint_syms_with(&raw_syms, &mut Vec::new()),
+            fingerprint_of(&raw_strs)
+        );
+        prop_assert_eq!(fingerprint(&input), fingerprint_of(&raw_strs));
+        let _ = skeleton_tokens(&input); // string collapse stays total too
     }
 
     /// Skeletons of parseable SELECTs are themselves lexable and non-empty.

@@ -45,6 +45,7 @@ pub mod myers;
 pub mod normalize;
 pub mod qgram;
 pub mod sellers;
+pub mod swar;
 
 pub use ahocorasick::{AhoCorasick, Match};
 pub use levenshtein::{bounded_distance, distance};

@@ -4,9 +4,18 @@ use joza_strmatch::ahocorasick::AhoCorasick;
 use joza_strmatch::levenshtein::{bounded_distance, distance};
 use joza_strmatch::mru::{MruScanner, NaiveScanner};
 use joza_strmatch::myers::{bounded_myers_substring_distance, myers_substring_distance};
+use joza_strmatch::normalize::{to_lower, to_lower_into};
 use joza_strmatch::qgram;
 use joza_strmatch::sellers::{naive_substring_distance, substring_distance};
+use joza_strmatch::swar;
 use proptest::prelude::*;
+
+/// Arbitrary byte strings, explicitly including non-ASCII and interior
+/// NULs — the SWAR kernels must be differentially exact on *all* bytes,
+/// not just the printable SQL subset.
+fn any_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..96)
+}
 
 proptest! {
     #[test]
@@ -159,6 +168,89 @@ proptest! {
         m.sort_unstable_by_key(key);
         prop_assert_eq!(&a, &n);
         prop_assert_eq!(&a, &m);
+    }
+
+    /// SWAR lowercase folding is byte-for-byte identical to the scalar
+    /// reference on arbitrary byte strings (including non-ASCII).
+    #[test]
+    fn swar_fold_matches_scalar(bytes in any_bytes()) {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        swar::fold_lower_into(&bytes, &mut fast);
+        swar::fold_lower_into_scalar(&bytes, &mut slow);
+        prop_assert_eq!(&fast, &slow);
+        // And both agree with the plain std byte map.
+        let std_ref: Vec<u8> = bytes.iter().map(|b| b.to_ascii_lowercase()).collect();
+        prop_assert_eq!(&fast, &std_ref);
+    }
+
+    /// `to_lower` (the Cow front-end over the SWAR kernel) agrees with the
+    /// std byte map, borrows exactly when no byte changes, and
+    /// `to_lower_into` produces the same bytes.
+    #[test]
+    fn to_lower_matches_reference(bytes in any_bytes()) {
+        let std_ref: Vec<u8> = bytes.iter().map(|b| b.to_ascii_lowercase()).collect();
+        let cow = to_lower(&bytes);
+        prop_assert_eq!(cow.as_ref(), std_ref.as_slice());
+        prop_assert_eq!(
+            matches!(cow, std::borrow::Cow::Borrowed(_)),
+            bytes == std_ref,
+            "must borrow iff no byte needs rewriting"
+        );
+        let mut into = Vec::new();
+        to_lower_into(&bytes, &mut into);
+        prop_assert_eq!(into.as_slice(), std_ref.as_slice());
+    }
+
+    /// The word-parallel identifier scan stops exactly where the scalar
+    /// classifier does, from every starting offset.
+    #[test]
+    fn swar_scan_ident_matches_scalar(bytes in any_bytes(), from in 0usize..100) {
+        let from = from.min(bytes.len());
+        prop_assert_eq!(swar::scan_ident(&bytes, from), swar::scan_ident_scalar(&bytes, from));
+    }
+
+    /// Every SWAR classifier scan agrees with a per-byte reference scan of
+    /// the same predicate, from an arbitrary offset.
+    #[test]
+    fn swar_classifier_scans_match_reference(bytes in any_bytes(), from in 0usize..100) {
+        let from = from.min(bytes.len());
+        let reference = |pred: &dyn Fn(u8) -> bool| {
+            let mut i = from;
+            while i < bytes.len() && pred(bytes[i]) {
+                i += 1;
+            }
+            i
+        };
+        prop_assert_eq!(swar::scan_ws(&bytes, from), reference(&|b| b.is_ascii_whitespace()));
+        prop_assert_eq!(swar::scan_digits(&bytes, from), reference(&|b| b.is_ascii_digit()));
+        prop_assert_eq!(swar::scan_hex(&bytes, from), reference(&|b| b.is_ascii_hexdigit()));
+        prop_assert_eq!(swar::scan_ident(&bytes, from), reference(&|b| swar::is_ident_byte(b)));
+    }
+
+    /// Needle searches land on the first occurrence at-or-after `from`, or
+    /// `len` when absent — same as a linear scan.
+    #[test]
+    fn swar_find_byte_matches_reference(
+        bytes in any_bytes(),
+        from in 0usize..100,
+        b1 in any::<u8>(),
+        b2 in any::<u8>(),
+    ) {
+        let from = from.min(bytes.len());
+        let linear = |pred: &dyn Fn(u8) -> bool| {
+            (from..bytes.len()).find(|&i| pred(bytes[i])).unwrap_or(bytes.len())
+        };
+        prop_assert_eq!(swar::find_byte(&bytes, from, b1), linear(&|b| b == b1));
+        prop_assert_eq!(swar::find_byte2(&bytes, from, b1, b2), linear(&|b| b == b1 || b == b2));
+    }
+
+    /// `first_ascii_upper` finds the first `A..=Z` byte exactly; bytes
+    /// ≥ 0x80 (UTF-8 continuation bytes and friends) never trigger it.
+    #[test]
+    fn swar_first_upper_matches_reference(bytes in any_bytes()) {
+        let expect = bytes.iter().position(|b| b.is_ascii_uppercase());
+        prop_assert_eq!(swar::first_ascii_upper(&bytes), expect);
     }
 
     #[test]

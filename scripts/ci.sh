@@ -22,11 +22,20 @@ echo "==> cargo test -q --test concurrency -- --test-threads=4"
 cargo test -q --test concurrency -- --test-threads=4
 
 # Differential kernel suite, explicitly: the bit-parallel NTI kernel must
-# be bit-identical to Sellers-classic on distances, spans, and reports.
-echo "==> differential kernel tests (strmatch myers + nti kernel agreement)"
+# be bit-identical to Sellers-classic on distances, spans, and reports,
+# and the SWAR byte-folding/classifier kernels must agree byte-for-byte
+# with their scalar references (debug build, so debug assertions are
+# live inside the kernels).
+echo "==> differential kernel tests (strmatch myers + swar, nti kernel, lexer equivalence)"
 cargo test -q -p joza-strmatch myers
 cargo test -q -p joza-strmatch --test proptests myers
+cargo test -q -p joza-strmatch swar
+cargo test -q -p joza-strmatch --test proptests swar
+cargo test -q -p joza-strmatch --test proptests to_lower
 cargo test -q -p joza-nti --test proptests kernels
+cargo test -q -p joza-sqlparse --test proptests lex_into
+cargo test -q -p joza-sqlparse --test proptests sym_skeleton
+cargo test -q --test alloc_free
 
 # Thread-scaling smoke over the batch-first serving API: verdicts must be
 # bit-identical to single-threaded at every thread count, the deploy-
@@ -69,10 +78,14 @@ echo "==> cargo test -q --test pipeline_equivalence"
 cargo test -q --test pipeline_equivalence
 
 # Pipeline-bench smoke: asserts the path counters partition the checked
-# queries before timing; also exercises the per-stage breakdown writers.
-echo "==> pipeline smoke"
+# queries before timing, exercises the per-stage breakdown writers, and
+# enforces the single-thread gate-direct throughput floor (the ROADMAP
+# 50k-checked-q/s target; the allocation-free hot path clears it with
+# an order of magnitude of headroom, so a trip means a real regression).
+echo "==> pipeline smoke (--min-qps 50000 single-thread gate-direct floor)"
 cargo run --quiet --release -p joza-bench --bin pipeline -- \
-    --requests 24 --repeat 1 --threads 1 --out /tmp/joza_pipeline_smoke.json
+    --requests 24 --repeat 1 --threads 1 --min-qps 50000 \
+    --out /tmp/joza_pipeline_smoke.json
 
 # Hardening smoke: the binary asserts >= 50/57 routes statically
 # rewritten to prepared statements, a passing differential (bit-identical
