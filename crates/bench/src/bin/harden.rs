@@ -35,9 +35,7 @@ use joza_lab::harden::{benign_corpus, differential, harden_lab, Differential};
 use joza_lab::serve::serve_parallel;
 use joza_lab::verify::exploit_effect_observed;
 use joza_lab::{build_lab, Lab};
-use joza_sast::{
-    analyze_app, app_query_models, taint_free_routes, unparameterized_sink_lint, HardenReport,
-};
+use joza_sast::{app_query_models, taint_free_routes, unparameterized_sink_lint, HardenReport};
 use joza_webapp::request::HttpRequest;
 use std::time::Duration;
 
@@ -95,7 +93,7 @@ fn scaled_config(pipe_latency: Duration) -> JozaConfig {
 /// taint analysis already proved clean; the one unrewritten route stays
 /// on the full dynamic pipeline.
 fn hardened_gate(hardened: &Lab, report: &HardenReport, cfg: JozaConfig) -> Joza {
-    let proven = taint_free_routes(&analyze_app(&hardened.server.app));
+    let proven = taint_free_routes(&hardened.server.app);
     Joza::installer(&hardened.server.app, cfg)
         .taint_free_routes(report.rewritten_routes())
         .taint_free_routes(proven)
@@ -259,14 +257,22 @@ fn main() {
     let lint = unparameterized_sink_lint(&original.server.app);
     let lint_rows: Vec<Vec<String>> = lint
         .iter()
-        .map(|s| vec![s.route.clone(), s.stmt_id.to_string(), s.sink.clone(), s.sources.join(" ")])
+        .map(|s| {
+            vec![
+                s.route.clone(),
+                s.stmt_id.to_string(),
+                s.sink.clone(),
+                s.sources.join(" "),
+                s.dirty_cell.as_ref().map_or("-".to_string(), |(t, c)| format!("{t}.{c}")),
+            ]
+        })
         .collect();
     println!(
         "== unparameterized-sink worklist ==\n{}",
         if lint_rows.is_empty() {
             "(empty)\n".to_string()
         } else {
-            render_table(&["Route", "Stmt", "Sink", "Sources"], &lint_rows)
+            render_table(&["Route", "Stmt", "Sink", "Sources", "Dirty cell"], &lint_rows)
         }
     );
 
@@ -339,11 +345,16 @@ fn main() {
     let lint_json = lint
         .iter()
         .map(|s| {
+            let cell = s
+                .dirty_cell
+                .as_ref()
+                .map_or("null".to_string(), |(t, c)| format!("\"{}.{}\"", json_escape(t), json_escape(c)));
             format!(
-                "      {{\"route\": \"{}\", \"stmt_id\": {}, \"sink\": \"{}\"}}",
+                "      {{\"route\": \"{}\", \"stmt_id\": {}, \"sink\": \"{}\", \"dirty_cell\": {}}}",
                 json_escape(&s.route),
                 s.stmt_id,
-                json_escape(&s.sink)
+                json_escape(&s.sink),
+                cell
             )
         })
         .collect::<Vec<_>>()

@@ -37,7 +37,7 @@ use joza_bench::report::{
 use joza_core::{Joza, JozaConfig, JozaStats, MatchKernel, QueryCheck, STAGE_COUNT};
 use joza_lab::serve::serve_parallel;
 use joza_lab::{build_lab, Lab};
-use joza_sast::{analyze_app, app_query_models, taint_free_routes};
+use joza_sast::{app_query_models, taint_free_routes};
 use joza_webapp::request::HttpRequest;
 use std::time::{Duration, Instant};
 
@@ -97,7 +97,7 @@ fn scaled_config(pipe_latency: Duration) -> JozaConfig {
 fn full_engine(lab: &Lab, pipe_latency: Duration) -> Joza {
     Joza::installer(&lab.server.app, scaled_config(pipe_latency))
         .query_models(app_query_models(&lab.server.app))
-        .taint_free_routes(taint_free_routes(&analyze_app(&lab.server.app)))
+        .taint_free_routes(taint_free_routes(&lab.server.app))
         .build()
 }
 

@@ -116,14 +116,68 @@ fn main() {
         let lint_rows: Vec<Vec<String>> = lint
             .iter()
             .map(|u| {
-                vec![u.route.clone(), u.stmt_id.to_string(), u.sink.clone(), u.sources.join(", ")]
+                vec![
+                    u.route.clone(),
+                    u.stmt_id.to_string(),
+                    u.sink.clone(),
+                    u.sources.join(", "),
+                    u.dirty_cell.as_ref().map_or("-".to_string(), |(t, c)| format!("{t}.{c}")),
+                ]
             })
             .collect();
-        println!("{}", render_table(&["Route", "Stmt", "Sink", "Tainted sources"], &lint_rows));
+        println!(
+            "{}",
+            render_table(&["Route", "Stmt", "Sink", "Tainted sources", "Dirty cell"], &lint_rows)
+        );
+    }
+
+    // --- Persistence-aware store/load fixpoint -------------------------
+    let flow = joza_sast::analyze_store_flow(&lab.server.app);
+    let second_order = flow.second_order_routes();
+    println!(
+        "\nSTORE/LOAD FIXPOINT ({} dirty cells, {} second-order routes, {} rounds{})\n",
+        flow.dirty.len(),
+        second_order.len(),
+        flow.iterations,
+        if flow.top_poisoned {
+            format!(", top-poisoned by {:?}", flow.poisoned_by)
+        } else {
+            String::new()
+        }
+    );
+    let worklist = flow.remediation_worklist();
+    let cell_rows: Vec<Vec<String>> = worklist
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{}.{}", e.cell.0, e.cell.1),
+                e.writers
+                    .iter()
+                    .map(|w| format!("{}:{}", w.route, w.line))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                e.readers.join(", "),
+            ]
+        })
+        .collect();
+    if cell_rows.is_empty() {
+        println!("(no attacker-reachable cells)");
+    } else {
+        println!(
+            "{}",
+            render_table(&["Cell", "Tainted writers", "Second-order readers"], &cell_rows)
+        );
+    }
+    for route in &second_order {
+        if let Some(rf) = flow.get(route) {
+            for chain in rf.chains.iter().take(1) {
+                println!("  {}", chain.render());
+            }
+        }
     }
 
     // --- Throughput ablation: fast path on benign core-route reads -----
-    let fast_routes = taint_free_routes(&summaries);
+    let fast_routes = taint_free_routes(&lab.server.app);
     println!(
         "\nFAST-PATH ABLATION (benign core-route crawl, {} taint-free routes)\n",
         fast_routes.len()

@@ -356,6 +356,12 @@ pub(crate) struct Deployment {
     generation: u64,
     models: Option<Arc<QueryModelIndex>>,
     taint_free: Option<Arc<BTreeSet<String>>>,
+    /// Stored cells the static store/load pass marked attacker-reachable
+    /// (`joza_sast::analyze_store_flow`). `"*"` entries are wildcards:
+    /// `("t", "*")` covers every column of `t`, `("*", "*")` covers
+    /// everything. Values fetched from covered cells are captured as
+    /// DB-sourced inputs for NTI/PTI (second-order defense).
+    dirty_cells: Option<Arc<BTreeSet<(String, String)>>>,
     checks: CheckPipeline,
 }
 
@@ -377,6 +383,8 @@ pub struct ModelUpdate {
     clear_models: bool,
     taint_free: Option<BTreeSet<String>>,
     clear_taint_free: bool,
+    dirty_cells: Option<BTreeSet<(String, String)>>,
+    clear_dirty_cells: bool,
 }
 
 impl ModelUpdate {
@@ -419,6 +427,35 @@ impl ModelUpdate {
     pub fn clear_taint_free_routes(mut self) -> Self {
         self.taint_free = None;
         self.clear_taint_free = true;
+        self
+    }
+
+    /// Replaces the deployed dirty-cell set (from
+    /// `joza_sast::StoreFlowReport::dirty_cells`): stored `(table,
+    /// column)` cells whose values must be treated as taint sources when
+    /// fetched. `"*"` components are wildcards.
+    #[must_use]
+    pub fn dirty_cells<I, S>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = (S, S)>,
+        S: AsRef<str>,
+    {
+        self.dirty_cells = Some(
+            cells
+                .into_iter()
+                .map(|(t, c)| (t.as_ref().to_string(), c.as_ref().to_string()))
+                .collect(),
+        );
+        self.clear_dirty_cells = false;
+        self
+    }
+
+    /// Removes the deployed dirty-cell set entirely (no DB-sourced
+    /// capture).
+    #[must_use]
+    pub fn clear_dirty_cells(mut self) -> Self {
+        self.dirty_cells = None;
+        self.clear_dirty_cells = true;
         self
     }
 }
@@ -653,6 +690,11 @@ impl Joza {
             (None, true) => None,
             (None, false) => current.taint_free.clone(),
         };
+        let dirty_cells = match (update.dirty_cells, update.clear_dirty_cells) {
+            (Some(set), _) => Some(Arc::new(set)),
+            (None, true) => None,
+            (None, false) => current.dirty_cells.clone(),
+        };
         validate_model_routes(models.as_deref(), self.known_routes.as_ref())?;
         let checks = CheckPipeline::assemble(
             taint_free.is_some(),
@@ -665,7 +707,7 @@ impl Joza {
         // that is what makes trace stamps monotone for every observer.
         let mut slot = self.deployment.write();
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
-        *slot = Arc::new(Deployment { generation, models, taint_free, checks });
+        *slot = Arc::new(Deployment { generation, models, taint_free, dirty_cells, checks });
         Ok(generation)
     }
 
@@ -911,6 +953,7 @@ pub struct JozaBuilder {
     config: JozaConfig,
     models: Option<QueryModelIndex>,
     taint_free: Option<BTreeSet<String>>,
+    dirty_cells: Option<BTreeSet<(String, String)>>,
     known_routes: Option<BTreeSet<String>>,
 }
 
@@ -962,6 +1005,24 @@ impl JozaBuilder {
         self.taint_free
             .get_or_insert_with(BTreeSet::new)
             .extend(routes.into_iter().map(|r| r.as_ref().to_string()));
+        self
+    }
+
+    /// Installs the dirty-cell set (from
+    /// `joza_sast::StoreFlowReport::dirty_cells`): stored `(table,
+    /// column)` cells reachable by attacker-controlled writes. Values
+    /// fetched from them at runtime are captured as DB-sourced inputs and
+    /// matched by NTI/PTI like request inputs — the second-order defense.
+    /// `"*"` components are wildcards.
+    #[must_use]
+    pub fn dirty_cells<I, S>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = (S, S)>,
+        S: AsRef<str>,
+    {
+        self.dirty_cells.get_or_insert_with(BTreeSet::new).extend(
+            cells.into_iter().map(|(t, c)| (t.as_ref().to_string(), c.as_ref().to_string())),
+        );
         self
     }
 
@@ -1032,6 +1093,7 @@ impl JozaBuilder {
             generation: 0,
             models: self.models.map(Arc::new),
             taint_free: self.taint_free.map(Arc::new),
+            dirty_cells: self.dirty_cells.map(Arc::new),
             checks,
         });
         Ok(Joza {
@@ -1118,6 +1180,30 @@ impl JozaSession<'_> {
         self.inputs.clear();
     }
 
+    /// Whether the pinned deployment marks the stored cell
+    /// `(table, column)` dirty — attacker-reachable by write, so fetched
+    /// values must be treated as taint sources. Honors `"*"` wildcards in
+    /// the deployed set.
+    pub fn is_dirty_cell(&self, table: &str, column: &str) -> bool {
+        let Some(cells) = self.dep.dirty_cells.as_deref() else {
+            return false;
+        };
+        let t = table.to_ascii_lowercase();
+        let c = column.to_ascii_lowercase();
+        cells.contains(&(t.clone(), c))
+            || cells.contains(&(t, "*".to_string()))
+            || cells.contains(&("*".to_string(), "*".to_string()))
+    }
+
+    /// Captures one value fetched from a dirty cell as a DB-sourced
+    /// input (named `db:table.column`): subsequent checks of this session
+    /// match it exactly like a raw request input, which is what turns a
+    /// stored (second-order) payload back into a detectable one at the
+    /// trigger query.
+    pub fn capture_db_input(&mut self, table: &str, column: &str, value: &str) {
+        self.inputs.push((format!("db:{table}.{column}"), value.to_string()));
+    }
+
     /// The deployment generation this session is pinned to.
     pub fn generation(&self) -> u64 {
         self.dep.generation
@@ -1175,6 +1261,14 @@ impl GateSession for JozaSession<'_> {
     fn check_batch(&mut self, sqls: &[String]) -> Vec<GateDecision> {
         let checks: Vec<QueryCheck> = sqls.iter().map(QueryCheck::new).collect();
         JozaSession::check_batch(self, &checks).iter().map(|v| self.joza.decide(v)).collect()
+    }
+
+    fn dirty_cell(&self, table: &str, column: &str) -> bool {
+        self.is_dirty_cell(table, column)
+    }
+
+    fn capture_db_input(&mut self, table: &str, column: &str, value: &str) {
+        JozaSession::capture_db_input(self, table, column, value);
     }
 }
 

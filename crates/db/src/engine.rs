@@ -65,6 +65,11 @@ pub struct QueryResult {
     /// Virtual time the query consumed, in milliseconds. Includes
     /// `SLEEP`/`BENCHMARK` charges — the double-blind signal.
     pub elapsed_ms: u64,
+    /// Per-output-column provenance: the `(table, column)` cells each
+    /// result column may draw values from (empty for writes). The
+    /// second-order gate uses this to recognise values fetched from
+    /// dirty cells and re-introduce them as taint sources.
+    pub origins: Vec<Vec<(String, String)>>,
 }
 
 /// Side effects accumulated while evaluating expressions.
@@ -141,6 +146,27 @@ impl Database {
     /// *message* is part of the observable behaviour (error-based
     /// injection).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        // Stacked queries: a quote/comment-aware scan for a top-level
+        // `;` splits the text into statements executed in order
+        // (MySQL multi-statement semantics: stop at the first error,
+        // earlier effects persist). Queries without a top-level `;`
+        // take the original single-statement path bit-identically.
+        if let Some(stmts) = split_stacked(sql) {
+            let mut total_elapsed = 0;
+            let mut last = None;
+            for s in &stmts {
+                let r = self.execute_single(s)?;
+                total_elapsed += r.elapsed_ms;
+                last = Some(r);
+            }
+            let mut result = last.expect("split_stacked yields at least one statement");
+            result.elapsed_ms = total_elapsed;
+            return Ok(result);
+        }
+        self.execute_single(sql)
+    }
+
+    fn execute_single(&mut self, sql: &str) -> Result<QueryResult, DbError> {
         let stmt = parse(sql)?;
         self.execute_parsed(&stmt)
     }
@@ -157,19 +183,38 @@ impl Database {
         let result = match stmt {
             Statement::Select(sel) => {
                 let (columns, rows) = crate::exec::run_select(self, sel, &mut side)?;
-                QueryResult { columns, rows, affected: 0, elapsed_ms: 0 }
+                let origins = crate::origins::select_origins(self, sel);
+                QueryResult { columns, rows, affected: 0, elapsed_ms: 0, origins }
             }
             Statement::Insert(ins) => {
                 let affected = crate::exec::run_insert(self, ins, &mut side)?;
-                QueryResult { columns: vec![], rows: vec![], affected, elapsed_ms: 0 }
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    affected,
+                    elapsed_ms: 0,
+                    origins: vec![],
+                }
             }
             Statement::Update(upd) => {
                 let affected = crate::exec::run_update(self, upd, &mut side)?;
-                QueryResult { columns: vec![], rows: vec![], affected, elapsed_ms: 0 }
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    affected,
+                    elapsed_ms: 0,
+                    origins: vec![],
+                }
             }
             Statement::Delete(del) => {
                 let affected = crate::exec::run_delete(self, del, &mut side)?;
-                QueryResult { columns: vec![], rows: vec![], affected, elapsed_ms: 0 }
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    affected,
+                    elapsed_ms: 0,
+                    origins: vec![],
+                }
             }
         };
         // Virtual cost model: 1ms base cost per query + SLEEP charges.
@@ -177,6 +222,118 @@ impl Database {
         self.clock_ms += elapsed;
         Ok(QueryResult { elapsed_ms: elapsed, ..result })
     }
+}
+
+/// Splits `sql` at top-level `;` separators, skipping string literals
+/// (`'…'`, `"…"`, `` `…` `` with backslash and doubled-quote escapes),
+/// line comments (`-- `, `#`) and block comments.
+///
+/// Returns `None` when there is no top-level `;` — the caller must then
+/// use the original single-statement path — or when every segment is
+/// blank. Comment-only trailing segments (the classic `; DROP …-- -`
+/// suffix leaves one) are dropped rather than executed.
+fn split_stacked(sql: &str) -> Option<Vec<String>> {
+    let b = sql.as_bytes();
+    let mut parts: Vec<&str> = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    let mut saw_semicolon = false;
+    while i < b.len() {
+        match b[i] {
+            q @ (b'\'' | b'"' | b'`') => {
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == q {
+                        if i + 1 < b.len() && b[i + 1] == q {
+                            i += 2; // doubled quote stays inside the literal
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'-' if i + 1 < b.len()
+                && b[i + 1] == b'-'
+                && (i + 2 >= b.len() || b[i + 2].is_ascii_whitespace()) =>
+            {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b';' => {
+                saw_semicolon = true;
+                parts.push(&sql[start..i]);
+                start = i + 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if !saw_semicolon {
+        return None;
+    }
+    parts.push(&sql[start..]);
+    let stmts: Vec<String> = parts
+        .into_iter()
+        .map(str::trim)
+        .filter(|s| segment_has_content(s))
+        .map(String::from)
+        .collect();
+    if stmts.is_empty() {
+        None
+    } else {
+        Some(stmts)
+    }
+}
+
+/// True when the segment contains anything besides whitespace/comments.
+fn segment_has_content(seg: &str) -> bool {
+    let b = seg.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'-' if i + 1 < b.len()
+                && b[i + 1] == b'-'
+                && (i + 2 >= b.len() || b[i + 2].is_ascii_whitespace()) =>
+            {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            _ => return true,
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -348,5 +505,53 @@ mod tests {
         db.execute("SELECT 1").unwrap();
         assert_eq!(db.clock_ms(), before + 2);
         assert_eq!(db.queries_executed(), 2);
+    }
+
+    #[test]
+    fn stacked_queries_execute_in_order() {
+        let mut db = sample_db();
+        let r = db
+            .execute("INSERT INTO users (id, user_login, user_pass) VALUES (7, 'eve', 'x'); SELECT user_login FROM users WHERE id = 7")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Str("eve".into())]]);
+        assert_eq!(db.queries_executed(), 2);
+        // Total elapsed covers both statements.
+        assert_eq!(r.elapsed_ms, 2);
+    }
+
+    #[test]
+    fn stacked_error_aborts_but_earlier_effects_persist() {
+        let mut db = sample_db();
+        let err =
+            db.execute("DELETE FROM posts WHERE id = 10; SELECT * FROM no_such_table").unwrap_err();
+        assert!(matches!(err, DbError::UnknownTable(_)));
+        assert_eq!(db.table("posts").unwrap().len(), 2, "first statement already ran");
+    }
+
+    #[test]
+    fn semicolons_inside_literals_and_comments_do_not_split() {
+        let mut db = sample_db();
+        let r = db.execute("SELECT 'a;b' FROM users WHERE id = 1 -- trailing; note").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Str("a;b".into())]]);
+        assert_eq!(db.queries_executed(), 1);
+    }
+
+    #[test]
+    fn comment_only_trailing_segment_is_dropped() {
+        let mut db = sample_db();
+        let r = db.execute("SELECT id FROM users WHERE id = 1; -- -").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(db.queries_executed(), 1);
+    }
+
+    #[test]
+    fn split_stacked_is_none_without_top_level_semicolon() {
+        assert_eq!(split_stacked("SELECT 1"), None);
+        assert_eq!(split_stacked("SELECT ';'"), None);
+        assert_eq!(split_stacked(";"), None);
+        assert_eq!(
+            split_stacked("SELECT 1; DROP TABLE users-- -"),
+            Some(vec!["SELECT 1".to_string(), "DROP TABLE users-- -".to_string()])
+        );
     }
 }

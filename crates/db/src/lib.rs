@@ -39,6 +39,7 @@
 mod engine;
 mod eval;
 mod exec;
+mod origins;
 mod prepared;
 mod table;
 

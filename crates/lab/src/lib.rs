@@ -40,6 +40,7 @@ pub mod cms;
 pub mod corpus;
 pub mod harden;
 pub mod nti_evasion;
+pub mod second_order;
 pub mod serve;
 pub mod serve_live;
 pub mod sqlmap;

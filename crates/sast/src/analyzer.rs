@@ -30,6 +30,16 @@ pub struct AnalyzerConfig {
     /// `MaybeTainted` instead of `Tainted`. `stripslashes`-style decodes
     /// restore them to `Tainted`.
     pub input_escaped: bool,
+    /// DB-sourced taint: sink call sites (by preorder statement id) whose
+    /// *result handles* carry attacker-reachable stored data. The handle
+    /// returned at such a site is `Tainted` with the given `db:<cell>`
+    /// source labels, and row fetches propagate it onward. Empty for
+    /// plain first-order analysis; `crate::storeflow` fills it in from
+    /// the cross-route store/load fixpoint. Magic quotes do *not*
+    /// downgrade these sources: the framework escapes request input, but
+    /// values read back from the database are raw (SQL parsing already
+    /// unescaped them on the way in).
+    pub db_sources: BTreeMap<usize, Vec<String>>,
 }
 
 /// One statically-inferred source→sink flow.
@@ -437,6 +447,17 @@ impl AbstractInterp<'_> {
         }
         if is_sink(name) {
             self.record_sink(stmt_id, name, &joined);
+            if let Some(cells) = self.config.db_sources.get(&stmt_id) {
+                // This sink's result handle reads attacker-reachable
+                // cells: the handle is tainted with db-cell provenance
+                // (fetches propagate it to every row value).
+                let mut v = AbstractVal::untainted();
+                for cell in cells {
+                    v = v.join(&AbstractVal::source(cell, Taint::Tainted));
+                }
+                v.push_hop(&format!("{}()", name.to_ascii_lowercase()));
+                return v;
+            }
         }
         match effect_of(name) {
             Effect::Propagate => joined,
@@ -564,7 +585,11 @@ mod tests {
     }
 
     fn analyze_escaped(src: &str) -> TaintSummary {
-        analyze_source("test", src, &AnalyzerConfig { input_escaped: true })
+        analyze_source(
+            "test",
+            src,
+            &AnalyzerConfig { input_escaped: true, ..AnalyzerConfig::default() },
+        )
     }
 
     #[test]
@@ -817,6 +842,10 @@ mod tests {
 
     #[test]
     fn fetch_results_are_trusted() {
+        // Under the plain first-order config no sink site is a DB taint
+        // source, so the result handle is Fresh and fetches propagate
+        // nothing. `storeflow` re-runs this same analysis with
+        // `db_sources` filled in when the read cells are dirty.
         let s = analyze(
             r#"
             $r = mysql_query("SELECT id FROM t");
@@ -825,7 +854,43 @@ mod tests {
             }
         "#,
         );
-        assert!(s.taint_free, "second-order flows are out of scope");
+        assert!(s.taint_free, "first-order analysis trusts fetch results");
         assert_eq!(s.sink_count, 2);
+    }
+
+    #[test]
+    fn db_sources_taint_fetched_rows_to_downstream_sinks() {
+        let src = r#"
+            $r = mysql_query("SELECT id FROM t");
+            while ($row = mysql_fetch_assoc($r)) {
+                mysql_query("SELECT * FROM u WHERE id=" . $row);
+            }
+        "#;
+        // The load is the first statement → preorder id 0.
+        let mut db_sources = BTreeMap::new();
+        db_sources.insert(0usize, vec!["db:t.id".to_string()]);
+        let s = analyze_source("test", src, &AnalyzerConfig { input_escaped: false, db_sources });
+        assert!(!s.taint_free, "dirty-cell reads re-introduce taint");
+        assert_eq!(s.findings.len(), 1);
+        let f = &s.findings[0];
+        assert_eq!(f.taint, Taint::Tainted);
+        assert_eq!(f.sources, vec!["db:t.id".to_string()]);
+        assert!(f.snippet.contains("FROM u"), "the downstream sink is the finding");
+    }
+
+    #[test]
+    fn db_sources_are_not_downgraded_by_magic_quotes() {
+        // Stored values are raw: the framework's input escaping already
+        // happened (and was undone by SQL parsing) on the *plant* request.
+        let src = r#"
+            $r = mysql_query("SELECT bio FROM profiles WHERE id=1");
+            $row = mysql_fetch_row($r);
+            mysql_query("SELECT * FROM posts WHERE author='" . $row . "'");
+        "#;
+        let mut db_sources = BTreeMap::new();
+        db_sources.insert(0usize, vec!["db:profiles.bio".to_string()]);
+        let s = analyze_source("test", src, &AnalyzerConfig { input_escaped: true, db_sources });
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(s.findings[0].taint, Taint::Tainted);
     }
 }

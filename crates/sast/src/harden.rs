@@ -175,12 +175,20 @@ pub struct UnparameterizedSink {
     pub sink: String,
     /// Taint sources reaching the sink.
     pub sources: Vec<String>,
+    /// For second-order findings: the attacker-reachable `(table,
+    /// column)` cell this sink writes raw input into — the plant half of
+    /// a stored-injection chain. `None` for first-order unmodeled-sink
+    /// findings.
+    pub dirty_cell: Option<(String, String)>,
 }
 
 /// Lints an application for tainted sinks the hardening pass cannot
-/// repair: taint findings whose sink site the query model left unmodeled.
-/// Every entry here is a route [`harden_app`] must skip — the lint output
-/// is the remaining manual-remediation worklist.
+/// repair: taint findings whose sink site the query model left unmodeled,
+/// plus raw-input writes into attacker-reachable cells (the plant sites
+/// of the cross-route store/load fixpoint — parameterizing the write does
+/// not stop the stored payload, so each needs escape-on-read or a schema
+/// change at the reading routes). Every entry is one item of the
+/// remaining manual-remediation worklist.
 pub fn unparameterized_sink_lint(app: &WebApp) -> Vec<UnparameterizedSink> {
     let mut out = Vec::new();
     for summary in crate::analyze_app(app) {
@@ -201,6 +209,32 @@ pub fn unparameterized_sink_lint(app: &WebApp) -> Vec<UnparameterizedSink> {
                     stmt_id: f.stmt_id,
                     sink: f.sink.clone(),
                     sources: f.sources.clone(),
+                    dirty_cell: None,
+                });
+            }
+        }
+    }
+    // Second-order plants: every tainted write into a cell some
+    // second-order-reachable route reads back. One entry per (write,
+    // cell) — the per-cell view is `StoreFlowReport::remediation_worklist`.
+    let flow = crate::analyze_store_flow(app);
+    for entry in flow.remediation_worklist() {
+        if entry.readers.is_empty() {
+            continue;
+        }
+        for w in &entry.writers {
+            let duplicate = out.iter().any(|s: &UnparameterizedSink| {
+                s.route == w.route
+                    && s.stmt_id == w.stmt_id
+                    && s.dirty_cell.as_ref() == Some(&entry.cell)
+            });
+            if !duplicate {
+                out.push(UnparameterizedSink {
+                    route: w.route.clone(),
+                    stmt_id: w.stmt_id,
+                    sink: w.sink.clone(),
+                    sources: w.sources.clone(),
+                    dirty_cell: Some(entry.cell.clone()),
                 });
             }
         }
@@ -1343,6 +1377,38 @@ mod tests {
         assert_eq!(lint.len(), 1, "{lint:?}");
         assert_eq!(lint[0].route, "unmodeled");
         assert_eq!(lint[0].sink, "mysql_query");
+        assert_eq!(lint[0].dirty_cell, None);
+    }
+
+    #[test]
+    fn lint_flags_raw_input_writes_into_attacker_reachable_cells() {
+        let mut app = WebApp::new("lint-so-test");
+        app.add_plugin(joza_webapp::app::Plugin::new(
+            "writer",
+            "1",
+            r#"
+            $v = $_POST['v'];
+            mysql_query("UPDATE prefs SET val='" . $v . "' WHERE id=1");
+            "#,
+        ));
+        app.add_plugin(joza_webapp::app::Plugin::new(
+            "reader",
+            "1",
+            r#"
+            $r = mysql_query("SELECT val FROM prefs WHERE id=1");
+            $row = mysql_fetch_row($r);
+            mysql_query("SELECT * FROM stock WHERE id=" . $row[0]);
+            "#,
+        ));
+        let lint = unparameterized_sink_lint(&app);
+        let plant = lint
+            .iter()
+            .find(|s| s.dirty_cell.is_some())
+            .expect("plant write into attacker-reachable cell not flagged");
+        assert_eq!(plant.route, "writer");
+        assert_eq!(plant.dirty_cell, Some(("prefs".into(), "val".into())));
+        assert_eq!(plant.sink, "mysql_query");
+        assert!(!plant.sources.is_empty(), "{plant:?}");
     }
 
     #[test]

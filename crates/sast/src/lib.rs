@@ -49,6 +49,7 @@ pub mod harden;
 pub mod lattice;
 pub mod querymodel;
 pub mod report;
+pub mod storeflow;
 pub mod summaries;
 
 pub use analyzer::{analyze_source, AnalyzerConfig, Finding, TaintSummary};
@@ -59,6 +60,10 @@ pub use harden::{
 pub use lattice::{AbstractVal, Taint};
 pub use querymodel::{app_query_models, infer_source, EndpointModel, SiteModel};
 pub use report::{render_finding, render_summary};
+pub use storeflow::{
+    analyze_store_flow, CellRemediation, ProvenanceChain, RouteClass, RouteFlow, StoreEvent,
+    StoreFlowReport,
+};
 pub use summaries::{effect_of, is_sink, Effect};
 
 use joza_webapp::app::WebApp;
@@ -71,15 +76,25 @@ use joza_webapp::transform::InputTransform;
 /// before plugin code runs, source reads start at
 /// [`Taint::MaybeTainted`].
 pub fn analyze_app(app: &WebApp) -> Vec<TaintSummary> {
-    let config =
-        AnalyzerConfig { input_escaped: app.input_pipeline.contains(&InputTransform::MagicQuotes) };
+    let config = AnalyzerConfig {
+        input_escaped: app.input_pipeline.contains(&InputTransform::MagicQuotes),
+        ..AnalyzerConfig::default()
+    };
     let mut plugins: Vec<_> = app.plugins().collect();
     plugins.sort_by(|a, b| a.name.cmp(&b.name));
     plugins.iter().map(|p| analyze_source(&p.name, &p.source, &config)).collect()
 }
 
-/// Route names that [`analyze_app`] proved taint-free, for feeding
-/// `joza_webapp::gate::StaticFastPath::new`.
-pub fn taint_free_routes(summaries: &[TaintSummary]) -> Vec<String> {
-    summaries.iter().filter(|s| s.taint_free).map(|s| s.endpoint.clone()).collect()
+/// Route names provably safe to skip dynamic checking for — the feed for
+/// `joza_webapp::gate::StaticFastPath::new` and
+/// `joza_core::JozaBuilder::taint_free_routes`.
+///
+/// This is the *persistence-aware* criterion: the route's sinks must
+/// receive no attacker data even when every cell the cross-route
+/// store/load fixpoint ([`analyze_store_flow`]) marks dirty is treated as
+/// a taint source at the route's load sites. First-order taint-freedom
+/// alone is not enough — a route that re-interpolates stored data is
+/// second-order-reachable and must stay on the dynamic path.
+pub fn taint_free_routes(app: &WebApp) -> Vec<String> {
+    analyze_store_flow(app).taint_free_routes()
 }

@@ -67,11 +67,20 @@ pub fn effect_of(name: &str) -> Effect {
         // back to life.
         "stripslashes" | "urldecode" | "rawurldecode" | "base64_decode" => Effect::Unescape,
 
-        // Results independent of arguments: DB fetch results are modeled
-        // as trusted (second-order injection is out of scope, matching
-        // the dynamic detectors), clocks/RNGs, side-effect-only calls.
-        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row" | "mysql_num_rows"
-        | "mysqli_num_rows" | "mysql_result" | "mysql_error" | "mysqli_error" | "current_time"
+        // Row fetches carry whatever taint the result handle carries. The
+        // handle comes from a sink call, which returns `Fresh` under the
+        // plain first-order config — so fetch results stay trusted there —
+        // but `storeflow` re-runs the analysis with
+        // `AnalyzerConfig::db_sources` marking load sites whose cells are
+        // attacker-reachable, and then the handle (hence every fetched
+        // row) is tainted with `db:<table>.<column>` provenance.
+        "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row" | "mysql_result" => {
+            Effect::Propagate
+        }
+
+        // Results independent of arguments: row *counts* destroy attacker
+        // bytes, clocks/RNGs, side-effect-only calls.
+        "mysql_num_rows" | "mysqli_num_rows" | "mysql_error" | "mysqli_error" | "current_time"
         | "time" | "rand" | "mt_rand" | "error_log" | "header" | "setcookie" | "session_start"
         | "ob_start" => Effect::Fresh,
 
@@ -110,7 +119,8 @@ mod tests {
         assert_eq!(effect_of("intval"), Effect::Sanitize);
         assert_eq!(effect_of("stripslashes"), Effect::Unescape);
         assert_eq!(effect_of("base64_decode"), Effect::Unescape);
-        assert_eq!(effect_of("mysql_fetch_assoc"), Effect::Fresh);
+        assert_eq!(effect_of("mysql_fetch_assoc"), Effect::Propagate);
+        assert_eq!(effect_of("mysql_num_rows"), Effect::Fresh);
         assert_eq!(effect_of("trim"), Effect::Propagate);
         assert_eq!(effect_of("sanitize_text_field"), Effect::Propagate);
         assert_eq!(effect_of("totally_unknown_fn"), Effect::Propagate);

@@ -9,7 +9,7 @@
 
 use joza_core::{Joza, JozaConfig};
 use joza_lab::{build_lab, verify::request_for, Lab, CLEAN_CORE_ROUTES};
-use joza_sast::{analyze_app, taint_free_routes};
+use joza_sast::taint_free_routes;
 use joza_webapp::request::HttpRequest;
 
 fn benign_core_requests() -> Vec<HttpRequest> {
@@ -28,7 +28,9 @@ fn benign_core_requests() -> Vec<HttpRequest> {
 }
 
 fn proven_routes(lab: &Lab) -> Vec<String> {
-    taint_free_routes(&analyze_app(&lab.server.app))
+    // Persistence-aware: also excludes routes the store/load fixpoint
+    // marks second-order-reachable.
+    taint_free_routes(&lab.server.app)
 }
 
 /// Every statically-proven route must be a clean core route: the analysis

@@ -70,6 +70,22 @@ pub trait GateSession {
     fn check_batch(&mut self, sqls: &[String]) -> Vec<GateDecision> {
         sqls.iter().map(|sql| self.check(sql)).collect()
     }
+
+    /// Whether the stored cell `(table, column)` is *dirty* — reachable
+    /// by attacker-controlled writes according to the static store/load
+    /// pass — so values fetched from it must be treated as taint
+    /// sources. The server consults this before offering fetched values
+    /// via [`GateSession::capture_db_input`]. Default: `false` (gates
+    /// without second-order awareness capture nothing).
+    fn dirty_cell(&self, _table: &str, _column: &str) -> bool {
+        false
+    }
+
+    /// Feeds one value fetched from a dirty cell back into the session
+    /// as a DB-sourced input for the remainder of this request — the
+    /// second-order analogue of the raw request inputs NTI/PTI match
+    /// against. Default: ignored.
+    fn capture_db_input(&mut self, _table: &str, _column: &str, _value: &str) {}
 }
 
 /// The shared side of the gate: a thread-safe protection engine that hands
@@ -302,6 +318,17 @@ impl GateSession for FastPathSession<'_> {
             return GateDecision::Allow;
         }
         self.inner.check(sql)
+    }
+
+    // Second-order hooks are forwarded unconditionally: a route on the
+    // fast path was proven taint-free *including* DB-sourced taint, so
+    // the inner gate will simply never see a dirty fetch there.
+    fn dirty_cell(&self, table: &str, column: &str) -> bool {
+        self.inner.dirty_cell(table, column)
+    }
+
+    fn capture_db_input(&mut self, table: &str, column: &str, value: &str) {
+        self.inner.capture_db_input(table, column, value);
     }
 }
 

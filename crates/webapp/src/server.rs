@@ -255,6 +255,26 @@ impl GatedHost<'_> {
     ) -> QueryOutcome {
         match result {
             Ok(result) => {
+                // Second-order capture: values fetched from cells the
+                // static pass marked dirty become DB-sourced inputs the
+                // gate matches against for the rest of the request.
+                if !result.rows.is_empty() && !result.origins.is_empty() {
+                    let t0 = Instant::now();
+                    for (i, origins) in result.origins.iter().enumerate() {
+                        let dirty = origins.iter().find(|(t, c)| self.gate.dirty_cell(t, c));
+                        if let Some((table, column)) = dirty {
+                            for row in &result.rows {
+                                match row.get(i) {
+                                    Some(v) if !v.is_null() => {
+                                        self.gate.capture_db_input(table, column, &v.as_str());
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    self.gate_time += t0.elapsed();
+                }
                 let rows = result
                     .rows
                     .iter()

@@ -95,6 +95,15 @@ echo "==> harden smoke"
 cargo run --quiet --release -p joza-bench --bin harden -- \
     --requests 24 --repeat 1 --threads 1,2 --out /tmp/joza_harden_smoke.json
 
+# Second-order smoke: the binary asserts the detection floor — every
+# labeled two-phase exploit (original + PTI-evading variant) classified
+# second-order-reachable statically AND caught dynamically by the
+# persistence-aware gate, with zero benign round trips blocked — before
+# timing anything.
+echo "==> second_order smoke"
+cargo run --quiet --release -p joza-bench --bin second_order -- \
+    --requests 24 --repeat 1 --out /tmp/joza_second_order_smoke.json
+
 # Deprecation containment: the legacy single-worker gate API (QueryGate /
 # handle_gated / Joza::gate) may only appear in the files that define it
 # (webapp's gate seam and server) and the two files allowed to keep using

@@ -30,6 +30,9 @@ cargo run --quiet --release -p joza-bench --bin querymodel -- \
 echo "== harden (timed) =="
 cargo run --quiet --release -p joza-bench --bin harden -- \
     --out results/BENCH_harden.json > results/harden.txt
+echo "== second_order (timed) =="
+cargo run --quiet --release -p joza-bench --bin second_order -- \
+    --out results/BENCH_secondorder.json > results/second_order.txt
 echo "== pipeline (timed) =="
 cargo run --quiet --release -p joza-bench --bin pipeline -- \
     --requests 96 --repeat 3 --threads 1,4 \
@@ -40,7 +43,7 @@ cargo run --quiet --release -p joza-bench --bin pipeline -- \
 # skipped writer (renamed bin, edited flag, early exit swallowed by a
 # pipe) must fail the regeneration, not leave a stale or missing file.
 expected_bench_json="BENCH_scaling.json BENCH_nti_kernel.json BENCH_querymodel.json \
-BENCH_harden.json BENCH_pipeline.json"
+BENCH_harden.json BENCH_pipeline.json BENCH_secondorder.json"
 missing=0
 for f in $expected_bench_json; do
     if [ ! -s "results/$f" ]; then

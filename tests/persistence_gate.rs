@@ -1,0 +1,148 @@
+//! Persistence-aware gating invariants.
+//!
+//! The static fast path may only skip routes the store/load fixpoint
+//! proved clean — a second-order-reachable route must stay on the
+//! dynamic pipeline even when first-order analysis alone would have
+//! fast-pathed it. These tests drive the second-order testbed through a
+//! fully-loaded gate and check the counters directly: zero static hits
+//! on plant/trigger traffic, no counter drift, and no behavior change on
+//! the existing benign and exploit corpora when the pass is enabled.
+
+use joza::core::{Joza, JozaConfig};
+use joza::lab::harden::benign_corpus;
+use joza::lab::second_order::{build_second_order_lab, run_two_phase_gated};
+use joza::lab::verify::exploit_effect_observed;
+use joza::lab::{build_lab, CLEAN_CORE_ROUTES};
+use joza::sast::{analyze_store_flow, taint_free_routes, RouteClass};
+
+/// The persistence-aware taint-free set excludes every
+/// second-order-reachable route, and the pass actually holds back routes
+/// the first-order criterion would have fast-pathed.
+#[test]
+fn taint_free_routes_exclude_second_order_reachable() {
+    let so = build_second_order_lab();
+    let report = analyze_store_flow(&so.lab.server.app);
+    let second_order = report.second_order_routes();
+    assert!(!second_order.is_empty(), "second-order testbed yielded no reachable routes");
+    for case in &so.cases {
+        assert!(
+            second_order.contains(&case.trigger_route),
+            "{} not classified second-order-reachable",
+            case.trigger_route
+        );
+    }
+
+    let fast = report.taint_free_routes();
+    assert_eq!(fast, taint_free_routes(&so.lab.server.app), "free function disagrees");
+    for route in &fast {
+        assert!(!second_order.contains(route), "{route} fast-pathed while second-order-reachable");
+    }
+
+    // The pre-persistence criterion would have fast-pathed at least one
+    // route the fixpoint now keeps dynamic.
+    let held_back: Vec<&str> = report
+        .routes
+        .iter()
+        .filter(|r| r.first_order_taint_free && r.class == RouteClass::SecondOrderReachable)
+        .map(|r| r.route.as_str())
+        .collect();
+    assert!(!held_back.is_empty(), "persistence pass held back no first-order-clean route");
+}
+
+/// Driving every plant, trigger, and benign round trip through the
+/// fully-loaded persistence-aware gate never takes the static fast path
+/// on a non-clean route, and the counter partition stays drift-free.
+#[test]
+fn static_stage_never_fires_on_second_order_traffic() {
+    let mut so = build_second_order_lab();
+    let report = analyze_store_flow(&so.lab.server.app);
+    let gate = Joza::installer(&so.lab.server.app, JozaConfig::optimized())
+        .taint_free_routes(report.taint_free_routes())
+        .dirty_cells(report.dirty_cells())
+        .build();
+
+    let base = gate.stats();
+    for case in so.cases.clone() {
+        // Benign round trip: allowed end to end.
+        so.reset_database();
+        let plant = so.lab.server.handle_with(&case.benign_plant_request(), &gate);
+        let trigger = so.lab.server.handle_with(&case.trigger_request(), &gate);
+        assert!(!plant.blocked, "{} benign plant blocked", case.class);
+        assert!(!trigger.blocked, "{} benign trigger blocked", case.class);
+
+        // Exploit and evasive variants: plant allowed, trigger denied.
+        for variant in [case.clone(), case.evasive_variant()] {
+            so.reset_database();
+            let outcome = run_two_phase_gated(&mut so.lab.server, &variant, &gate);
+            assert!(outcome.plant_allowed, "{} plant blocked", case.class);
+            assert!(outcome.trigger_denied && !outcome.leaked, "{} not defeated", case.class);
+        }
+    }
+    let stats = gate.stats();
+
+    // Plants are first-order-dangerous and triggers second-order-
+    // reachable: neither is in the taint-free set, so the static stage
+    // must not have fired once.
+    assert_eq!(
+        stats.static_hits, base.static_hits,
+        "static fast path fired on second-order traffic"
+    );
+    assert_eq!(
+        stats.model_fast_hits + stats.static_hits + stats.full_checks,
+        stats.queries,
+        "counter partition drifted"
+    );
+    // With taint-free routes installed but no query models, every
+    // dynamic check on a named non-fast-path route is (by design) an
+    // *unknown* route miss — so the miss counter must track full checks
+    // exactly, and incomplete-model misses stay impossible.
+    assert_eq!(stats.route_misses_unknown, stats.full_checks);
+    assert_eq!(stats.route_misses_incomplete, base.route_misses_incomplete);
+}
+
+/// Enabling the persistence-aware pass changes nothing on the existing
+/// benign corpus (zero new false positives) and leaves first-order
+/// exploit verdicts bit-identical: every response body, block flag, and
+/// executed-query count matches the first-order-only gate.
+#[test]
+fn benign_and_first_order_verdicts_are_unchanged_by_the_pass() {
+    let mut lab = build_lab();
+    let report = analyze_store_flow(&lab.server.app);
+    let first_order = Joza::install(&lab.server.app, JozaConfig::optimized());
+    let persistence_aware = Joza::installer(&lab.server.app, JozaConfig::optimized())
+        .taint_free_routes(report.taint_free_routes())
+        .dirty_cells(report.dirty_cells())
+        .build();
+
+    // Benign corpus: bit-identical responses, nothing blocked.
+    let corpus = benign_corpus(&lab);
+    assert_eq!(corpus.len(), 61, "benign corpus size changed — update this test");
+    for req in &corpus {
+        lab.reset_database();
+        let a = lab.server.handle_with(req, &first_order);
+        lab.reset_database();
+        let b = lab.server.handle_with(req, &persistence_aware);
+        assert!(!b.blocked, "benign request blocked with pass enabled: {req:?}");
+        assert_eq!(a.blocked, b.blocked, "{req:?}");
+        assert_eq!(a.body, b.body, "benign response changed with pass enabled: {req:?}");
+        assert_eq!(a.executed, b.executed, "{req:?}");
+    }
+
+    // First-order exploits: identical effectiveness verdict per plugin.
+    let plugins: Vec<_> = lab.plugins.iter().chain(lab.cms_cases.iter()).cloned().collect();
+    for p in &plugins {
+        lab.reset_database();
+        let a = exploit_effect_observed(&mut lab.server, p, &p.exploit, Some(&first_order));
+        lab.reset_database();
+        let b = exploit_effect_observed(&mut lab.server, p, &p.exploit, Some(&persistence_aware));
+        assert_eq!(a, b, "first-order verdict changed for {} with pass enabled", p.slug);
+    }
+
+    // Sanity: the base lab's core clean routes minus second-order ones
+    // still ride the fast path (the pass is not trivially empty).
+    let fast = report.taint_free_routes();
+    assert!(
+        fast.iter().any(|r| CLEAN_CORE_ROUTES.contains(&r.as_str())),
+        "no clean core route left on the fast path: {fast:?}"
+    );
+}

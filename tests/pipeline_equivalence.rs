@@ -13,7 +13,7 @@
 use joza::core::{Joza, JozaConfig};
 use joza::lab::verify::request_for;
 use joza::lab::{build_lab, Lab};
-use joza::sast::{analyze_app, app_query_models, taint_free_routes};
+use joza::sast::{app_query_models, taint_free_routes};
 use joza::webapp::gate::{QueryGate, RawInput};
 use joza::webapp::request::HttpRequest;
 
@@ -50,7 +50,7 @@ fn raw_inputs(req: &HttpRequest) -> Vec<RawInput> {
 fn full_engine(lab: &Lab) -> Joza {
     Joza::installer(&lab.server.app, JozaConfig::optimized())
         .query_models(app_query_models(&lab.server.app))
-        .taint_free_routes(taint_free_routes(&analyze_app(&lab.server.app)))
+        .taint_free_routes(taint_free_routes(&lab.server.app))
         .build()
 }
 
