@@ -16,8 +16,17 @@
 //!
 //! ```text
 //! serve_live [--requests N] [--batch B] [--threads T] [--routes R]
-//!            [--pipe-latency-us US] [--seed S]
+//!            [--pipe-latency-us US] [--seed S] [--soak N]
 //! ```
+//!
+//! `--soak N` adds a long-haul phase after the deployment demo: the
+//! corpus is served repeatedly (no further deploys) until N requests
+//! have been checked — sized for millions — reporting *steady-state*
+//! batch-latency percentiles (first 10% of passes discarded as warmup)
+//! and enforcing two invariants on every pass: the verdict split is
+//! identical pass over pass (the engine does not drift under sustained
+//! load), and the engine's query counter advances by exactly the
+//! corpus's query count (nothing dropped or double-counted).
 
 use joza_bench::report::{git_rev, render_table};
 use joza_core::{Joza, JozaConfig, ModelUpdate};
@@ -34,6 +43,7 @@ struct Args {
     routes: usize,
     pipe_latency: Duration,
     seed: u64,
+    soak: usize,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +54,7 @@ fn parse_args() -> Args {
         routes: 24,
         pipe_latency: Duration::from_micros(400),
         seed: 0x4a5a,
+        soak: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,6 +69,7 @@ fn parse_args() -> Args {
                     Duration::from_micros(value().parse().expect("--pipe-latency-us"));
             }
             "--seed" => args.seed = value().parse().expect("--seed"),
+            "--soak" => args.soak = value().parse().expect("--soak"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -142,4 +154,92 @@ fn main() {
     ];
     println!("\n{}", render_table(&["Metric", "Value"], &rows));
     println!("ok: verdicts matched ground truth; counters conserved across 2 deploys");
+
+    if args.soak > 0 {
+        soak(&joza, &testbed, &corpus, &args);
+    }
+}
+
+/// Long-haul phase: serve the corpus repeatedly until `args.soak`
+/// requests have been checked, with steady-state latency percentiles and
+/// per-pass invariants (stable verdict split, exact query-counter
+/// conservation).
+fn soak(
+    joza: &Joza,
+    testbed: &joza_lab::serve_live::LiveTestbed,
+    corpus: &[joza_lab::serve_live::LiveRequest],
+    args: &Args,
+) {
+    use joza_lab::serve_live::serve_live;
+
+    let passes = args.soak.div_ceil(corpus.len()).max(2);
+    let corpus_queries: usize = corpus.iter().map(|r| r.checks.len()).sum();
+    let warmup = (passes / 10).max(1);
+    println!(
+        "\nsoak: {} requests = {} passes x {} requests ({} warmup passes discarded)",
+        passes * corpus.len(),
+        passes,
+        corpus.len(),
+        warmup
+    );
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut wall = Duration::ZERO;
+    let mut requests = 0usize;
+    let mut baseline_split: Option<(usize, usize)> = None;
+    for pass in 0..passes {
+        let before = joza.stats().queries;
+        let report = serve_live(joza, testbed, corpus, args.threads);
+        let after = joza.stats().queries;
+        assert_eq!(
+            (after - before) as usize,
+            corpus_queries,
+            "soak pass {pass}: query counter did not advance by the corpus size"
+        );
+        let mut safe = 0usize;
+        let mut flagged = 0usize;
+        for batch in &report.verdicts {
+            for v in batch {
+                if v.is_safe() {
+                    safe += 1;
+                } else {
+                    flagged += 1;
+                }
+            }
+        }
+        match baseline_split {
+            None => baseline_split = Some((safe, flagged)),
+            Some(expect) => assert_eq!(
+                (safe, flagged),
+                expect,
+                "soak pass {pass}: verdict split drifted under sustained load"
+            ),
+        }
+        if pass >= warmup {
+            latencies.extend_from_slice(&report.request_latencies);
+            wall += report.wall;
+            requests += corpus.len();
+        }
+    }
+
+    latencies.sort();
+    let pctl = |p: f64| -> Duration {
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let (safe, flagged) = baseline_split.expect("at least one soak pass");
+    let rows = vec![
+        vec!["steady-state requests".to_string(), requests.to_string()],
+        vec![
+            "steady-state requests/s".to_string(),
+            format!("{:.1}", requests as f64 / wall.as_secs_f64().max(f64::EPSILON)),
+        ],
+        vec!["batch p50".to_string(), format!("{:?}", pctl(0.50))],
+        vec!["batch p90".to_string(), format!("{:?}", pctl(0.90))],
+        vec!["batch p99".to_string(), format!("{:?}", pctl(0.99))],
+        vec!["batch max".to_string(), format!("{:?}", latencies[latencies.len() - 1])],
+        vec!["verdict split (safe/flagged)".to_string(), format!("{safe}/{flagged} per pass")],
+    ];
+    println!("\n{}", render_table(&["Soak metric", "Value"], &rows));
+    println!("ok: verdict split stable across all passes; query counters conserved");
 }

@@ -23,7 +23,10 @@ pub fn host_threads() -> usize {
 
 /// Provenance stamp for `results/BENCH_*.json` files, as a single-line
 /// JSON object: the git revision the numbers were produced from, the
-/// host thread count, and the NTI matching-kernel configuration. Every
+/// host thread count, the NTI matching-kernel configuration, and the
+/// phpsim serving engine the web-application simulator defaults to
+/// (`vm` since the bytecode compiler landed; `tree-walk` numbers are not
+/// comparable with `vm` numbers on interpreter-bound workloads). Every
 /// benchmark writer embeds this under a `"provenance"` key so results
 /// files stay comparable across PRs.
 ///
@@ -33,13 +36,15 @@ pub fn host_threads() -> usize {
 /// let p = joza_bench::report::provenance_json("bitparallel");
 /// assert!(p.starts_with("{\"git_rev\": "));
 /// assert!(p.contains("\"nti_kernel\": \"bitparallel\""));
+/// assert!(p.contains("\"engine\": \"vm\""));
 /// ```
 pub fn provenance_json(nti_kernel: &str) -> String {
     format!(
-        "{{\"git_rev\": \"{}\", \"host_threads\": {}, \"nti_kernel\": \"{}\"}}",
+        "{{\"git_rev\": \"{}\", \"host_threads\": {}, \"nti_kernel\": \"{}\", \"engine\": \"{}\"}}",
         git_rev(),
         host_threads(),
-        nti_kernel
+        nti_kernel,
+        joza_webapp::Engine::default()
     )
 }
 

@@ -1,0 +1,132 @@
+//! Full-corpus differential test: the bytecode VM against the tree-walk
+//! oracle.
+//!
+//! The VM is the serving engine; the tree-walker is kept as the ground
+//! truth it is diffed against. Every request of the testbed's corpora —
+//! the benign performance corpus, every plugin's shipped exploit, and the
+//! second-order two-phase plant/trigger pairs (benign, exploit, and
+//! evasive variants) — must come back *bit-identical* across engines:
+//! body, attempted-query list (content and order), surfaced SQL error,
+//! and blocked flag. The databases are diffed too, so write effects
+//! cannot silently diverge.
+
+use joza_lab::harden::{benign_corpus, dump_database};
+use joza_lab::second_order::build_second_order_lab;
+use joza_lab::verify::request_for;
+use joza_lab::{build_lab, Lab};
+use joza_webapp::request::HttpRequest;
+use joza_webapp::server::{Engine, Response, Server};
+
+/// Runs one request through both servers and asserts the observable
+/// response surface is identical.
+fn diff_request(vm: &mut Server, tw: &mut Server, req: &HttpRequest, label: &str) {
+    assert_eq!(vm.engine, Engine::Vm);
+    assert_eq!(tw.engine, Engine::TreeWalk);
+    let rv: Response = vm.handle(req);
+    let rt: Response = tw.handle(req);
+    assert_eq!(rv.body, rt.body, "[{label}] body diverged");
+    assert_eq!(rv.queries, rt.queries, "[{label}] query list diverged");
+    assert_eq!(rv.sql_error, rt.sql_error, "[{label}] sql_error diverged");
+    assert_eq!(rv.blocked, rt.blocked, "[{label}] blocked flag diverged");
+    assert_eq!(rv.executed, rt.executed, "[{label}] executed count diverged");
+}
+
+fn lab_pair() -> (Lab, Lab) {
+    let vm_lab = build_lab();
+    let mut tw_lab = build_lab();
+    tw_lab.server.set_engine(Engine::TreeWalk);
+    (vm_lab, tw_lab)
+}
+
+#[test]
+fn benign_corpus_is_bit_identical_across_engines() {
+    let (mut vm_lab, mut tw_lab) = lab_pair();
+    let corpus = benign_corpus(&vm_lab);
+    assert!(!corpus.is_empty());
+    for (i, req) in corpus.iter().enumerate() {
+        diff_request(&mut vm_lab.server, &mut tw_lab.server, req, &format!("benign #{i}"));
+    }
+    assert_eq!(
+        dump_database(&vm_lab.server.db),
+        dump_database(&tw_lab.server.db),
+        "database state diverged after benign replay"
+    );
+}
+
+#[test]
+fn exploit_corpus_is_bit_identical_across_engines() {
+    let (mut vm_lab, mut tw_lab) = lab_pair();
+    let plugins: Vec<_> = vm_lab.plugins.iter().chain(vm_lab.cms_cases.iter()).cloned().collect();
+    assert_eq!(plugins.len(), 53);
+    for p in &plugins {
+        // Exploit payload, then the plugin's benign request value, so both
+        // the attack path and the legitimate path are covered per route.
+        for (kind, value) in [
+            ("exploit", p.exploit.primary_payload().to_string()),
+            ("benign", p.benign_value.clone()),
+        ] {
+            let req = request_for(p, &value);
+            diff_request(
+                &mut vm_lab.server,
+                &mut tw_lab.server,
+                &req,
+                &format!("{} {}", p.slug, kind),
+            );
+        }
+        // Attacks may write (double-blind markers etc.); keep the two
+        // databases in lockstep and verified equal after every plugin.
+        assert_eq!(
+            dump_database(&vm_lab.server.db),
+            dump_database(&tw_lab.server.db),
+            "database state diverged after {}",
+            p.slug
+        );
+        vm_lab.reset_database();
+        tw_lab.reset_database();
+    }
+}
+
+#[test]
+fn second_order_corpus_is_bit_identical_across_engines() {
+    let mut vm_so = build_second_order_lab();
+    let mut tw_so = build_second_order_lab();
+    tw_so.lab.server.set_engine(Engine::TreeWalk);
+    let cases = vm_so.cases.clone();
+    assert!(!cases.is_empty());
+    for case in &cases {
+        let evasive = case.evasive_variant();
+        // Three two-phase flows per case: benign plant→trigger,
+        // exploit plant→trigger, evasive plant→trigger. Databases reset
+        // between flows so each plant lands on fresh state.
+        let flows: [(&str, HttpRequest, HttpRequest); 3] = [
+            ("benign", case.benign_plant_request(), case.trigger_request()),
+            ("exploit", case.exploit_plant_request(), case.trigger_request()),
+            ("evasive", evasive.exploit_plant_request(), evasive.trigger_request()),
+        ];
+        for (kind, plant, trigger) in flows {
+            vm_so.reset_database();
+            tw_so.reset_database();
+            let label = format!("{:?} {kind}", case.class);
+            diff_request(&mut vm_so.lab.server, &mut tw_so.lab.server, &plant, &label);
+            diff_request(&mut vm_so.lab.server, &mut tw_so.lab.server, &trigger, &label);
+            assert_eq!(
+                dump_database(&vm_so.lab.server.db),
+                dump_database(&tw_so.lab.server.db),
+                "database state diverged after {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unroutable_and_parse_error_paths_match() {
+    let (mut vm_lab, mut tw_lab) = lab_pair();
+    // 404 path.
+    diff_request(&mut vm_lab.server, &mut tw_lab.server, &HttpRequest::get("no-such-route"), "404");
+    // Parse-error path: both engines fail at the same (parse) stage.
+    let slug = vm_lab.plugins[0].slug.clone();
+    assert!(vm_lab.server.app.set_plugin_source(&slug, "$x = ;"));
+    assert!(tw_lab.server.app.set_plugin_source(&slug, "$x = ;"));
+    let req = HttpRequest::get(&slug).param("id", "1");
+    diff_request(&mut vm_lab.server, &mut tw_lab.server, &req, "parse error");
+}

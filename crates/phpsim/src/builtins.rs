@@ -6,8 +6,82 @@
 //! `base64_decode` (the one testbed plugin NTI missed), `urldecode`,
 //! `str_replace`, and `preg_replace` character-class sanitizers.
 
-use crate::interp::{Interp, PhpError, QueryOutcome, ResultSet};
+use crate::interp::{PhpError, QueryOutcome, ResultSet, Runtime};
 use crate::value::{is_numeric, PArray, PKey, PValue};
+
+/// Routes one `mysql_query` text through the host and converts the
+/// outcome to the PHP-visible value: a fresh resource on rows, `false`
+/// plus `mysql_error()` state on error, [`PhpError::Terminated`] on kill.
+/// Both engines funnel every host query through here.
+pub(crate) fn host_query(rt: &mut Runtime<'_>, sql: &str) -> Result<PValue, PhpError> {
+    match rt.host.query(sql) {
+        QueryOutcome::Rows(rows) => {
+            rt.resources.push(ResultSet { rows, cursor: 0 });
+            rt.last_error.clear();
+            Ok(PValue::Resource(rt.resources.len() - 1))
+        }
+        QueryOutcome::Error(msg) => {
+            rt.last_error = msg;
+            Ok(PValue::Bool(false))
+        }
+        QueryOutcome::Terminated => Err(PhpError::Terminated),
+    }
+}
+
+/// Routes one prepared-statement text + bindings through the host,
+/// converting the outcome exactly like [`host_query`].
+pub(crate) fn host_query_prepared(
+    rt: &mut Runtime<'_>,
+    text: &str,
+    bindings: &[(String, String)],
+) -> Result<PValue, PhpError> {
+    match rt.host.query_prepared(text, bindings) {
+        QueryOutcome::Rows(rows) => {
+            rt.resources.push(ResultSet { rows, cursor: 0 });
+            rt.last_error.clear();
+            Ok(PValue::Resource(rt.resources.len() - 1))
+        }
+        QueryOutcome::Error(msg) => {
+            rt.last_error = msg;
+            Ok(PValue::Bool(false))
+        }
+        QueryOutcome::Terminated => Err(PhpError::Terminated),
+    }
+}
+
+/// Drupal 7 `expandArguments`: array-valued arguments expand their
+/// placeholder to one placeholder per element, with names derived from
+/// the *array keys* — the behaviour CVE-2014-3704 exploits, reproduced
+/// faithfully here. Returns the rewritten statement text and bindings.
+pub(crate) fn db_query_expand(sql: String, args: &PValue) -> (String, Vec<(String, String)>) {
+    let mut text = sql;
+    let mut bindings: Vec<(String, String)> = Vec::new();
+    if let PValue::Array(args_arr) = args {
+        for (k, v) in args_arr.iter() {
+            let name = match k {
+                PKey::Str(s) => s.clone(),
+                PKey::Int(i) => i.to_string(),
+            };
+            match v {
+                PValue::Array(items) => {
+                    let mut expanded = Vec::with_capacity(items.len());
+                    for (ik, iv) in items.iter() {
+                        let suffix = match ik {
+                            PKey::Int(i) => i.to_string(),
+                            PKey::Str(s) => s.clone(),
+                        };
+                        let new_name = format!("{name}_{suffix}");
+                        bindings.push((new_name.clone(), iv.to_php_string()));
+                        expanded.push(new_name);
+                    }
+                    text = text.replace(&name, &expanded.join(", "));
+                }
+                scalar => bindings.push((name, scalar.to_php_string())),
+            }
+        }
+    }
+    (text, bindings)
+}
 
 /// Dispatches a call to a built-in function.
 ///
@@ -15,84 +89,46 @@ use crate::value::{is_numeric, PArray, PKey, PValue};
 ///
 /// [`PhpError::Runtime`] for unknown functions or invalid arguments;
 /// [`PhpError::Terminated`] when a `mysql_query` is killed by the host.
-pub fn call_builtin(
-    interp: &mut Interp<'_>,
+pub(crate) fn call_builtin(
+    rt: &mut Runtime<'_>,
     name: &str,
     args: Vec<PValue>,
 ) -> Result<PValue, PhpError> {
     let lower = name.to_ascii_lowercase();
+    dispatch_builtin(rt, &lower, name, args)
+}
+
+/// [`call_builtin`] with the lowercased dispatch key precomputed — the
+/// bytecode compiler lowers call names once at compile time so the VM
+/// skips the per-call allocation. `name` keeps the original spelling for
+/// the undefined-function error message.
+pub(crate) fn dispatch_builtin(
+    rt: &mut Runtime<'_>,
+    lower: &str,
+    name: &str,
+    args: Vec<PValue>,
+) -> Result<PValue, PhpError> {
     let arg = |i: usize| -> PValue { args.get(i).cloned().unwrap_or_default() };
     let sarg = |i: usize| -> String { arg(i).to_php_string() };
 
-    match lower.as_str() {
+    match lower {
         // ---- MySQL client API ----
         "mysql_query" | "mysqli_query" => {
             let sql = sarg(if lower == "mysqli_query" { 1 } else { 0 });
             // mysqli_query($link, $sql): tolerate the 1-arg legacy shape too.
             let sql = if sql.is_empty() && lower == "mysqli_query" { sarg(0) } else { sql };
-            match interp.host.query(&sql) {
-                QueryOutcome::Rows(rows) => {
-                    interp.resources.push(ResultSet { rows, cursor: 0 });
-                    interp.last_error.clear();
-                    Ok(PValue::Resource(interp.resources.len() - 1))
-                }
-                QueryOutcome::Error(msg) => {
-                    interp.last_error = msg;
-                    Ok(PValue::Bool(false))
-                }
-                QueryOutcome::Terminated => Err(PhpError::Terminated),
-            }
+            host_query(rt, &sql)
         }
         // ---- Drupal-style database layer (prepared statements) ----
         "db_query" => {
-            // db_query($sql, $args): named placeholders. Array-valued
-            // arguments go through Drupal 7's `expandArguments`: the
-            // placeholder expands to one placeholder per element, with
-            // names derived from the *array keys* — the behaviour
-            // CVE-2014-3704 exploits, reproduced faithfully here.
-            let sql = sarg(0);
-            let mut text = sql;
-            let mut bindings: Vec<(String, String)> = Vec::new();
-            if let PValue::Array(args_arr) = arg(1) {
-                for (k, v) in args_arr.iter() {
-                    let name = match k {
-                        PKey::Str(s) => s.clone(),
-                        PKey::Int(i) => i.to_string(),
-                    };
-                    match v {
-                        PValue::Array(items) => {
-                            let mut expanded = Vec::with_capacity(items.len());
-                            for (ik, iv) in items.iter() {
-                                let suffix = match ik {
-                                    PKey::Int(i) => i.to_string(),
-                                    PKey::Str(s) => s.clone(),
-                                };
-                                let new_name = format!("{name}_{suffix}");
-                                bindings.push((new_name.clone(), iv.to_php_string()));
-                                expanded.push(new_name);
-                            }
-                            text = text.replace(&name, &expanded.join(", "));
-                        }
-                        scalar => bindings.push((name, scalar.to_php_string())),
-                    }
-                }
-            }
-            match interp.host.query_prepared(&text, &bindings) {
-                QueryOutcome::Rows(rows) => {
-                    interp.resources.push(ResultSet { rows, cursor: 0 });
-                    interp.last_error.clear();
-                    Ok(PValue::Resource(interp.resources.len() - 1))
-                }
-                QueryOutcome::Error(msg) => {
-                    interp.last_error = msg;
-                    Ok(PValue::Bool(false))
-                }
-                QueryOutcome::Terminated => Err(PhpError::Terminated),
-            }
+            // db_query($sql, $args): named placeholders, expanded via
+            // [`db_query_expand`].
+            let (text, bindings) = db_query_expand(sarg(0), &arg(1));
+            host_query_prepared(rt, &text, &bindings)
         }
         "mysql_fetch_assoc" | "mysql_fetch_array" | "mysqli_fetch_assoc" => match arg(0) {
             PValue::Resource(id) => {
-                let rs = interp
+                let rs = rt
                     .resources
                     .get_mut(id)
                     .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
@@ -111,7 +147,7 @@ pub fn call_builtin(
         },
         "mysql_fetch_row" => match arg(0) {
             PValue::Resource(id) => {
-                let rs = interp
+                let rs = rt
                     .resources
                     .get_mut(id)
                     .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
@@ -130,14 +166,14 @@ pub fn call_builtin(
         },
         "mysql_num_rows" | "mysqli_num_rows" => match arg(0) {
             PValue::Resource(id) => {
-                Ok(PValue::Int(interp.resources.get(id).map_or(0, |rs| rs.rows.len()) as i64))
+                Ok(PValue::Int(rt.resources.get(id).map_or(0, |rs| rs.rows.len()) as i64))
             }
             _ => Ok(PValue::Bool(false)),
         },
         "mysql_result" => match arg(0) {
             PValue::Resource(id) => {
                 let row_idx = arg(1).to_php_int() as usize;
-                let rs = interp
+                let rs = rt
                     .resources
                     .get(id)
                     .ok_or_else(|| PhpError::Runtime("invalid resource".into()))?;
@@ -157,7 +193,7 @@ pub fn call_builtin(
             }
             _ => Ok(PValue::Bool(false)),
         },
-        "mysql_error" | "mysqli_error" => Ok(PValue::Str(interp.last_error.clone())),
+        "mysql_error" | "mysqli_error" => Ok(PValue::Str(rt.last_error.clone())),
         "mysql_real_escape_string" | "mysqli_real_escape_string" | "esc_sql" | "addslashes" => {
             Ok(PValue::Str(addslashes(&sarg(
                 if lower.ends_with("real_escape_string") && args.len() > 1 { 1 } else { 0 },
@@ -296,7 +332,7 @@ pub fn call_builtin(
                 PValue::Array(a) => {
                     let mut out = PArray::new();
                     for (k, v) in a.iter() {
-                        let mapped = call_builtin(interp, &callable, vec![v.clone()])?;
+                        let mapped = call_builtin(rt, &callable, vec![v.clone()])?;
                         out.set(k.clone(), mapped);
                     }
                     Ok(PValue::Array(out))

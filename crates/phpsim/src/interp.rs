@@ -83,13 +83,27 @@ pub(crate) struct ResultSet {
     pub(crate) cursor: usize,
 }
 
+/// Engine-shared runtime state: the host connection plus the result-set
+/// and error registers the SQL builtins operate on. Both the tree-walking
+/// [`Interp`] and the bytecode [`crate::vm::Vm`] embed one, so
+/// [`crate::builtins`] behaves identically under either engine.
+pub(crate) struct Runtime<'h> {
+    pub(crate) host: &'h mut dyn Host,
+    pub(crate) resources: Vec<ResultSet>,
+    pub(crate) last_error: String,
+}
+
+impl<'h> Runtime<'h> {
+    pub(crate) fn new(host: &'h mut dyn Host) -> Self {
+        Runtime { host, resources: Vec::new(), last_error: String::new() }
+    }
+}
+
 /// The PHP interpreter.
 pub struct Interp<'h> {
     pub(crate) vars: HashMap<String, PValue>,
-    pub(crate) host: &'h mut dyn Host,
+    pub(crate) rt: Runtime<'h>,
     pub(crate) output: String,
-    pub(crate) resources: Vec<ResultSet>,
-    pub(crate) last_error: String,
     halted: bool,
 }
 
@@ -109,14 +123,7 @@ impl<'h> Interp<'h> {
         for sg in ["_GET", "_POST", "_COOKIE", "_REQUEST", "_SERVER"] {
             vars.insert(sg.to_string(), PValue::Array(PArray::new()));
         }
-        Interp {
-            vars,
-            host,
-            output: String::new(),
-            resources: Vec::new(),
-            last_error: String::new(),
-            halted: false,
-        }
+        Interp { vars, rt: Runtime::new(host), output: String::new(), halted: false }
     }
 
     /// Sets a `$_GET` parameter (also mirrored into `$_REQUEST`).
@@ -143,32 +150,7 @@ impl<'h> Interp<'h> {
 
     fn set_superglobal(&mut self, global: &str, key: &str, value: &str) {
         if let Some(PValue::Array(a)) = self.vars.get_mut(global) {
-            // PHP's bracket syntax: `ids[k]=v` populates `$_GET['ids']['k']`.
-            // Both the base name and the *inner key* are attacker-chosen —
-            // the channel CVE-2014-3704 (Drupal expandArguments) abuses.
-            if let Some((base, sub)) = split_bracket_key(key) {
-                let inner = match a.get(&PKey::Str(base.to_string())) {
-                    Some(PValue::Array(existing)) => {
-                        let mut copy = existing.clone();
-                        copy.set(
-                            PKey::from_value(&PValue::Str(sub.to_string())),
-                            PValue::Str(value.to_string()),
-                        );
-                        copy
-                    }
-                    _ => {
-                        let mut fresh = PArray::new();
-                        fresh.set(
-                            PKey::from_value(&PValue::Str(sub.to_string())),
-                            PValue::Str(value.to_string()),
-                        );
-                        fresh
-                    }
-                };
-                a.set(PKey::Str(base.to_string()), PValue::Array(inner));
-            } else {
-                a.set(PKey::Str(key.to_string()), PValue::Str(value.to_string()));
-            }
+            set_superglobal_entry(a, key, value);
         }
     }
 
@@ -321,59 +303,7 @@ impl<'h> Interp<'h> {
             }
         }
         let root = self.vars.entry(var.to_string()).or_insert_with(|| PValue::Array(PArray::new()));
-        if !matches!(root, PValue::Array(_)) {
-            *root = PValue::Array(PArray::new());
-        }
-        fn descend(
-            target: &mut PValue,
-            keys: &[Option<PKey>],
-            op: Option<AssignOp>,
-            rhs: PValue,
-        ) -> Result<(), PhpError> {
-            let PValue::Array(arr) = target else {
-                *target = PValue::Array(PArray::new());
-                return descend(target, keys, op, rhs);
-            };
-            match keys {
-                [] => unreachable!("assign called with empty key path"),
-                [None] => {
-                    arr.push(rhs);
-                    Ok(())
-                }
-                [Some(k)] => {
-                    let new = match op {
-                        None => rhs,
-                        Some(aop) => {
-                            let old = arr.get(k).cloned().unwrap_or_default();
-                            apply_assign_op(aop, &old, &rhs)
-                        }
-                    };
-                    arr.set(k.clone(), new);
-                    Ok(())
-                }
-                [first, rest @ ..] => {
-                    let key = match first {
-                        Some(k) => k.clone(),
-                        None => {
-                            // `$a[]['k'] = v`: append an array then descend.
-                            arr.push(PValue::Array(PArray::new()));
-                            let last = arr.iter().last().map(|(k, _)| k.clone()).unwrap();
-                            last
-                        }
-                    };
-                    if arr.get(&key).is_none() {
-                        arr.set(key.clone(), PValue::Array(PArray::new()));
-                    }
-                    // Re-borrow mutably via a rebuild: PArray has no get_mut;
-                    // emulate by taking, mutating, re-setting.
-                    let mut sub = arr.get(&key).cloned().unwrap();
-                    descend(&mut sub, rest, op, rhs)?;
-                    arr.set(key, sub);
-                    Ok(())
-                }
-            }
-        }
-        descend(root, &keys, op, rhs)
+        assign_into(root, &keys, op, rhs)
     }
 
     pub(crate) fn eval(&mut self, expr: &Expr) -> Result<PValue, PhpError> {
@@ -396,27 +326,14 @@ impl<'h> Interp<'h> {
             Expr::Index { base, index } => {
                 let b = self.eval(base)?;
                 let i = self.eval(index)?;
-                match b {
-                    PValue::Array(a) => {
-                        Ok(a.get(&PKey::from_value(&i)).cloned().unwrap_or_default())
-                    }
-                    PValue::Str(s) => {
-                        let idx = i.to_php_int();
-                        if idx >= 0 && (idx as usize) < s.len() {
-                            Ok(PValue::Str(s[idx as usize..idx as usize + 1].to_string()))
-                        } else {
-                            Ok(PValue::Str(String::new()))
-                        }
-                    }
-                    _ => Ok(PValue::Null),
-                }
+                Ok(index_read(&b, &i))
             }
             Expr::Call { name, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(a)?);
                 }
-                builtins::call_builtin(self, name, vals)
+                builtins::call_builtin(&mut self.rt, name, vals)
             }
             Expr::Unary { op, expr } => {
                 let v = self.eval(expr)?;
@@ -505,19 +422,125 @@ impl<'h> Interp<'h> {
             Expr::Index { base, index } => {
                 let b = self.eval(base)?;
                 let i = self.eval(index)?;
-                match b {
-                    PValue::Array(a) => {
-                        Ok(a.get(&PKey::from_value(&i)).is_some_and(|v| !matches!(v, PValue::Null)))
-                    }
-                    _ => Ok(false),
-                }
+                Ok(isset_index(&b, &i))
             }
             _ => Ok(true),
         }
     }
 }
 
-fn apply_assign_op(op: AssignOp, old: &PValue, rhs: &PValue) -> PValue {
+/// Populates one request parameter into a superglobal array, including
+/// PHP's bracket syntax: `ids[k]=v` populates `$_GET['ids']['k']`. Both
+/// the base name and the *inner key* are attacker-chosen — the channel
+/// CVE-2014-3704 (Drupal expandArguments) abuses. Shared verbatim by both
+/// engines so request setup is bit-identical.
+pub(crate) fn set_superglobal_entry(a: &mut PArray, key: &str, value: &str) {
+    if let Some((base, sub)) = split_bracket_key(key) {
+        let inner = match a.get(&PKey::Str(base.to_string())) {
+            Some(PValue::Array(existing)) => {
+                let mut copy = existing.clone();
+                copy.set(
+                    PKey::from_value(&PValue::Str(sub.to_string())),
+                    PValue::Str(value.to_string()),
+                );
+                copy
+            }
+            _ => {
+                let mut fresh = PArray::new();
+                fresh.set(
+                    PKey::from_value(&PValue::Str(sub.to_string())),
+                    PValue::Str(value.to_string()),
+                );
+                fresh
+            }
+        };
+        a.set(PKey::Str(base.to_string()), PValue::Array(inner));
+    } else {
+        a.set(PKey::Str(key.to_string()), PValue::Str(value.to_string()));
+    }
+}
+
+/// Indexed assignment `$a[k1][k2]… op= rhs`: walks (and creates) nested
+/// arrays along the resolved key path. `None` keys are `$a[]` appends.
+/// Shared by both engines — the tree-walker and the VM's `StoreIndex` op.
+pub(crate) fn assign_into(
+    target: &mut PValue,
+    keys: &[Option<PKey>],
+    op: Option<AssignOp>,
+    rhs: PValue,
+) -> Result<(), PhpError> {
+    let PValue::Array(arr) = target else {
+        *target = PValue::Array(PArray::new());
+        return assign_into(target, keys, op, rhs);
+    };
+    match keys {
+        [] => unreachable!("assign called with empty key path"),
+        [None] => {
+            arr.push(rhs);
+            Ok(())
+        }
+        [Some(k)] => {
+            let new = match op {
+                None => rhs,
+                Some(aop) => {
+                    let old = arr.get(k).cloned().unwrap_or_default();
+                    apply_assign_op(aop, &old, &rhs)
+                }
+            };
+            arr.set(k.clone(), new);
+            Ok(())
+        }
+        [first, rest @ ..] => {
+            let key = match first {
+                Some(k) => k.clone(),
+                None => {
+                    // `$a[]['k'] = v`: append an array then descend.
+                    arr.push(PValue::Array(PArray::new()));
+                    let last = arr.iter().last().map(|(k, _)| k.clone()).unwrap();
+                    last
+                }
+            };
+            if arr.get(&key).is_none() {
+                arr.set(key.clone(), PValue::Array(PArray::new()));
+            }
+            // Re-borrow mutably via a rebuild: PArray has no get_mut;
+            // emulate by taking, mutating, re-setting.
+            let mut sub = arr.get(&key).cloned().unwrap();
+            assign_into(&mut sub, rest, op, rhs)?;
+            arr.set(key, sub);
+            Ok(())
+        }
+    }
+}
+
+/// The `expr[index]` read: array lookup, string byte slicing, `Null`
+/// otherwise. Shared by both engines.
+pub(crate) fn index_read(b: &PValue, i: &PValue) -> PValue {
+    match b {
+        PValue::Array(a) => a.get(&PKey::from_value(i)).cloned().unwrap_or_default(),
+        PValue::Str(s) => {
+            let idx = i.to_php_int();
+            if idx >= 0 && (idx as usize) < s.len() {
+                PValue::Str(s[idx as usize..idx as usize + 1].to_string())
+            } else {
+                PValue::Str(String::new())
+            }
+        }
+        _ => PValue::Null,
+    }
+}
+
+/// `isset($base[$index])` after both operands evaluated: only array bases
+/// can be set, and a `Null` element counts as unset. Shared by both
+/// engines.
+pub(crate) fn isset_index(b: &PValue, i: &PValue) -> bool {
+    match b {
+        PValue::Array(a) => a.get(&PKey::from_value(i)).is_some_and(|v| !matches!(v, PValue::Null)),
+        _ => false,
+    }
+}
+
+pub(crate) fn apply_assign_op(op: AssignOp, old: &PValue, rhs: &PValue) -> PValue {
     match op {
         AssignOp::Concat => PValue::Str(format!("{}{}", old.to_php_string(), rhs.to_php_string())),
         AssignOp::Add => numeric_binop(old, rhs, |a, b| a + b),
@@ -538,7 +561,7 @@ fn numeric_binop(l: &PValue, r: &PValue, f: impl Fn(f64, f64) -> f64) -> PValue 
     }
 }
 
-fn eval_binop(op: BinOp, l: &PValue, r: &PValue) -> PValue {
+pub(crate) fn eval_binop(op: BinOp, l: &PValue, r: &PValue) -> PValue {
     match op {
         BinOp::Concat => PValue::Str(format!("{}{}", l.to_php_string(), r.to_php_string())),
         BinOp::Add => numeric_binop(l, r, |a, b| a + b),

@@ -19,6 +19,10 @@
 //!   use, including the input transformations NTI evasion exploits
 //!   (`addslashes` — magic quotes, `trim`, `base64_decode`, `urldecode`,
 //!   `str_replace`, `preg_replace` character classes, `sprintf`, …);
+//! * [`mod@compile`]/[`vm`] — a bytecode compiler and stack VM over the same
+//!   AST and [`Host`]: the serving engine. The tree-walker stays as the
+//!   differential oracle (bit-identical output/queries/errors, pinned by
+//!   full-corpus replay and random-program differential tests);
 //! * [`fragments`] — the installer's fragment extractor: string literals
 //!   are collected from source text, interpolated strings and format
 //!   strings are split at placeholders, and only fragments containing at
@@ -55,6 +59,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod cost;
 pub mod emit;
 pub mod fragments;
@@ -64,10 +69,13 @@ pub mod parser;
 pub mod span;
 pub mod value;
 pub mod visit;
+pub mod vm;
 
+pub use compile::{compile, Chunk};
 pub use emit::{emit_expr, emit_program};
 pub use fragments::extract_fragments;
 pub use interp::{Host, Interp, PhpError, QueryOutcome};
 pub use parser::{parse_program, parse_program_spanned};
 pub use span::Span;
 pub use value::PValue;
+pub use vm::Vm;

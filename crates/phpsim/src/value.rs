@@ -136,6 +136,33 @@ impl PValue {
         }
     }
 
+    /// Appends the PHP string conversion to `buf` without allocating an
+    /// intermediate `String` — byte-identical to appending
+    /// [`PValue::to_php_string`]. The VM's fused echo/concat ops use this
+    /// on their hot path.
+    pub fn append_php_string(&self, buf: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            PValue::Null | PValue::Bool(false) => {}
+            PValue::Bool(true) => buf.push('1'),
+            PValue::Int(i) => {
+                let _ = write!(buf, "{i}");
+            }
+            PValue::Float(f) => {
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    let _ = write!(buf, "{}", *f as i64);
+                } else {
+                    let _ = write!(buf, "{f}");
+                }
+            }
+            PValue::Str(s) => buf.push_str(s),
+            PValue::Array(_) => buf.push_str("Array"),
+            PValue::Resource(id) => {
+                let _ = write!(buf, "Resource id #{id}");
+            }
+        }
+    }
+
     /// PHP boolean conversion.
     pub fn to_php_bool(&self) -> bool {
         match self {

@@ -8,8 +8,10 @@
 
 use crate::transform::TransformPipeline;
 use joza_phpsim::ast::Stmt;
+use joza_phpsim::compile::{compile, Chunk};
 use joza_phpsim::parser::{parse_program, PhpParseError};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A plugin: routable PHP-subset source with metadata.
@@ -66,8 +68,11 @@ pub struct WebApp {
     /// Framework-level input transformation pipeline, applied to every
     /// request input before plugin code runs (WordPress: magic quotes).
     pub input_pipeline: TransformPipeline,
-    /// Parse cache: route → parsed program.
-    parsed: HashMap<String, Vec<Stmt>>,
+    /// Parse cache: route → parsed program, shared by reference so the
+    /// request path never clones statement lists.
+    parsed: HashMap<String, Arc<Vec<Stmt>>>,
+    /// Compile cache: route → bytecode chunk for the VM engine.
+    compiled: HashMap<String, Arc<Chunk>>,
 }
 
 impl WebApp {
@@ -112,14 +117,16 @@ impl WebApp {
         self.plugins.values()
     }
 
-    /// Replaces a plugin's source text, invalidating its parse-cache
-    /// entry (a stale cached program would silently keep serving the old
-    /// code). Returns false when no such plugin exists.
+    /// Replaces a plugin's source text, invalidating its parse- and
+    /// compile-cache entries (a stale cached program or chunk would
+    /// silently keep serving the old code). Returns false when no such
+    /// plugin exists.
     pub fn set_plugin_source(&mut self, slug: &str, source: &str) -> bool {
         match self.plugins.get_mut(slug) {
             Some(p) => {
                 p.source = source.to_string();
                 self.parsed.remove(slug);
+                self.compiled.remove(slug);
                 true
             }
             None => false,
@@ -157,9 +164,36 @@ impl WebApp {
                 .map(|p| p.source.clone())
                 .ok_or_else(|| PhpParseError { at: 0, message: format!("no route {slug}") })?;
             let prog = parse_program(&src)?;
-            self.parsed.insert(slug.to_string(), prog);
+            self.parsed.insert(slug.to_string(), Arc::new(prog));
         }
         Ok(self.parsed.get(slug).expect("just inserted"))
+    }
+
+    /// Like [`WebApp::program`], but hands back the shared [`Arc`] so the
+    /// tree-walk serving path can run the program without cloning the
+    /// statement list per request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhpParseError`] from the plugin source.
+    pub fn program_arc(&mut self, slug: &str) -> Result<Arc<Vec<Stmt>>, PhpParseError> {
+        self.program(slug)?;
+        Ok(Arc::clone(self.parsed.get(slug).expect("cached by program()")))
+    }
+
+    /// Compiles (and caches) the bytecode chunk for a route — the VM
+    /// engine's per-route artifact, built once and served by [`Arc`].
+    /// Compilation itself is total; only parsing can fail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhpParseError`] from the plugin source.
+    pub fn chunk(&mut self, slug: &str) -> Result<Arc<Chunk>, PhpParseError> {
+        if !self.compiled.contains_key(slug) {
+            let program = self.program_arc(slug)?;
+            self.compiled.insert(slug.to_string(), Arc::new(compile(&program)));
+        }
+        Ok(Arc::clone(self.compiled.get(slug).expect("just inserted")))
     }
 }
 

@@ -57,5 +57,5 @@ pub use gate::{
 };
 pub use joza_phpsim::cost;
 pub use request::{HttpRequest, InputSource};
-pub use server::{Response, Server};
+pub use server::{Engine, Response, Server};
 pub use transform::{InputTransform, TransformPipeline};

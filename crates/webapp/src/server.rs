@@ -8,7 +8,30 @@ use crate::gate::{
 use crate::request::HttpRequest;
 use joza_db::{Database, DbError};
 use joza_phpsim::interp::{Host, Interp, PhpError, QueryOutcome};
+use joza_phpsim::vm::Vm;
 use std::time::{Duration, Instant};
+
+/// Which phpsim engine executes plugin code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The tree-walking interpreter — the differential oracle.
+    TreeWalk,
+    /// The bytecode VM over per-route compiled chunks — the default
+    /// serving engine. Bit-identical to [`Engine::TreeWalk`] on body,
+    /// query stream, `sql_error`, and blocked status (pinned by the
+    /// engine-differential suites).
+    #[default]
+    Vm,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::TreeWalk => "tree-walk",
+            Engine::Vm => "vm",
+        })
+    }
+}
 
 /// The observable outcome of one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +69,8 @@ pub struct Server {
     pub app: WebApp,
     /// The backing database.
     pub db: Database,
+    /// The phpsim engine plugin code runs under.
+    pub engine: Engine,
 }
 
 impl std::fmt::Debug for Server {
@@ -55,9 +80,21 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Creates a server.
+    /// Creates a server on the default engine ([`Engine::Vm`]).
     pub fn new(app: WebApp, db: Database) -> Self {
-        Server { app, db }
+        Server { app, db, engine: Engine::default() }
+    }
+
+    /// Selects the phpsim engine (builder style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the phpsim engine in place.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// Handles a request without protection (the plain baseline).
@@ -104,9 +141,15 @@ impl Server {
         let extra = self.app.plugin(&request.path).map(|p| p.extra_transforms.clone());
         let render_cost = self.app.plugin(&request.path).map_or(Duration::ZERO, |p| p.render_cost);
 
-        // 3. Parse the plugin program.
-        let program = match self.app.program(&request.path) {
-            Ok(p) => p.to_vec(),
+        // 3. Fetch the route's execution artifact — the Arc-cached
+        // bytecode chunk (VM) or parsed program (tree-walk); nothing is
+        // cloned per request.
+        let artifact = match self.engine {
+            Engine::Vm => self.app.chunk(&request.path).map(RouteArtifact::Chunk),
+            Engine::TreeWalk => self.app.program_arc(&request.path).map(RouteArtifact::Ast),
+        };
+        let artifact = match artifact {
+            Ok(a) => a,
             Err(e) => {
                 return Response {
                     body: format!("404 {e}"),
@@ -131,27 +174,50 @@ impl Server {
             gate_time: Duration::ZERO,
             last_error: None,
         };
-        let mut interp = Interp::new(&mut host);
-        for (k, v) in &request.get {
-            let tv = apply_all(&pipeline, &extra, v);
-            interp.set_get_param(k, &tv);
-        }
-        for (k, v) in &request.post {
-            let tv = apply_all(&pipeline, &extra, v);
-            interp.set_post_param(k, &tv);
-        }
-        for (k, v) in &request.cookies {
-            let tv = apply_all(&pipeline, &extra, v);
-            interp.set_cookie(k, &tv);
-        }
-        for (k, v) in &request.headers {
-            let key = format!("HTTP_{}", k.to_ascii_uppercase().replace('-', "_"));
-            interp.set_server_var(&key, v);
-        }
-
-        let run = interp.run(&program);
-        let body = interp.output().to_string();
-        drop(interp);
+        let (run, body) = match artifact {
+            RouteArtifact::Chunk(chunk) => {
+                let mut vm = Vm::new(&mut host);
+                for (k, v) in &request.get {
+                    let tv = apply_all(&pipeline, &extra, v);
+                    vm.set_get_param(k, &tv);
+                }
+                for (k, v) in &request.post {
+                    let tv = apply_all(&pipeline, &extra, v);
+                    vm.set_post_param(k, &tv);
+                }
+                for (k, v) in &request.cookies {
+                    let tv = apply_all(&pipeline, &extra, v);
+                    vm.set_cookie(k, &tv);
+                }
+                for (k, v) in &request.headers {
+                    let key = format!("HTTP_{}", k.to_ascii_uppercase().replace('-', "_"));
+                    vm.set_server_var(&key, v);
+                }
+                let run = vm.run(&chunk);
+                (run, vm.output().to_string())
+            }
+            RouteArtifact::Ast(program) => {
+                let mut interp = Interp::new(&mut host);
+                for (k, v) in &request.get {
+                    let tv = apply_all(&pipeline, &extra, v);
+                    interp.set_get_param(k, &tv);
+                }
+                for (k, v) in &request.post {
+                    let tv = apply_all(&pipeline, &extra, v);
+                    interp.set_post_param(k, &tv);
+                }
+                for (k, v) in &request.cookies {
+                    let tv = apply_all(&pipeline, &extra, v);
+                    interp.set_cookie(k, &tv);
+                }
+                for (k, v) in &request.headers {
+                    let key = format!("HTTP_{}", k.to_ascii_uppercase().replace('-', "_"));
+                    interp.set_server_var(&key, v);
+                }
+                let run = interp.run(&program);
+                (run, interp.output().to_string())
+            }
+        };
         // 5. Simulated theme/template render work (§VI cost model). A
         // terminated request renders nothing — the user gets a blank page.
         if !matches!(run, Err(PhpError::Terminated)) {
@@ -197,6 +263,14 @@ impl Server {
             },
         }
     }
+}
+
+/// The per-route execution artifact the engine dispatch selects.
+enum RouteArtifact {
+    /// A compiled bytecode chunk ([`Engine::Vm`]).
+    Chunk(std::sync::Arc<joza_phpsim::Chunk>),
+    /// A parsed statement list ([`Engine::TreeWalk`]).
+    Ast(std::sync::Arc<Vec<joza_phpsim::ast::Stmt>>),
 }
 
 fn raw_inputs(request: &HttpRequest) -> Vec<RawInput> {

@@ -77,6 +77,27 @@ cargo run --quiet --release -p joza-bench --bin querymodel -- \
 echo "==> cargo test -q --test pipeline_equivalence"
 cargo test -q --test pipeline_equivalence
 
+# Engine equivalence, explicitly: the bytecode VM and the tree-walking
+# interpreter must produce bit-identical responses (body, queries,
+# sql_error, blocked) and database state over the full lab corpus —
+# benign, every exploit, and both second-order two-phase flows — plus the
+# 404 and parse-error paths.
+echo "==> cargo test -q -p joza-lab --test engine_differential"
+cargo test -q -p joza-lab --test engine_differential
+
+# Engine differential property test: seeded random phpsim programs
+# (loops, compound assignment, indexed stores, host query calls,
+# mid-program termination) diffed VM vs tree-walk on result, output, and
+# the exact SQL sequence the host saw.
+echo "==> cargo test -q -p joza-phpsim --test vm_differential"
+cargo test -q -p joza-phpsim --test vm_differential
+
+# Engine edge semantics: foreach snapshotting, break/continue depth,
+# Terminated mid-expression, uninitialized reads, and string/number
+# coercions pinned against both engines.
+echo "==> cargo test -q -p joza-phpsim --test engine_edges"
+cargo test -q -p joza-phpsim --test engine_edges
+
 # Pipeline-bench smoke: asserts the path counters partition the checked
 # queries before timing, exercises the per-stage breakdown writers, and
 # enforces the single-thread gate-direct throughput floor (the ROADMAP
@@ -103,6 +124,24 @@ cargo run --quiet --release -p joza-bench --bin harden -- \
 echo "==> second_order smoke"
 cargo run --quiet --release -p joza-bench --bin second_order -- \
     --requests 24 --repeat 1 --out /tmp/joza_second_order_smoke.json
+
+# VM-bench smoke: asserts every response bit-identical across engines on
+# both the testbed corpus and the interpreter-bound render routes, runs a
+# small soak with latency percentiles and query-count conservation, and
+# enforces the ISSUE floor — the VM must serve the engine-bound render
+# routes >= 3x faster end to end than the tree-walker.
+echo "==> vm bench smoke (--min-speedup 3 render-route floor)"
+cargo run --quiet --release -p joza-bench --bin vm -- \
+    --requests 24 --repeat 1 --soak 200 --min-speedup 3 \
+    --out /tmp/joza_vm_smoke.json
+
+# Live-serving soak smoke: after the deploy demo, serve the corpus
+# repeatedly and assert the verdict split is identical on every pass and
+# the engine's query counter advances by exactly the corpus size per
+# pass (steady-state drift check, small N for CI).
+echo "==> serve_live soak smoke"
+cargo run --quiet --release -p joza-bench --bin serve_live -- \
+    --requests 48 --threads 4 --soak 400
 
 # Deprecation containment: the legacy single-worker gate API (QueryGate /
 # handle_gated / Joza::gate) may only appear in the files that define it

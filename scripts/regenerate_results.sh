@@ -37,13 +37,17 @@ echo "== pipeline (timed) =="
 cargo run --quiet --release -p joza-bench --bin pipeline -- \
     --requests 96 --repeat 3 --threads 1,4 \
     --out results/BENCH_pipeline.json > results/pipeline.txt
+echo "== vm (timed) =="
+cargo run --quiet --release -p joza-bench --bin vm -- \
+    --min-speedup 3 \
+    --out results/BENCH_vm.json > results/vm.txt
 
 # Every machine-readable benchmark artifact this script is responsible
 # for must actually have been (re)written by this run — a silently
 # skipped writer (renamed bin, edited flag, early exit swallowed by a
 # pipe) must fail the regeneration, not leave a stale or missing file.
 expected_bench_json="BENCH_scaling.json BENCH_nti_kernel.json BENCH_querymodel.json \
-BENCH_harden.json BENCH_pipeline.json BENCH_secondorder.json"
+BENCH_harden.json BENCH_pipeline.json BENCH_secondorder.json BENCH_vm.json"
 missing=0
 for f in $expected_bench_json; do
     if [ ! -s "results/$f" ]; then
